@@ -1,0 +1,66 @@
+// Extension experiment X4 (DESIGN.md): google-benchmark microbenchmarks of
+// every gradient filter across (n, d) shapes, charting the per-round server
+// cost.  CGE/CWTM are near-linear scans; Krum/Bulyan pay O(n^2 d) distance
+// matrices; the geometric median pays Weiszfeld iterations.
+#include <benchmark/benchmark.h>
+
+#include "abft/agg/registry.hpp"
+#include "abft/util/rng.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Vector;
+
+std::vector<Vector> make_gradients(int n, int d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vector> gradients;
+  gradients.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Vector g(d);
+    for (int k = 0; k < d; ++k) g[k] = rng.normal();
+    gradients.push_back(std::move(g));
+  }
+  return gradients;
+}
+
+void aggregate_benchmark(benchmark::State& state, const std::string& name) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const int f = std::max(1, n / 5);
+  const auto rule = agg::make_aggregator(name);
+  const auto gradients = make_gradients(n, d, 42);
+  // Some rules reject certain (n, f) shapes (krum: n > 2f+2; bulyan:
+  // n >= 4f+3); probe once and skip instead of aborting the whole binary.
+  try {
+    benchmark::DoNotOptimize(rule->aggregate(gradients, f));
+  } catch (const std::invalid_argument& error) {
+    state.SkipWithError(error.what());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rule->aggregate(gradients, f));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void register_all() {
+  for (const auto name : agg::aggregator_names()) {
+    const std::string title = "aggregate/" + std::string(name);
+    auto* bench = benchmark::RegisterBenchmark(
+        title.c_str(), [name = std::string(name)](benchmark::State& state) {
+          aggregate_benchmark(state, name);
+        });
+    bench->Args({10, 10})->Args({10, 1000})->Args({50, 100})->Args({100, 1000});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

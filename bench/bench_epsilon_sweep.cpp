@@ -1,0 +1,85 @@
+// Extension experiment X1 (DESIGN.md): sweep the observation-noise level of
+// randomized regression instances, measure the induced (2f, eps)-redundancy
+// eps, and chart how the final DGD error of CGE and CWTM scales with eps —
+// the D*eps error model of Theorems 4/5/6 — together with the theorem
+// bounds where their hypotheses hold.
+#include <iostream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/core/bounds.hpp"
+#include "abft/core/redundancy.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/regress/generator.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/stats.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+namespace {
+
+double run_error(const regress::RegressionProblem& problem, std::string_view filter,
+                 const attack::FaultModel& fault, const Vector& x_h) {
+  const opt::HarmonicSchedule schedule(0.5);
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{0.0, 0.0}, opt::Box::centered_cube(2, 1000.0), &schedule, 1200, 1,
+                        99};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const auto aggregator = agg::make_aggregator(filter);
+  return linalg::distance(simulation.run(*aggregator).final_estimate(), x_h);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kN = 8;
+  constexpr int kF = 1;
+  constexpr int kSeedsPerNoise = 3;
+  const attack::GradientReverseFault fault;
+
+  std::cout << "X1 — noise -> redundancy eps -> final error (n = " << kN << ", f = " << kF
+            << ", gradient-reverse, mean over " << kSeedsPerNoise << " seeds)\n\n";
+
+  util::Table table({"noise", "eps", "err(cge)", "err(cwtm)", "thm4 D*eps", "thm5 D*eps"});
+  for (const double noise : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    std::vector<double> epsilons, cge_errors, cwtm_errors, t4_bounds, t5_bounds;
+    for (int seed = 0; seed < kSeedsPerNoise; ++seed) {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(seed));
+      regress::GeneratorOptions options;
+      options.num_agents = kN;
+      options.dim = 2;
+      options.noise_stddev = noise;
+      options.rank_check_subset_size = kN - 2 * kF;
+      const auto problem = regress::random_problem(options, rng);
+      const regress::RegressionSubsetSolver solver(problem);
+      const double eps = core::measure_redundancy(solver, kF).epsilon;
+      std::vector<int> honest;
+      for (int i = kF; i < kN; ++i) honest.push_back(i);
+      const Vector x_h = problem.subset_minimizer(honest);
+      epsilons.push_back(eps);
+      cge_errors.push_back(run_error(problem, "cge", fault, x_h));
+      cwtm_errors.push_back(run_error(problem, "cwtm", fault, x_h));
+      const double mu = problem.mu(honest);
+      const double gamma = problem.gamma(honest);
+      const auto t4 = core::cge_bound_theorem4(kN, kF, mu, gamma);
+      const auto t5 = core::cge_bound_theorem5(kN, kF, mu, gamma);
+      t4_bounds.push_back(t4.valid ? t4.factor * eps : -1.0);
+      t5_bounds.push_back(t5.valid ? t5.factor * eps : -1.0);
+    }
+    auto cell = [](double v) {
+      return v < 0.0 ? std::string("n/a") : util::format_scientific(v, 2);
+    };
+    table.add_row({util::format_double(noise, 3), util::format_scientific(util::mean(epsilons), 2),
+                   util::format_scientific(util::mean(cge_errors), 2),
+                   util::format_scientific(util::mean(cwtm_errors), 2),
+                   cell(util::mean(t4_bounds)), cell(util::mean(t5_bounds))});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: eps grows ~linearly with noise; measured errors track eps\n"
+               "well below the (conservative) theorem bounds; noise = 0 recovers exact\n"
+               "fault-tolerance (error ~ 0).\n";
+  return 0;
+}

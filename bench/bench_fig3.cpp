@@ -1,0 +1,20 @@
+// Reproduces Figure 3: the magnified view of Figure 2 over the first 80
+// iterations, where the transient behaviour of the four algorithms separates
+// (plain GD's excursions under attack vs the filters' steady descent).
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main() {
+  constexpr int kIterations = 80;
+  constexpr int kStride = 4;
+
+  std::cout << "Figure 3 — first " << kIterations << " iterations (magnified view of Fig. 2)\n\n";
+
+  const abft::attack::GradientReverseFault reverse;
+  fig::print_figure(fig::run_figure(reverse, kIterations), kStride, std::cout);
+
+  const abft::attack::RandomGaussianFault random(200.0);
+  fig::print_figure(fig::run_figure(random, kIterations), kStride, std::cout);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Figure 4 (Appendix K): D-SGD cross-entropy loss and model
+// accuracy over 1000 iterations with n = 10 agents, f = 3 faulty, batch 128,
+// eta = 0.01, on the MNIST substitute "SynthDigits" (well-separated
+// synthetic classes; see DESIGN.md).  Curves: fault-free reference, CWTM and
+// CGE each under label-flip (LF) and gradient-reverse (GR), plus the plain
+// averaging failure case.
+//
+// Paper shape to reproduce: all filtered runs converge to within a close
+// range of the fault-free loss; plain averaging under GR lags far behind.
+#include <iostream>
+
+#include "learn_common.hpp"
+
+int main() {
+  learnfig::Options options;
+  options.dataset = abft::learn::synth_digits_options();
+  // The paper plots 1000 iterations of LeNet/MNIST; our substitute needs a
+  // longer horizon for the averaging-based curves to plateau (CGE sums
+  // n - f gradients, so it moves ~7x faster per round at equal eta).
+  options.iterations = 2500;
+  options.eval_interval = 125;
+  options.seed = 42;
+
+  std::cout << "Figure 4 — D-SGD on SynthDigits (MNIST substitute), n = 10, f = 3\n\n";
+  const auto curves = learnfig::run_learning_figure(options);
+  learnfig::print_learning_figure(curves, std::cout);
+  return 0;
+}

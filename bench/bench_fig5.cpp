@@ -1,0 +1,24 @@
+// Reproduces Figure 5 (Appendix K): the Fashion-MNIST experiment, here on
+// the harder "SynthFashion" substitute (overlapping synthetic classes, 2x
+// the class noise of SynthDigits; see DESIGN.md).
+//
+// Paper shape to reproduce: same ordering as Figure 4 but a lower accuracy
+// plateau than SynthDigits — the harder dataset caps every algorithm,
+// faulty or not.
+#include <iostream>
+
+#include "learn_common.hpp"
+
+int main() {
+  learnfig::Options options;
+  options.dataset = abft::learn::synth_fashion_options();
+  // Same horizon note as bench_fig4.
+  options.iterations = 2500;
+  options.eval_interval = 125;
+  options.seed = 43;
+
+  std::cout << "Figure 5 — D-SGD on SynthFashion (Fashion-MNIST substitute), n = 10, f = 3\n\n";
+  const auto curves = learnfig::run_learning_figure(options);
+  learnfig::print_learning_figure(curves, std::cout);
+  return 0;
+}

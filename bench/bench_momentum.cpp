@@ -1,0 +1,64 @@
+// Extension experiment X8 (DESIGN.md): worker-momentum ablation.  The
+// paper's ref [28] (Karimireddy et al., "Learning from history") argues that
+// sending momentum-averaged gradients shrinks the honest variance a filter
+// must tolerate, defeating time-coupled attacks.  We charts final accuracy
+// with and without momentum (beta = 0.9) for CGE/CWTM/CClip under
+// gradient-reverse and label-flip faults.
+#include <iostream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/learn/dataset.hpp"
+#include "abft/learn/dsgd.hpp"
+#include "abft/learn/softmax.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+int main() {
+  auto options = learn::synth_fashion_options();  // the harder dataset
+  options.examples_per_class = 100;
+  util::Rng data_rng(17);
+  const auto full = learn::make_synthetic(options, data_rng);
+  util::Rng split_rng(18);
+  const auto split = learn::split_train_test(full, 0.2, split_rng);
+  util::Rng shard_rng(19);
+  const auto shards = learn::shard(split.train, 10, shard_rng);
+  const learn::SoftmaxRegression model(split.train.feature_dim(), split.train.num_classes);
+
+  learn::DsgdConfig base;
+  base.iterations = 600;
+  base.batch_size = 64;
+  base.step_size = 0.02;
+  base.f = 3;
+  base.eval_interval = 600;
+  base.seed = 21;
+
+  std::cout << "X8 — worker-momentum ablation (SynthFashion, n = 10, f = 3)\n\n";
+  for (const auto kind : {learn::AgentFault::kGradientReverse, learn::AgentFault::kLabelFlip}) {
+    std::vector<learn::AgentFault> faults(10, learn::AgentFault::kHonest);
+    for (int i = 0; i < 3; ++i) faults[static_cast<std::size_t>(i)] = kind;
+    std::cout << "fault: "
+              << (kind == learn::AgentFault::kGradientReverse ? "gradient-reverse"
+                                                              : "label-flip")
+              << '\n';
+    util::Table table({"filter", "accuracy (beta=0)", "accuracy (beta=0.9)"});
+    for (const char* name : {"cge", "cwtm", "cclip", "average"}) {
+      const auto aggregator = agg::make_aggregator(name);
+      std::vector<std::string> row{name};
+      for (const double beta : {0.0, 0.9}) {
+        learn::DsgdConfig config = base;
+        config.momentum = beta;
+        const auto series = learn::run_dsgd(model, Vector(model.param_dim()), shards, faults,
+                                            split.test, *aggregator, config);
+        row.push_back(util::format_double(series.test_accuracy.back() * 100.0, 4));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: momentum never hurts the robust filters and typically\n"
+               "recovers a few accuracy points under gradient-reverse.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension experiment X6 (DESIGN.md): the Section-2.4 application —
+// distributed state estimation under sensor attacks.  Generates random
+// 2f-sparse-observable sensor systems (each sensor sees ONE linear
+// projection of a d-dimensional state, so no sensor alone is observable),
+// corrupts f sensors' measurements, and compares:
+//   * stacked least squares over all sensors (non-robust baseline),
+//   * the Theorem-2 exhaustive algorithm,
+//   * DGD + CGE / CWTM over the sensor costs Q_i(x) = ||y_i - H_i x||^2.
+//
+// Expected shape: the naive estimate degrades linearly with the corruption
+// magnitude; the robust estimators stay at the noise floor as long as
+// 2f-sparse observability (= 2f-redundancy) holds.
+#include <iostream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/core/exhaustive.hpp"
+#include "abft/core/redundancy.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/sensing/sensor_system.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+namespace {
+
+double dgd_error(const sensing::SensorSystem& system, std::string_view filter, int f,
+                 const Vector& truth) {
+  const opt::HarmonicSchedule schedule(0.4);
+  // Corruption lives in the measurements (data-level fault), so every agent
+  // behaves protocol-honestly over its (possibly corrupted) cost.
+  sim::DgdConfig config{Vector(system.state_dim()),
+                        opt::Box::centered_cube(system.state_dim(), 100.0), &schedule, 1200, f,
+                        3};
+  sim::DgdSimulation simulation(sim::honest_roster(system.costs()), std::move(config));
+  const auto aggregator = agg::make_aggregator(filter);
+  return linalg::distance(simulation.run(*aggregator).final_estimate(), truth);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSensors = 10;
+  constexpr int kStateDim = 3;
+  constexpr int kF = 2;
+
+  util::Rng rng(31);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = kSensors;
+  options.state_dim = kStateDim;
+  options.rows_per_sensor = 1;
+  options.noise_stddev = 0.01;
+  options.sparse_observability = 2 * kF;
+  const auto generated = sensing::random_sensor_system(options, rng);
+
+  std::cout << "X6 — state estimation under sensor attacks: n = " << kSensors
+            << " single-projection sensors, d = " << kStateDim << ", f = " << kF << "\n";
+  std::cout << "system is 2f-sparse observable: "
+            << (generated.system.sparse_observable(2 * kF) ? "yes" : "NO")
+            << "; no single sensor is observable: "
+            << (!generated.system.jointly_observable({0}) ? "confirmed" : "NO") << "\n\n";
+
+  util::Table table({"corruption", "eps", "naive LSQ", "theorem-2", "dgd+cge", "dgd+cwtm"});
+  for (const double magnitude : {0.0, 1.0, 5.0, 25.0, 125.0}) {
+    // Corrupt sensors 0..f-1 with a constant measurement offset.
+    sensing::SensorSystem corrupted = generated.system;
+    for (int s = 0; s < kF; ++s) {
+      Vector fake = generated.system.measurements(s);
+      for (int r = 0; r < fake.dim(); ++r) fake[r] += magnitude;
+      corrupted = corrupted.with_corrupted_sensor(s, fake);
+    }
+    const sensing::SensorSubsetSolver solver(corrupted);
+    const double eps = core::measure_redundancy(solver, kF).epsilon;
+
+    std::vector<int> everyone;
+    for (int s = 0; s < kSensors; ++s) everyone.push_back(s);
+    const double naive =
+        linalg::distance(corrupted.subset_estimate(everyone), generated.true_state);
+    const auto exhaustive = core::exhaustive_resilient_solve(solver, kF);
+    const double exact =
+        linalg::distance(exhaustive.output, generated.true_state);
+
+    table.add_row({util::format_double(magnitude, 4), util::format_scientific(eps, 2),
+                   util::format_scientific(naive, 2), util::format_scientific(exact, 2),
+                   util::format_scientific(dgd_error(corrupted, "cge", kF, generated.true_state), 2),
+                   util::format_scientific(dgd_error(corrupted, "cwtm", kF, generated.true_state), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: eps here is measured on the *received* (corrupted) costs, so it grows\n"
+               "with the corruption; the robust estimators' error stays near the noise floor\n"
+               "because honest (n - f)-subsets still pin the state down.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Table 1: distributed linear regression on the exact Appendix-J
+// instance (n = 6, d = 2, f = 1, agent 1 Byzantine), eta_t = 1.5/(t+1),
+// W = [-1000, 1000]^2, 500 iterations.  Prints x_out and dist(x_H, x_out)
+// for the CGE and CWTM gradient-filters under the gradient-reverse and
+// random fault behaviours, next to the paper's reported values.
+#include <iostream>
+#include <sstream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/core/bounds.hpp"
+#include "abft/core/redundancy.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/regress/problem.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+namespace {
+
+std::string format_point(const Vector& x) {
+  std::ostringstream os;
+  os << '(' << util::format_double(x[0], 5) << ", " << util::format_double(x[1], 5) << ')';
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const std::vector<int> honest{1, 2, 3, 4, 5};
+  const Vector x_h = problem.subset_minimizer(honest);
+  const regress::RegressionSubsetSolver solver(problem);
+  const auto redundancy = core::measure_redundancy(solver, 1);
+  const double mu = problem.mu(honest);
+  const double gamma = problem.gamma(honest);
+
+  std::cout << "Table 1 — fault-tolerant distributed linear regression (paper instance)\n";
+  std::cout << "n = 6, d = 2, f = 1 (agent 1 Byzantine), eta_t = 1.5/(t+1), 500 iterations\n";
+  std::cout << "x_H = " << format_point(x_h) << "  (paper: (1.0780, 0.9825))\n";
+  std::cout << "(2f, eps)-redundancy eps = " << util::format_double(redundancy.epsilon, 4)
+            << "  (paper: 0.0890)\n";
+  std::cout << "mu = " << util::format_double(mu, 4)
+            << ", gamma = " << util::format_double(gamma, 4) << "  (paper: 2, 0.712)\n";
+  const auto t5 = core::cge_bound_theorem5(6, 1, mu, gamma);
+  std::cout << "Theorem-5 CGE bound: alpha = " << util::format_double(t5.alpha, 4)
+            << ", D*eps = " << util::format_double(t5.factor * redundancy.epsilon, 4) << "\n\n";
+
+  const attack::GradientReverseFault reverse;
+  const attack::RandomGaussianFault random(200.0);
+  const opt::HarmonicSchedule schedule(1.5);
+
+  struct PaperRow {
+    const char* filter;
+    const char* fault;
+    const char* paper_dist;
+  };
+  const PaperRow paper_rows[] = {
+      {"cge", "gradient-reverse", "2.39e-02"},
+      {"cge", "random", "4.72e-05"},
+      {"cwtm", "gradient-reverse", "1.67e-02"},
+      {"cwtm", "random", "1.51e-03"},
+  };
+
+  util::Table table({"filter", "fault", "x_out", "dist(x_H, x_out)", "paper dist", "< eps"});
+  for (const auto& row : paper_rows) {
+    const attack::FaultModel& fault =
+        std::string_view(row.fault) == "random"
+            ? static_cast<const attack::FaultModel&>(random)
+            : static_cast<const attack::FaultModel&>(reverse);
+    auto roster = sim::honest_roster(problem.costs());
+    sim::assign_fault(roster, 0, fault);
+    sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0),
+                          &schedule, 500, 1, 2021};
+    sim::DgdSimulation simulation(std::move(roster), std::move(config));
+    const auto aggregator = agg::make_aggregator(row.filter);
+    const auto trace = simulation.run(*aggregator);
+    const double dist = linalg::distance(trace.final_estimate(), x_h);
+    table.add_row({row.filter, row.fault, format_point(trace.final_estimate()),
+                   util::format_scientific(dist, 2), row.paper_dist,
+                   dist < redundancy.epsilon ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper's claim to reproduce: every distance < eps = 0.0890.  Absolute values\n"
+               "differ from the paper's (different Byzantine randomness / tie-breaks); the\n"
+               "shape — both filters inside eps, per Section 5 — must hold.\n";
+  return 0;
+}

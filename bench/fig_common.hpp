@@ -1,0 +1,131 @@
+// Shared harness for the Figure-2/3 family: runs the paper's distributed
+// linear-regression scenario (Appendix J; n = 6, f = 1, agent 1 faulty)
+// under a chosen attack for each of the four algorithms plotted in the
+// paper — fault-free DGD (faulty agent omitted, plain averaging), DGD+CWTM,
+// DGD+CGE, and plain DGD with the faulty agent included — and emits the
+// loss / distance series.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abft/agg/registry.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/regress/problem.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/csv.hpp"
+#include "abft/util/table.hpp"
+
+namespace fig {
+
+using namespace abft;
+using linalg::Vector;
+
+struct Series {
+  std::string label;
+  std::vector<double> loss;
+  std::vector<double> distance;
+};
+
+struct FigureData {
+  std::string attack;
+  std::vector<Series> series;
+  Vector x_h;
+};
+
+inline sim::Trace run_one(const regress::RegressionProblem& problem,
+                          const attack::FaultModel* fault, std::string_view aggregator_name,
+                          bool include_faulty_agent, int iterations) {
+  const opt::HarmonicSchedule schedule(1.5);
+  const auto aggregator = agg::make_aggregator(aggregator_name);
+  std::vector<int> agents;
+  for (int i = include_faulty_agent ? 0 : 1; i < problem.num_agents(); ++i) agents.push_back(i);
+  auto roster = sim::honest_roster(problem.costs(agents));
+  if (include_faulty_agent && fault != nullptr) sim::assign_fault(roster, 0, *fault);
+  sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0), &schedule,
+                        iterations, include_faulty_agent ? 1 : 0, 2021};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  return simulation.run(*aggregator);
+}
+
+/// Runs the four algorithms of Figures 2-3 under one attack.
+inline FigureData run_figure(const attack::FaultModel& fault, int iterations) {
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const std::vector<int> honest{1, 2, 3, 4, 5};
+  const auto honest_costs = problem.costs(honest);
+  const opt::AggregateCost honest_aggregate(honest_costs);
+
+  FigureData data;
+  data.attack = fault.name();
+  data.x_h = problem.subset_minimizer(honest);
+
+  const struct {
+    const char* label;
+    const char* aggregator;
+    bool include_faulty;
+  } algorithms[] = {
+      {"fault-free", "average", false},
+      {"CWTM", "cwtm", true},
+      {"CGE", "cge", true},
+      {"plain GD", "average", true},
+  };
+  for (const auto& algorithm : algorithms) {
+    const auto trace =
+        run_one(problem, &fault, algorithm.aggregator, algorithm.include_faulty, iterations);
+    data.series.push_back(Series{algorithm.label, trace.loss_series(honest_aggregate),
+                                 trace.distance_series(data.x_h)});
+  }
+  return data;
+}
+
+/// Emits the full-resolution series as CSV (columns: step, then one
+/// loss/distance pair per algorithm) for re-plotting.
+inline void print_figure_csv(const FigureData& data, std::ostream& os) {
+  std::vector<std::string> header{"step"};
+  for (const auto& s : data.series) {
+    header.push_back(s.label + ":loss");
+    header.push_back(s.label + ":distance");
+  }
+  util::CsvWriter csv(os, std::move(header));
+  const std::size_t length = data.series.front().loss.size();
+  for (std::size_t t = 0; t < length; ++t) {
+    std::vector<double> row{static_cast<double>(t)};
+    for (const auto& s : data.series) {
+      row.push_back(s.loss[t]);
+      row.push_back(s.distance[t]);
+    }
+    csv.add_numeric_row(row);
+  }
+}
+
+/// Emits the series, downsampled to every `stride` iterations, as aligned
+/// tables (one for loss, one for distance) plus the final-error annotations
+/// the paper prints on the plots.
+inline void print_figure(const FigureData& data, int stride, std::ostream& os) {
+  os << "=== attack: " << data.attack << " ===\n";
+  for (const bool distance_table : {false, true}) {
+    std::vector<std::string> header{"step"};
+    for (const auto& s : data.series) header.push_back(s.label);
+    util::Table table(std::move(header));
+    const std::size_t length = data.series.front().loss.size();
+    for (std::size_t t = 0; t < length; t += static_cast<std::size_t>(stride)) {
+      std::vector<std::string> row{std::to_string(t)};
+      for (const auto& s : data.series) {
+        row.push_back(util::format_scientific(distance_table ? s.distance[t] : s.loss[t], 3));
+      }
+      table.add_row(std::move(row));
+    }
+    os << (distance_table ? "-- distance ||x_t - x_H||\n" : "-- loss sum_{i in H} Q_i(x_t)\n");
+    table.print(os);
+  }
+  os << "final approximation errors ||x_T - x_H||:\n";
+  for (const auto& s : data.series) {
+    os << "  " << s.label << ": " << util::format_scientific(s.distance.back(), 2) << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace fig

@@ -1,0 +1,123 @@
+// Shared harness for the Figure-4/5 family (Appendix K): D-SGD on a
+// synthetic multiclass dataset with n = 10 agents, f = 3 faulty, batch 128,
+// eta = 0.01, comparing {fault-free, CWTM-LF, CWTM-GR, CGE-LF, CGE-GR}.
+// The paper trains LeNet on MNIST / Fashion-MNIST; offline we train a
+// one-hidden-layer MLP on SynthDigits / SynthFashion (see DESIGN.md for the
+// substitution argument).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "abft/agg/registry.hpp"
+#include "abft/learn/dataset.hpp"
+#include "abft/learn/dsgd.hpp"
+#include "abft/learn/mlp.hpp"
+#include "abft/util/table.hpp"
+
+namespace learnfig {
+
+using namespace abft;
+using linalg::Vector;
+
+struct Curve {
+  std::string label;
+  learn::DsgdSeries series;
+};
+
+struct Options {
+  learn::SyntheticOptions dataset;
+  int iterations = 1000;
+  int eval_interval = 50;
+  int hidden_dim = 24;
+  std::uint64_t seed = 42;
+};
+
+inline std::vector<Curve> run_learning_figure(const Options& options) {
+  util::Rng data_rng(options.seed);
+  const auto full = learn::make_synthetic(options.dataset, data_rng);
+  util::Rng split_rng(options.seed + 1);
+  const auto split = learn::split_train_test(full, 0.2, split_rng);
+  util::Rng shard_rng(options.seed + 2);
+  const auto shards = learn::shard(split.train, 10, shard_rng);
+
+  const learn::Mlp model(split.train.feature_dim(), options.hidden_dim, split.train.num_classes);
+  util::Rng init_rng(options.seed + 3);
+  const Vector params0 = model.initial_params(init_rng);
+
+  learn::DsgdConfig config;
+  config.iterations = options.iterations;
+  config.batch_size = 128;
+  config.step_size = 0.01;
+  config.eval_interval = options.eval_interval;
+  config.seed = options.seed + 4;
+
+  auto faults_of = [](learn::AgentFault kind, int count) {
+    std::vector<learn::AgentFault> faults(10, learn::AgentFault::kHonest);
+    for (int i = 0; i < count; ++i) faults[static_cast<std::size_t>(i)] = kind;
+    return faults;
+  };
+
+  std::vector<Curve> curves;
+  const struct {
+    const char* label;
+    const char* aggregator;
+    learn::AgentFault kind;
+    int f;
+  } runs[] = {
+      {"fault-free", "average", learn::AgentFault::kHonest, 0},
+      {"CWTM-LF", "cwtm", learn::AgentFault::kLabelFlip, 3},
+      {"CWTM-GR", "cwtm", learn::AgentFault::kGradientReverse, 3},
+      {"CGE-LF", "cge", learn::AgentFault::kLabelFlip, 3},
+      {"CGE-GR", "cge", learn::AgentFault::kGradientReverse, 3},
+      {"average-GR", "average", learn::AgentFault::kGradientReverse, 3},
+  };
+  for (const auto& run : runs) {
+    config.f = run.f;
+    const auto aggregator = agg::make_aggregator(run.aggregator);
+    // Fault-free means the would-be faulty agents are omitted entirely
+    // (the paper's blue curves), not merely marked honest.
+    if (run.f == 0) {
+      const std::vector<learn::Dataset> honest_shards(shards.begin() + 3, shards.end());
+      const std::vector<learn::AgentFault> honest(7, learn::AgentFault::kHonest);
+      learn::DsgdConfig ff = config;
+      ff.f = 0;
+      curves.push_back(Curve{run.label, learn::run_dsgd(model, params0, honest_shards, honest,
+                                                        split.test, *aggregator, ff)});
+    } else {
+      curves.push_back(Curve{run.label,
+                             learn::run_dsgd(model, params0, shards, faults_of(run.kind, run.f),
+                                             split.test, *aggregator, config)});
+    }
+  }
+  return curves;
+}
+
+inline void print_learning_figure(const std::vector<Curve>& curves, std::ostream& os) {
+  for (const bool accuracy_table : {false, true}) {
+    std::vector<std::string> header{"iteration"};
+    for (const auto& curve : curves) header.push_back(curve.label);
+    util::Table table(std::move(header));
+    const auto& ticks = curves.front().series.eval_iterations;
+    for (std::size_t k = 0; k < ticks.size(); ++k) {
+      std::vector<std::string> row{std::to_string(ticks[k])};
+      for (const auto& curve : curves) {
+        const double value = accuracy_table ? curve.series.test_accuracy[k] * 100.0
+                                            : curve.series.train_loss[k];
+        row.push_back(util::format_double(value, 4));
+      }
+      table.add_row(std::move(row));
+    }
+    os << (accuracy_table ? "-- test accuracy (%)\n" : "-- cross-entropy loss (honest data)\n");
+    table.print(os);
+  }
+  os << "final: ";
+  for (const auto& curve : curves) {
+    os << curve.label << " " << util::format_double(curve.series.test_accuracy.back() * 100.0, 3)
+       << "%  ";
+  }
+  os << "\n\n";
+}
+
+}  // namespace learnfig

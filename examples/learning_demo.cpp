@@ -1,0 +1,62 @@
+// Byzantine-robust distributed learning (Appendix K scenario, scaled for a
+// demo): 10 agents train a shared softmax classifier with D-SGD on sharded
+// synthetic data; 3 agents flip their labels.  Robust aggregation keeps the
+// model close to the fault-free one; plain averaging does not.
+//
+// Usage: learning_demo [iterations]   (default 400)
+#include <cstdlib>
+#include <iostream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/learn/dataset.hpp"
+#include "abft/learn/dsgd.hpp"
+#include "abft/learn/softmax.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 400;
+  if (iterations <= 0) {
+    std::cerr << "iterations must be positive\n";
+    return 2;
+  }
+
+  // SynthDigits-style data: 10 classes in R^64, shared train/test geometry.
+  auto options = learn::synth_digits_options();
+  options.examples_per_class = 120;
+  util::Rng data_rng(1);
+  const auto full = learn::make_synthetic(options, data_rng);
+  util::Rng split_rng(2);
+  const auto split = learn::split_train_test(full, 0.2, split_rng);
+  util::Rng shard_rng(3);
+  const auto shards = learn::shard(split.train, 10, shard_rng);
+
+  const learn::SoftmaxRegression model(split.train.feature_dim(), split.train.num_classes);
+  learn::DsgdConfig config;
+  config.iterations = iterations;
+  config.batch_size = 128;
+  config.step_size = 0.01;
+  config.f = 3;
+  config.eval_interval = std::max(1, iterations / 10);
+  config.seed = 4;
+
+  std::vector<learn::AgentFault> faults(10, learn::AgentFault::kHonest);
+  for (int i = 0; i < 3; ++i) faults[static_cast<std::size_t>(i)] = learn::AgentFault::kLabelFlip;
+
+  std::cout << "distributed learning demo: n = 10, f = 3 label-flipping agents, "
+            << iterations << " iterations\n\n";
+  util::Table table({"aggregation", "final train loss", "final test accuracy"});
+  for (const char* name : {"average", "cwtm", "cge", "geomed"}) {
+    const auto aggregator = agg::make_aggregator(name);
+    const auto series = learn::run_dsgd(model, Vector(model.param_dim()), shards, faults,
+                                        split.test, *aggregator, config);
+    table.add_row({name, util::format_double(series.train_loss.back(), 4),
+                   util::format_double(series.test_accuracy.back() * 100.0, 4) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nLabel flipping biases the plain average toward the flipped labels; the\n"
+               "robust rules discard or damp the poisoned gradients.\n";
+  return 0;
+}

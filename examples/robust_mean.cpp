@@ -1,0 +1,91 @@
+// Robust mean estimation as fault-tolerant distributed optimization — the
+// Section-2.3 mapping.  Each agent i holds a data point c_i and the cost
+// Q_i(x) = ||x - c_i||^2, so the honest aggregate minimizes at the honest
+// mean.  f agents are outliers ("Byzantine data").  The example contrasts:
+//
+//   * the naive mean (corrupted by the outliers),
+//   * the Theorem-2 exhaustive algorithm (guaranteed (f, 2eps)-resilient),
+//   * DGD with the CGE and CWTM filters (the paper's practical route).
+#include <iostream>
+#include <sstream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/core/exhaustive.hpp"
+#include "abft/core/redundancy.hpp"
+#include "abft/opt/quadratic.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/rng.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+int main() {
+  constexpr int kHonest = 8;
+  constexpr int kOutliers = 2;  // f = 2
+  constexpr int kDim = 3;
+  util::Rng rng(11);
+
+  // Honest points cluster around (1, -2, 0.5); outliers sit far away.
+  std::vector<Vector> points;
+  Vector honest_mean(kDim);
+  for (int i = 0; i < kHonest; ++i) {
+    Vector p{1.0 + 0.2 * rng.normal(), -2.0 + 0.2 * rng.normal(), 0.5 + 0.2 * rng.normal()};
+    honest_mean += p;
+    points.push_back(std::move(p));
+  }
+  honest_mean /= static_cast<double>(kHonest);
+  points.push_back(Vector{40.0, 40.0, -40.0});
+  points.push_back(Vector{-35.0, 50.0, 10.0});
+
+  const int n = kHonest + kOutliers;
+  const core::MeanSubsetSolver solver(points);
+
+  // Naive mean of everything (what a non-robust system computes).
+  std::vector<int> everyone;
+  for (int i = 0; i < n; ++i) everyone.push_back(i);
+  const Vector naive = solver.solve(everyone);
+
+  // Theorem-2 exhaustive algorithm over the received points.
+  const double eps = core::measure_redundancy(solver, kOutliers).epsilon;
+  const auto exhaustive = core::exhaustive_resilient_solve(solver, kOutliers);
+
+  // DGD with gradient filters over the same costs.
+  std::vector<opt::SquaredDistanceCost> costs;
+  costs.reserve(points.size());
+  for (const auto& p : points) costs.emplace_back(p);
+  std::vector<const opt::CostFunction*> cost_ptrs;
+  for (const auto& c : costs) cost_ptrs.push_back(&c);
+  const opt::HarmonicSchedule schedule(0.5);
+  auto run_filter = [&](const char* name) {
+    sim::DgdConfig config{Vector(kDim), opt::Box::centered_cube(kDim, 100.0), &schedule, 600,
+                          kOutliers, 3};
+    // The outlier agents are "honest" about their (bad) data: the corruption
+    // lives in the data, as in robust statistics.
+    sim::DgdSimulation simulation(sim::honest_roster(cost_ptrs), std::move(config));
+    const auto aggregator = agg::make_aggregator(name);
+    return simulation.run(*aggregator).final_estimate();
+  };
+
+  util::Table table({"estimator", "estimate", "error vs honest mean"});
+  auto add = [&](const std::string& label, const Vector& estimate) {
+    std::ostringstream cell;
+    cell << estimate;
+    table.add_row({label, cell.str(),
+                   util::format_scientific(linalg::distance(estimate, honest_mean), 2)});
+  };
+  add("naive mean", naive);
+  add("theorem-2 exhaustive", exhaustive.output);
+  add("dgd + cge", run_filter("cge"));
+  add("dgd + cwtm", run_filter("cwtm"));
+  add("dgd + geomed", run_filter("geomed"));
+
+  std::cout << "robust mean estimation, n = " << n << ", f = " << kOutliers
+            << " outliers, (2f, eps)-redundancy eps = " << util::format_double(eps, 3) << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nThe naive mean is dragged by the outliers; the exhaustive algorithm is\n"
+               "guaranteed within 2*eps of every honest-subset mean; the filters get the\n"
+               "same effect at a fraction of the cost.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Secure state estimation under sensor attacks (the paper's Section-2.4
+// application).  Ten sensors each observe ONE linear projection of a
+// 3-dimensional state — so no sensor alone can reconstruct it, and the
+// system relies on combining sensors.  Two sensors are compromised and
+// report fabricated measurements.  Because the system is 2f-sparse
+// observable (equivalently: its quadratic costs are 2f-redundant), the
+// robust estimators recover the state; stacked least squares does not.
+#include <iostream>
+#include <sstream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/core/exhaustive.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/sensing/sensor_system.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/table.hpp"
+
+using namespace abft;
+using linalg::Vector;
+
+int main() {
+  util::Rng rng(2024);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = 10;
+  options.state_dim = 3;
+  options.rows_per_sensor = 1;
+  options.noise_stddev = 0.005;
+  options.sparse_observability = 4;  // 2f with f = 2
+  options.true_state = {3.0, -1.5, 0.5};
+  const auto generated = sensing::random_sensor_system(options, rng);
+
+  // Sensors 0 and 1 are compromised: they report large fabricated values.
+  auto corrupted = generated.system.with_corrupted_sensor(0, Vector{40.0});
+  corrupted = corrupted.with_corrupted_sensor(1, Vector{-60.0});
+
+  std::cout << "secure state estimation: 10 single-projection sensors, d = 3, 2 compromised\n"
+            << "2f-sparse observable: " << (corrupted.sparse_observable(4) ? "yes" : "no")
+            << ", single sensor observable: "
+            << (corrupted.jointly_observable({0}) ? "yes" : "no") << "\n\n";
+
+  std::vector<int> everyone;
+  for (int s = 0; s < 10; ++s) everyone.push_back(s);
+
+  const sensing::SensorSubsetSolver solver(corrupted);
+  const auto exhaustive = core::exhaustive_resilient_solve(solver, 2);
+
+  const opt::HarmonicSchedule schedule(0.4);
+  auto dgd_estimate = [&](const char* filter) {
+    sim::DgdConfig config{Vector(3), opt::Box::centered_cube(3, 100.0), &schedule, 1500, 2, 5};
+    sim::DgdSimulation simulation(sim::honest_roster(corrupted.costs()), std::move(config));
+    const auto aggregator = agg::make_aggregator(filter);
+    return simulation.run(*aggregator).final_estimate();
+  };
+
+  util::Table table({"estimator", "estimate", "error"});
+  auto add = [&](const std::string& label, const Vector& estimate) {
+    std::ostringstream cell;
+    cell << estimate;
+    table.add_row({label, cell.str(),
+                   util::format_scientific(linalg::distance(estimate, generated.true_state), 2)});
+  };
+  add("stacked least squares", corrupted.subset_estimate(everyone));
+  add("theorem-2 exhaustive", exhaustive.output);
+  add("dgd + cge", dgd_estimate("cge"));
+  add("dgd + cwtm", dgd_estimate("cwtm"));
+  table.print(std::cout);
+  std::cout << "\ntrue state: " << generated.true_state << '\n';
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "abft/agg/aggregator.hpp"
+
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+int validate_gradients(std::span<const Vector> gradients, int f) {
+  ABFT_REQUIRE(!gradients.empty(), "aggregation needs at least one gradient");
+  ABFT_REQUIRE(f >= 0, "fault bound f must be non-negative");
+  ABFT_REQUIRE(f < static_cast<int>(gradients.size()),
+               "fault bound f must be smaller than the number of gradients");
+  const int dim = gradients.front().dim();
+  ABFT_REQUIRE(dim > 0, "gradients must be non-empty vectors");
+  for (const auto& g : gradients) {
+    ABFT_REQUIRE(g.dim() == dim, "all gradients must share a dimension");
+  }
+  return dim;
+}
+
+}  // namespace abft::agg

@@ -1,0 +1,31 @@
+// Gradient-filter (robust gradient aggregation) interface — Section 4's
+// GradFilter : R^{d x n} -> R^d.  The server hands the filter all n received
+// gradients plus the fault-tolerance parameter f.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "abft/linalg/vector.hpp"
+
+namespace abft::agg {
+
+using linalg::Vector;
+
+class GradientAggregator {
+ public:
+  virtual ~GradientAggregator() = default;
+
+  /// Aggregates n received gradients assuming at most f of them are faulty.
+  /// Preconditions (checked): gradients non-empty and equal-dimension,
+  /// 0 <= f, and f small enough for the specific rule (documented per rule).
+  [[nodiscard]] virtual Vector aggregate(std::span<const Vector> gradients, int f) const = 0;
+
+  /// Stable identifier, e.g. "cge"; used by the registry and bench labels.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Validates the shared preconditions; returns the common dimension.
+int validate_gradients(std::span<const Vector> gradients, int f);
+
+}  // namespace abft::agg

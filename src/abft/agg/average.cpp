@@ -1,0 +1,10 @@
+#include "abft/agg/average.hpp"
+
+namespace abft::agg {
+
+Vector AverageAggregator::aggregate(std::span<const Vector> gradients, int f) const {
+  validate_gradients(gradients, f);
+  return linalg::mean(gradients);
+}
+
+}  // namespace abft::agg

@@ -1,0 +1,51 @@
+#include "abft/agg/bulyan.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "abft/agg/krum.hpp"
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+Vector BulyanAggregator::aggregate(std::span<const Vector> gradients, int f) const {
+  const int dim = validate_gradients(gradients, f);
+  const int n = static_cast<int>(gradients.size());
+  ABFT_REQUIRE(n >= 4 * f + 3, "bulyan needs n >= 4f + 3");
+  const int theta = n - 2 * f;
+  const int beta = theta - 2 * f;
+
+  // Stage 1: iterated Krum selection.  The pool shrinks from n to 2f + 1;
+  // relaxed_scores clamps the neighbour count so every round is well-defined.
+  std::vector<Vector> pool(gradients.begin(), gradients.end());
+  std::vector<Vector> selected;
+  selected.reserve(static_cast<std::size_t>(theta));
+  for (int round = 0; round < theta; ++round) {
+    const auto score = KrumAggregator::relaxed_scores(pool, f);
+    const auto best =
+        static_cast<std::size_t>(std::min_element(score.begin(), score.end()) - score.begin());
+    selected.push_back(pool[best]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+
+  // Stage 2: per coordinate, average the beta entries closest to the median.
+  Vector out(dim);
+  std::vector<double> column(selected.size());
+  for (int k = 0; k < dim; ++k) {
+    for (std::size_t i = 0; i < selected.size(); ++i) column[i] = selected[i][k];
+    std::sort(column.begin(), column.end());
+    const std::size_t m = column.size();
+    const double med =
+        (m % 2 == 1) ? column[m / 2] : 0.5 * (column[m / 2 - 1] + column[m / 2]);
+    std::sort(column.begin(), column.end(), [med](double a, double b) {
+      return std::abs(a - med) < std::abs(b - med);
+    });
+    double sum = 0.0;
+    const int take = std::min<int>(beta, static_cast<int>(column.size()));
+    for (int i = 0; i < take; ++i) sum += column[static_cast<std::size_t>(i)];
+    out[k] = sum / static_cast<double>(take);
+  }
+  return out;
+}
+
+}  // namespace abft::agg

@@ -1,0 +1,18 @@
+// Bulyan (El Mhamdi et al., ICML 2018) — a two-stage filter cited in
+// Section 2.2: repeatedly select via Krum to build a selection set of
+// theta = n - 2f gradients, then output the coordinate-wise average of the
+// beta = theta - 2f entries closest to the coordinate-wise median.
+// Requires n >= 4f + 3.
+#pragma once
+
+#include "abft/agg/aggregator.hpp"
+
+namespace abft::agg {
+
+class BulyanAggregator final : public GradientAggregator {
+ public:
+  [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "bulyan"; }
+};
+
+}  // namespace abft::agg

@@ -1,0 +1,28 @@
+#include "abft/agg/cge.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace abft::agg {
+
+std::vector<int> CgeAggregator::kept_indices(std::span<const Vector> gradients, int f) {
+  const int n = static_cast<int>(gradients.size());
+  std::vector<double> norms(gradients.size());
+  for (std::size_t i = 0; i < gradients.size(); ++i) norms[i] = gradients[i].norm();
+  std::vector<int> order(gradients.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&norms](int a, int b) {
+    return norms[static_cast<std::size_t>(a)] < norms[static_cast<std::size_t>(b)];
+  });
+  order.resize(static_cast<std::size_t>(n - f));
+  return order;
+}
+
+Vector CgeAggregator::aggregate(std::span<const Vector> gradients, int f) const {
+  const int dim = validate_gradients(gradients, f);
+  Vector sum(dim);
+  for (int idx : kept_indices(gradients, f)) sum += gradients[static_cast<std::size_t>(idx)];
+  return sum;
+}
+
+}  // namespace abft::agg

@@ -1,0 +1,16 @@
+// Coordinate-Wise Trimmed Mean (CWTM) — paper eq. (24).  Per coordinate,
+// drops the f largest and f smallest entries and averages the remaining
+// n - 2f.  Requires n > 2f.
+#pragma once
+
+#include "abft/agg/aggregator.hpp"
+
+namespace abft::agg {
+
+class CwtmAggregator final : public GradientAggregator {
+ public:
+  [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "cwtm"; }
+};
+
+}  // namespace abft::agg

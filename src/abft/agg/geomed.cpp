@@ -1,0 +1,60 @@
+#include "abft/agg/geomed.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+Vector geometric_median(std::span<const Vector> points, double tolerance, int max_iterations) {
+  ABFT_REQUIRE(!points.empty(), "geometric median of empty family");
+  Vector current = linalg::mean(points);
+  const double scale = std::max(1.0, current.norm());
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Damped Weiszfeld update: weights 1 / max(dist, floor) sidestep the
+    // singularity when the iterate coincides with an input point.
+    Vector numerator(current.dim());
+    double denominator = 0.0;
+    for (const auto& p : points) {
+      const double dist = std::max(linalg::distance(current, p), 1e-12 * scale);
+      const double w = 1.0 / dist;
+      numerator.add_scaled(w, p);
+      denominator += w;
+    }
+    Vector next = numerator / denominator;
+    const double moved = linalg::distance(next, current);
+    current = std::move(next);
+    if (moved <= tolerance * scale) break;
+  }
+  return current;
+}
+
+Vector GeometricMedianAggregator::aggregate(std::span<const Vector> gradients, int f) const {
+  validate_gradients(gradients, f);
+  return geometric_median(gradients);
+}
+
+GmomAggregator::GmomAggregator(int num_buckets) : num_buckets_(num_buckets) {
+  ABFT_REQUIRE(num_buckets >= 0, "gmom bucket count must be non-negative");
+}
+
+Vector GmomAggregator::aggregate(std::span<const Vector> gradients, int f) const {
+  const int dim = validate_gradients(gradients, f);
+  const int n = static_cast<int>(gradients.size());
+  const int k = std::min(n, num_buckets_ > 0 ? num_buckets_ : 2 * f + 1);
+  // Contiguous buckets of near-equal size (deterministic partition).
+  std::vector<Vector> bucket_means;
+  bucket_means.reserve(static_cast<std::size_t>(k));
+  int start = 0;
+  for (int b = 0; b < k; ++b) {
+    const int size = (n - start) / (k - b);
+    Vector sum(dim);
+    for (int i = start; i < start + size; ++i) sum += gradients[static_cast<std::size_t>(i)];
+    bucket_means.push_back(sum / static_cast<double>(size));
+    start += size;
+  }
+  return geometric_median(bucket_means);
+}
+
+}  // namespace abft::agg

@@ -1,0 +1,43 @@
+// Krum and Multi-Krum (Blanchard et al., NeurIPS 2017) — the best-known
+// distance-score gradient filters; the paper cites them as related work
+// (Section 2.2), and we include them as comparison baselines.
+//
+// Krum score of gradient i: the sum of squared Euclidean distances from g_i
+// to its n - f - 2 nearest other gradients.  Krum outputs the gradient with
+// the lowest score; Multi-Krum averages the m lowest-score gradients.
+// Both require n > 2f + 2.
+#pragma once
+
+#include "abft/agg/aggregator.hpp"
+
+namespace abft::agg {
+
+class KrumAggregator final : public GradientAggregator {
+ public:
+  [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "krum"; }
+
+  /// Krum scores for all gradients (exposed for tests and Bulyan).
+  [[nodiscard]] static std::vector<double> scores(std::span<const Vector> gradients, int f);
+
+  /// Scores with the neighbour count clamped to at least one — used by
+  /// Bulyan, whose selection loop shrinks the pool below Krum's own n > 2f+2
+  /// requirement by design.
+  [[nodiscard]] static std::vector<double> relaxed_scores(std::span<const Vector> gradients,
+                                                          int f);
+};
+
+class MultiKrumAggregator final : public GradientAggregator {
+ public:
+  /// Averages the `m` lowest-score gradients; m = 0 means the canonical
+  /// choice m = n - f computed per call.
+  explicit MultiKrumAggregator(int m = 0);
+
+  [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "multikrum"; }
+
+ private:
+  int m_;
+};
+
+}  // namespace abft::agg

@@ -1,0 +1,38 @@
+#include "abft/agg/registry.hpp"
+
+#include <string>
+
+#include "abft/agg/average.hpp"
+#include "abft/agg/bulyan.hpp"
+#include "abft/agg/cclip.hpp"
+#include "abft/agg/cge.hpp"
+#include "abft/agg/cwmed.hpp"
+#include "abft/agg/cwtm.hpp"
+#include "abft/agg/geomed.hpp"
+#include "abft/agg/krum.hpp"
+#include "abft/agg/normclip.hpp"
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+std::unique_ptr<GradientAggregator> make_aggregator(std::string_view name) {
+  if (name == "average") return std::make_unique<AverageAggregator>();
+  if (name == "cge") return std::make_unique<CgeAggregator>();
+  if (name == "cwtm") return std::make_unique<CwtmAggregator>();
+  if (name == "cwmed") return std::make_unique<CwmedAggregator>();
+  if (name == "krum") return std::make_unique<KrumAggregator>();
+  if (name == "multikrum") return std::make_unique<MultiKrumAggregator>();
+  if (name == "geomed") return std::make_unique<GeometricMedianAggregator>();
+  if (name == "gmom") return std::make_unique<GmomAggregator>();
+  if (name == "bulyan") return std::make_unique<BulyanAggregator>();
+  if (name == "normclip") return std::make_unique<NormClipAggregator>();
+  if (name == "cclip") return std::make_unique<CenteredClipAggregator>();
+  ABFT_REQUIRE(false, "unknown aggregator name: " + std::string(name));
+}
+
+std::vector<std::string_view> aggregator_names() {
+  return {"average", "cge",    "cwtm", "cwmed",  "krum",     "multikrum",
+          "geomed",  "gmom",   "bulyan", "normclip", "cclip"};
+}
+
+}  // namespace abft::agg

@@ -1,0 +1,22 @@
+// Name-based construction of gradient filters, so benches and examples can
+// select a rule from the command line.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "abft/agg/aggregator.hpp"
+
+namespace abft::agg {
+
+/// Constructs the aggregator with the given registry name.  Known names:
+/// "average", "cge", "cwtm", "cwmed", "krum", "multikrum", "geomed", "gmom",
+/// "bulyan", "normclip", "cclip".  Throws std::invalid_argument for unknown
+/// names.
+std::unique_ptr<GradientAggregator> make_aggregator(std::string_view name);
+
+/// All registry names, in a stable order.
+std::vector<std::string_view> aggregator_names();
+
+}  // namespace abft::agg

@@ -1,0 +1,55 @@
+#include "abft/attack/adaptive_faults.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::attack {
+
+LittleIsEnoughFault::LittleIsEnoughFault(double z) : z_(z) {
+  ABFT_REQUIRE(z >= 0.0, "little-is-enough z must be non-negative");
+}
+
+std::optional<Vector> LittleIsEnoughFault::emit(const AttackContext& context,
+                                                util::Rng& /*rng*/) const {
+  if (context.honest_gradients.empty()) return context.true_gradient;
+  const Vector mu = linalg::mean(context.honest_gradients);
+  Vector sigma(mu.dim());
+  for (const auto& g : context.honest_gradients) {
+    for (int k = 0; k < mu.dim(); ++k) {
+      const double diff = g[k] - mu[k];
+      sigma[k] += diff * diff;
+    }
+  }
+  const auto count = static_cast<double>(context.honest_gradients.size());
+  Vector out = mu;
+  for (int k = 0; k < mu.dim(); ++k) out[k] -= z_ * std::sqrt(sigma[k] / count);
+  return out;
+}
+
+MeanReverseFault::MeanReverseFault(double scale) : scale_(scale) {
+  ABFT_REQUIRE(scale > 0.0, "mean-reverse scale must be positive");
+}
+
+std::optional<Vector> MeanReverseFault::emit(const AttackContext& context,
+                                             util::Rng& /*rng*/) const {
+  if (context.honest_gradients.empty()) return -scale_ * context.true_gradient;
+  return -scale_ * linalg::mean(context.honest_gradients);
+}
+
+std::optional<Vector> MimicSmallestFault::emit(const AttackContext& context,
+                                               util::Rng& /*rng*/) const {
+  if (context.honest_gradients.empty()) return context.true_gradient;
+  std::size_t best = 0;
+  double best_norm = context.honest_gradients[0].norm();
+  for (std::size_t i = 1; i < context.honest_gradients.size(); ++i) {
+    const double norm = context.honest_gradients[i].norm();
+    if (norm < best_norm) {
+      best_norm = norm;
+      best = i;
+    }
+  }
+  return context.honest_gradients[best];
+}
+
+}  // namespace abft::attack

@@ -1,0 +1,5 @@
+#include "abft/attack/fault.hpp"
+
+// The interface is header-only; this translation unit anchors the vtable.
+
+namespace abft::attack {}  // namespace abft::attack

@@ -1,0 +1,42 @@
+// Byzantine fault behaviours.  A faulty agent may send an arbitrary vector
+// instead of its gradient (paper, Section 4.1 step S1) or stay silent (in
+// which case the synchronous server eliminates it).  Adaptive behaviours may
+// inspect the honest agents' gradients ("omniscient" adversary), the
+// strongest adversary consistent with the paper's model.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "abft/linalg/vector.hpp"
+#include "abft/util/rng.hpp"
+
+namespace abft::attack {
+
+using linalg::Vector;
+
+/// Everything a fault behaviour may observe in one round.
+struct AttackContext {
+  /// Server's current estimate x_t (broadcast to everyone).
+  const Vector& estimate;
+  /// Gradient the agent would send if it were honest (it knows its own cost).
+  const Vector& true_gradient;
+  /// Gradients the honest agents send this round (omniscient adversary).
+  std::span<const Vector> honest_gradients;
+  /// Iteration number t.
+  int round = 0;
+};
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// The vector the faulty agent sends, or std::nullopt to stay silent.
+  [[nodiscard]] virtual std::optional<Vector> emit(const AttackContext& context,
+                                                   util::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace abft::attack

@@ -1,0 +1,68 @@
+#include "abft/attack/simple_faults.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::attack {
+
+std::optional<Vector> GradientReverseFault::emit(const AttackContext& context,
+                                                 util::Rng& /*rng*/) const {
+  return -context.true_gradient;
+}
+
+RandomGaussianFault::RandomGaussianFault(double stddev) : stddev_(stddev) {
+  ABFT_REQUIRE(stddev >= 0.0, "gaussian fault stddev must be non-negative");
+}
+
+std::optional<Vector> RandomGaussianFault::emit(const AttackContext& context,
+                                                util::Rng& rng) const {
+  Vector out(context.true_gradient.dim());
+  for (int i = 0; i < out.dim(); ++i) out[i] = rng.normal(0.0, stddev_);
+  return out;
+}
+
+std::optional<Vector> ZeroFault::emit(const AttackContext& context, util::Rng& /*rng*/) const {
+  return Vector(context.true_gradient.dim());
+}
+
+SignFlipScaleFault::SignFlipScaleFault(double kappa) : kappa_(kappa) {
+  ABFT_REQUIRE(kappa > 0.0, "sign-flip scale must be positive");
+}
+
+std::optional<Vector> SignFlipScaleFault::emit(const AttackContext& context,
+                                               util::Rng& /*rng*/) const {
+  return -kappa_ * context.true_gradient;
+}
+
+ConstantFault::ConstantFault(Vector payload) : payload_(std::move(payload)) {
+  ABFT_REQUIRE(payload_.dim() > 0, "constant fault payload must be non-empty");
+}
+
+std::optional<Vector> ConstantFault::emit(const AttackContext& context,
+                                          util::Rng& /*rng*/) const {
+  ABFT_REQUIRE(payload_.dim() == context.true_gradient.dim(),
+               "constant fault payload dimension mismatch");
+  return payload_;
+}
+
+RotatingFault::RotatingFault(double magnitude, double omega)
+    : magnitude_(magnitude), omega_(omega) {
+  ABFT_REQUIRE(magnitude > 0.0, "rotating fault magnitude must be positive");
+}
+
+std::optional<Vector> RotatingFault::emit(const AttackContext& context,
+                                          util::Rng& /*rng*/) const {
+  Vector out(context.true_gradient.dim());
+  const double angle = omega_ * static_cast<double>(context.round);
+  out[0] = magnitude_ * std::cos(angle);
+  if (out.dim() > 1) out[1] = magnitude_ * std::sin(angle);
+  return out;
+}
+
+std::optional<Vector> SilentFault::emit(const AttackContext& /*context*/,
+                                        util::Rng& /*rng*/) const {
+  return std::nullopt;
+}
+
+}  // namespace abft::attack

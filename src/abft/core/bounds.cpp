@@ -1,0 +1,77 @@
+#include "abft/core/bounds.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::core {
+
+namespace {
+
+void validate_constants(int n, int f, double mu, double gamma) {
+  ABFT_REQUIRE(n > 0, "n must be positive");
+  ABFT_REQUIRE(f >= 0 && f < n, "need 0 <= f < n");
+  ABFT_REQUIRE(mu > 0.0, "mu must be positive");
+  ABFT_REQUIRE(gamma > 0.0, "gamma must be positive");
+  ABFT_REQUIRE(gamma <= mu * (1.0 + 1e-9), "gamma <= mu must hold (Appendix C)");
+}
+
+}  // namespace
+
+bool resilience_feasible(int n, int f) {
+  ABFT_REQUIRE(n > 0 && f >= 0, "need n > 0, f >= 0");
+  return 2 * f < n;
+}
+
+ResilienceBound cge_bound_theorem4(int n, int f, double mu, double gamma) {
+  validate_constants(n, f, mu, gamma);
+  ResilienceBound bound;
+  bound.alpha = 1.0 - (static_cast<double>(f) / n) * (1.0 + 2.0 * mu / gamma);
+  bound.valid = bound.alpha > 0.0;
+  if (bound.valid) {
+    bound.factor = 4.0 * mu * static_cast<double>(f) / (bound.alpha * gamma);
+  }
+  return bound;
+}
+
+ResilienceBound cge_bound_theorem5(int n, int f, double mu, double gamma) {
+  validate_constants(n, f, mu, gamma);
+  ResilienceBound bound;
+  bound.alpha = 1.0 - (static_cast<double>(f) / n) * (1.0 + mu / gamma);
+  bound.valid = (3 * f <= n) && bound.alpha > 0.0;
+  if (bound.valid) {
+    bound.factor = (1.0 + 2.0 * f) * static_cast<double>(n - 2 * f) * mu /
+                   (bound.alpha * static_cast<double>(n) * gamma);
+  }
+  return bound;
+}
+
+ResilienceBound cwtm_bound_theorem6(int n, int d, double mu, double gamma, double lambda) {
+  validate_constants(n, 0, mu, gamma);
+  ABFT_REQUIRE(d > 0, "dimension must be positive");
+  ABFT_REQUIRE(lambda >= 0.0, "lambda must be non-negative");
+  ResilienceBound bound;
+  const double sqrt_d = std::sqrt(static_cast<double>(d));
+  bound.valid = lambda < gamma / (mu * sqrt_d);
+  if (bound.valid) {
+    bound.factor = 2.0 * sqrt_d * n * mu * lambda / (gamma - sqrt_d * mu * lambda);
+  }
+  return bound;
+}
+
+double cwtm_lambda_threshold(int d, double mu, double gamma) {
+  ABFT_REQUIRE(d > 0, "dimension must be positive");
+  ABFT_REQUIRE(mu > 0.0 && gamma > 0.0, "constants must be positive");
+  return gamma / (mu * std::sqrt(static_cast<double>(d)));
+}
+
+GradientNormBounds lemma4_bounds(int n, int f, double mu, double epsilon) {
+  ABFT_REQUIRE(n > 0 && f >= 0 && 3 * f <= n, "lemma 4 needs f <= n/3");
+  ABFT_REQUIRE(mu > 0.0 && epsilon >= 0.0, "need mu > 0, epsilon >= 0");
+  GradientNormBounds bounds;
+  bounds.subset_sum_bound = static_cast<double>(n - 2 * f) * mu * epsilon;
+  bounds.single_bound = 2.0 * bounds.subset_sum_bound;
+  return bounds;
+}
+
+}  // namespace abft::core

@@ -1,0 +1,45 @@
+// Closed-form resilience bounds from Theorems 4, 5 and 6, plus the
+// feasibility predicates of Lemma 1 and the CGE fraction condition.
+// All bounds take the smoothness constant mu (Assumption 2) and the strong
+// convexity constant gamma (Assumption 3); Appendix C proves gamma <= mu.
+#pragma once
+
+namespace abft::core {
+
+/// Lemma 1: deterministic (f, eps)-resilience requires f < n/2.
+[[nodiscard]] bool resilience_feasible(int n, int f);
+
+/// Result of a CGE/CWTM bound computation.  When `valid` is false the
+/// theorem's hypothesis fails and `factor` is meaningless.
+struct ResilienceBound {
+  bool valid = false;
+  double alpha = 0.0;   // the theorem's alpha (CGE) — 0 for CWTM
+  double factor = 0.0;  // D (or D'): asymptotic error is at most factor*eps
+};
+
+/// Theorem 4: alpha = 1 - (f/n)(1 + 2 mu/gamma); D = 4 mu f / (alpha gamma).
+/// Valid iff alpha > 0 (which forces f/n < 1/3 since gamma <= mu).
+ResilienceBound cge_bound_theorem4(int n, int f, double mu, double gamma);
+
+/// Theorem 5 (sharper use of redundancy): alpha = 1 - (f/n)(1 + mu/gamma);
+/// D = (1 + 2f)(n - 2f) mu / (alpha n gamma).  Valid iff f <= n/3 and
+/// alpha > 0.
+ResilienceBound cge_bound_theorem5(int n, int f, double mu, double gamma);
+
+/// Theorem 6: requires lambda < gamma / (mu sqrt(d));
+/// D' = 2 sqrt(d) n mu lambda / (gamma - sqrt(d) mu lambda).
+ResilienceBound cwtm_bound_theorem6(int n, int d, double mu, double gamma, double lambda);
+
+/// The largest lambda Theorem 6 tolerates for the given constants.
+double cwtm_lambda_threshold(int d, double mu, double gamma);
+
+/// Lemma 4: with (2f, eps)-redundancy and f <= n/3, at the honest minimizer
+/// x_H every f-subset gradient sum is bounded by (n - 2f) mu eps and every
+/// single honest gradient by 2 (n - 2f) mu eps.
+struct GradientNormBounds {
+  double subset_sum_bound = 0.0;  // eq. (77)
+  double single_bound = 0.0;      // eq. (78)
+};
+GradientNormBounds lemma4_bounds(int n, int f, double mu, double epsilon);
+
+}  // namespace abft::core

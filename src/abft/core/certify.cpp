@@ -1,0 +1,30 @@
+#include "abft/core/certify.hpp"
+
+#include "abft/util/check.hpp"
+#include "abft/util/combinatorics.hpp"
+
+namespace abft::core {
+
+ResilienceCertificate certify_resilience(const SubsetSolver& solver, int f,
+                                         const linalg::Vector& output, double epsilon) {
+  const int n = solver.num_agents();
+  ABFT_REQUIRE(f >= 0 && 2 * f < n, "certification needs 0 <= f < n/2");
+  ABFT_REQUIRE(output.dim() == solver.dim(), "output dimension mismatch");
+  ABFT_REQUIRE(epsilon >= 0.0, "epsilon must be non-negative");
+
+  ResilienceCertificate certificate;
+  const CachedSubsetSolver cached(solver);
+  util::for_each_combination(n, n - f, [&](const std::vector<int>& subset) {
+    const double d = linalg::distance(output, cached.solve(subset));
+    ++certificate.subsets_checked;
+    if (d > certificate.worst_distance) {
+      certificate.worst_distance = d;
+      certificate.worst_subset = subset;
+    }
+    return true;
+  });
+  certificate.satisfied = certificate.worst_distance <= epsilon;
+  return certificate;
+}
+
+}  // namespace abft::core

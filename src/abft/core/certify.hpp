@@ -1,0 +1,27 @@
+// Direct certification of Definition 2: a candidate output is
+// (f, eps)-acceptable for a set of received costs iff it lies within eps of
+// the argmin of EVERY (n - f)-subset.  Tests and benches use this to check
+// algorithms against the definition itself rather than against derived
+// bounds.
+#pragma once
+
+#include "abft/core/subset_solver.hpp"
+
+namespace abft::core {
+
+struct ResilienceCertificate {
+  bool satisfied = false;
+  /// max over (n - f)-subsets S of dist(output, argmin_S) — the smallest
+  /// eps for which the output would be accepted.
+  double worst_distance = 0.0;
+  /// The subset achieving the max.
+  std::vector<int> worst_subset;
+  long subsets_checked = 0;
+};
+
+/// Checks `output` against every (n - f)-subset of `solver`'s agents.
+/// Requires 0 <= f < n/2 (Lemma 1).  Cost: C(n, f) subset minimizations.
+ResilienceCertificate certify_resilience(const SubsetSolver& solver, int f,
+                                         const linalg::Vector& output, double epsilon);
+
+}  // namespace abft::core

@@ -1,0 +1,27 @@
+#include "abft/core/distance.hpp"
+
+#include <algorithm>
+
+#include "abft/util/check.hpp"
+
+namespace abft::core {
+
+double distance_to_set(const Vector& x, std::span<const Vector> set) {
+  ABFT_REQUIRE(!set.empty(), "distance to an empty set is undefined");
+  double best = linalg::distance(x, set.front());
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    best = std::min(best, linalg::distance(x, set[i]));
+  }
+  return best;
+}
+
+double hausdorff_distance(std::span<const Vector> a, std::span<const Vector> b) {
+  ABFT_REQUIRE(!a.empty() && !b.empty(), "hausdorff distance needs non-empty sets");
+  double sup_a = 0.0;
+  for (const auto& x : a) sup_a = std::max(sup_a, distance_to_set(x, b));
+  double sup_b = 0.0;
+  for (const auto& y : b) sup_b = std::max(sup_b, distance_to_set(y, a));
+  return std::max(sup_a, sup_b);
+}
+
+}  // namespace abft::core

@@ -1,0 +1,20 @@
+// Set distances from Section 1.2: point-to-set distance (eq. 3) and the
+// Euclidean Hausdorff distance (eq. 4), over finite representations of
+// argmin sets.
+#pragma once
+
+#include <span>
+
+#include "abft/linalg/vector.hpp"
+
+namespace abft::core {
+
+using linalg::Vector;
+
+/// dist(x, X) = inf_{y in X} ||x - y||  (eq. 3).  X must be non-empty.
+double distance_to_set(const Vector& x, std::span<const Vector> set);
+
+/// Hausdorff distance between two non-empty finite sets (eq. 4).
+double hausdorff_distance(std::span<const Vector> a, std::span<const Vector> b);
+
+}  // namespace abft::core

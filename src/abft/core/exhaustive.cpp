@@ -1,0 +1,47 @@
+#include "abft/core/exhaustive.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "abft/util/check.hpp"
+#include "abft/util/combinatorics.hpp"
+
+namespace abft::core {
+
+ExhaustiveResult exhaustive_resilient_solve(const SubsetSolver& solver, int f) {
+  const int n = solver.num_agents();
+  ABFT_REQUIRE(f >= 0, "f must be non-negative");
+  ABFT_REQUIRE(2 * f < n, "exhaustive algorithm needs f < n/2 (Lemma 1)");
+
+  ExhaustiveResult result;
+  if (f == 0) {
+    std::vector<int> everyone(static_cast<std::size_t>(n));
+    std::iota(everyone.begin(), everyone.end(), 0);
+    result.output = solver.solve(everyone);
+    result.chosen = std::move(everyone);
+    result.subsets_solved = 1;
+    return result;
+  }
+
+  const CachedSubsetSolver cached(solver);
+  double best_score = std::numeric_limits<double>::infinity();
+  util::for_each_combination(n, n - f, [&](const std::vector<int>& set_t) {
+    const Vector x_t = cached.solve(set_t);
+    double r_t = 0.0;
+    for (const auto& subset : util::all_subsets_of(set_t, n - 2 * f)) {
+      r_t = std::max(r_t, linalg::distance(x_t, cached.solve(subset)));
+      if (r_t >= best_score) break;  // cannot beat the incumbent
+    }
+    if (r_t < best_score) {
+      best_score = r_t;
+      result.output = x_t;
+      result.chosen = set_t;
+    }
+    return true;
+  });
+  result.score = best_score;
+  result.subsets_solved = static_cast<long>(cached.cache_size());
+  return result;
+}
+
+}  // namespace abft::core

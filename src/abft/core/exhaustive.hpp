@@ -1,0 +1,31 @@
+// The constructive algorithm from the proof of Theorem 2.  Under
+// (2f, eps)-redundancy it is (f, 2*eps)-resilient:
+//
+//   Step 2: for each candidate set T (|T| = n-f), compute
+//           x_T = argmin sum_{i in T} Q_i, and
+//           r_T = max over T-hat subset of T, |T-hat| = n-2f, of
+//                 dist(x_T, argmin sum_{i in T-hat} Q_i).
+//   Step 3: output x_S for S minimizing r_T.
+//
+// The paper notes this is computationally expensive (it enumerates
+// C(n, f) * C(n-f, f) subset problems); we cache subset argmins, and the
+// bench bench_exhaustive charts the cost growth.
+#pragma once
+
+#include "abft/core/subset_solver.hpp"
+
+namespace abft::core {
+
+struct ExhaustiveResult {
+  Vector output;              // x_S, the algorithm's output
+  std::vector<int> chosen;    // the set S achieving the minimum score
+  double score = 0.0;         // r_S
+  long subsets_solved = 0;    // distinct subset minimizations performed
+};
+
+/// Runs the Theorem-2 algorithm on the agents' (received) cost functions as
+/// represented by `solver`.  Requires 0 <= f < n/2 (Lemma 1 territory
+/// otherwise) and n - 2f >= 1.  For f = 0 returns the full-set argmin.
+ExhaustiveResult exhaustive_resilient_solve(const SubsetSolver& solver, int f);
+
+}  // namespace abft::core

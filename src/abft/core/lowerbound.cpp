@@ -1,0 +1,71 @@
+#include "abft/core/lowerbound.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::core {
+
+GapInstance make_gap_instance(int n, int f, double epsilon, double delta) {
+  ABFT_REQUIRE(n >= 2, "gap instance needs n >= 2");
+  ABFT_REQUIRE(f >= 1 && 2 * f < n, "gap instance needs 1 <= f < n/2");
+  ABFT_REQUIRE(epsilon >= 0.0, "epsilon must be non-negative");
+  ABFT_REQUIRE(delta > 0.0, "delta must be positive");
+
+  GapInstance instance;
+  instance.epsilon = epsilon;
+  instance.delta = delta;
+
+  const int core = n - 2 * f;  // |S-hat|
+  const double gap = epsilon + delta;
+  const double x_shat = 0.0;
+  instance.x_s = x_shat - gap;
+  instance.x_b_shat = x_shat + gap;
+
+  // Centroid algebra: argmin over a set of (x - c_i)^2 is the centroid.  For
+  // the f agents of S \ S-hat at common center c_left:
+  //   (core * x_shat + f * c_left) / (n - f) = x_s.
+  const double c_left = (static_cast<double>(n - f) * instance.x_s -
+                         static_cast<double>(core) * x_shat) /
+                        static_cast<double>(f);
+  const double c_right = (static_cast<double>(n - f) * instance.x_b_shat -
+                          static_cast<double>(core) * x_shat) /
+                         static_cast<double>(f);
+
+  // Agent layout: [0, core) = S-hat, [core, core + f) = S \ S-hat,
+  // [core + f, n) = B.
+  instance.costs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < core; ++i) {
+    instance.costs.emplace_back(linalg::Vector{x_shat});
+    instance.set_shat.push_back(i);
+    instance.set_s.push_back(i);
+  }
+  for (int i = core; i < core + f; ++i) {
+    instance.costs.emplace_back(linalg::Vector{c_left});
+    instance.set_s.push_back(i);
+  }
+  for (int i = core + f; i < n; ++i) {
+    instance.costs.emplace_back(linalg::Vector{c_right});
+    instance.set_b.push_back(i);
+  }
+  return instance;
+}
+
+double subset_minimizer(const GapInstance& instance, const std::vector<int>& agents) {
+  ABFT_REQUIRE(!agents.empty(), "subset must be non-empty");
+  double sum = 0.0;
+  for (int i : agents) {
+    ABFT_REQUIRE(0 <= i && i < static_cast<int>(instance.costs.size()),
+                 "agent index out of range");
+    sum += instance.costs[static_cast<std::size_t>(i)].center()[0];
+  }
+  return sum / static_cast<double>(agents.size());
+}
+
+bool output_satisfies_both_worlds(const GapInstance& instance, double candidate) {
+  const bool world_one = std::abs(candidate - instance.x_s) <= instance.epsilon;
+  const bool world_two = std::abs(candidate - instance.x_b_shat) <= instance.epsilon;
+  return world_one && world_two;
+}
+
+}  // namespace abft::core

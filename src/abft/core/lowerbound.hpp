@@ -1,0 +1,44 @@
+// Constructive lower-bound gadgets from Lemma 1 and Theorem 1: scalar cost
+// families where two "honest worlds" are indistinguishable to the server yet
+// have minimizers more than 2*eps apart, so no deterministic algorithm can be
+// (f, eps)-resilient.  Tests instantiate these to witness the impossibility
+// results numerically.
+#pragma once
+
+#include <vector>
+
+#include "abft/opt/quadratic.hpp"
+
+namespace abft::core {
+
+/// The Theorem-1 construction (d = 1) for given n, f, eps, delta > 0:
+///  * S-hat: n - 2f agents with minimizer at x_shat;
+///  * S \ S-hat: f agents placed so argmin over S sits eps + delta left of
+///    x_shat;
+///  * B: f agents placed so argmin over B union S-hat sits eps + delta right.
+/// Worlds (i) honest = S and (ii) honest = B union S-hat present identical
+/// inputs, and |x_S - x_{B u S-hat}| = 2(eps + delta) > 2 eps.
+struct GapInstance {
+  std::vector<opt::SquaredDistanceCost> costs;  // all n scalar costs
+  std::vector<int> set_s;                       // world (i) honest set
+  std::vector<int> set_shat;                    // common core
+  std::vector<int> set_b;                       // world (ii) extra agents
+  double x_s = 0.0;                             // argmin over S
+  double x_b_shat = 0.0;                        // argmin over B union S-hat
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Builds the gadget.  Requires n >= 2, 1 <= f < n/2, eps >= 0, delta > 0.
+GapInstance make_gap_instance(int n, int f, double epsilon, double delta);
+
+/// Exact scalar minimizer of sum of (x - c_i)^2 over the given agent subset
+/// of `instance.costs` — the centroid of the selected centers.
+double subset_minimizer(const GapInstance& instance, const std::vector<int>& agents);
+
+/// True iff a single output could be eps-close to both worlds' minimizers —
+/// by construction this returns false for every candidate, which is exactly
+/// Theorem 1's contradiction.
+bool output_satisfies_both_worlds(const GapInstance& instance, double candidate);
+
+}  // namespace abft::core

@@ -1,0 +1,71 @@
+#include "abft/core/redundancy.hpp"
+
+#include <algorithm>
+
+#include "abft/util/check.hpp"
+#include "abft/util/combinatorics.hpp"
+#include "abft/util/rng.hpp"
+
+namespace abft::core {
+
+RedundancyReport measure_redundancy(const SubsetSolver& solver, int f) {
+  const int n = solver.num_agents();
+  ABFT_REQUIRE(f >= 0, "f must be non-negative");
+  ABFT_REQUIRE(n - 2 * f >= 1, "measure_redundancy needs n - 2f >= 1");
+
+  RedundancyReport report;
+  if (f == 0) return report;  // S == S-hat, distance identically zero
+
+  const CachedSubsetSolver cached(solver);
+  util::for_each_combination(n, n - f, [&](const std::vector<int>& set_s) {
+    const Vector x_s = cached.solve(set_s);
+    // Definition 3: exactly n - 2f elements.
+    for (const auto& subset : util::all_subsets_of(set_s, n - 2 * f)) {
+      const double d = linalg::distance(x_s, cached.solve(subset));
+      ++report.pairs_checked;
+      if (d > report.epsilon) {
+        report.epsilon = d;
+        report.worst_set = set_s;
+        report.worst_subset = subset;
+      }
+    }
+    // Appendix-J variant: every size from n - 2f up to n - f.
+    for (int size = n - 2 * f + 1; size < n - f; ++size) {
+      for (const auto& subset : util::all_subsets_of(set_s, size)) {
+        report.epsilon_all_sizes =
+            std::max(report.epsilon_all_sizes, linalg::distance(x_s, cached.solve(subset)));
+      }
+    }
+    return true;
+  });
+  report.epsilon_all_sizes = std::max(report.epsilon_all_sizes, report.epsilon);
+  return report;
+}
+
+bool has_redundancy(const SubsetSolver& solver, int f, double epsilon, double tol) {
+  return measure_redundancy(solver, f).epsilon <= epsilon + tol;
+}
+
+double estimate_redundancy(const SubsetSolver& solver, int f, int num_samples, util::Rng& rng) {
+  const int n = solver.num_agents();
+  ABFT_REQUIRE(f >= 0, "f must be non-negative");
+  ABFT_REQUIRE(n - 2 * f >= 1, "estimate_redundancy needs n - 2f >= 1");
+  ABFT_REQUIRE(num_samples > 0, "need at least one sample");
+  if (f == 0) return 0.0;
+
+  const CachedSubsetSolver cached(solver);
+  double worst = 0.0;
+  for (int sample = 0; sample < num_samples; ++sample) {
+    std::vector<int> set_s = rng.sample_without_replacement(n, n - f);
+    std::sort(set_s.begin(), set_s.end());
+    std::vector<int> positions = rng.sample_without_replacement(n - f, n - 2 * f);
+    std::sort(positions.begin(), positions.end());
+    std::vector<int> subset;
+    subset.reserve(positions.size());
+    for (int p : positions) subset.push_back(set_s[static_cast<std::size_t>(p)]);
+    worst = std::max(worst, linalg::distance(cached.solve(set_s), cached.solve(subset)));
+  }
+  return worst;
+}
+
+}  // namespace abft::core

@@ -1,0 +1,41 @@
+// (2f, eps)-redundancy (Definition 3): over every pair of subsets
+// S (|S| = n-f) and S-hat (subset of S, |S-hat| = n-2f), the Hausdorff
+// distance between the two argmin sets is at most eps.  This module measures
+// the smallest eps for which a workload satisfies the property — the
+// quantity the paper's Appendix J computes (eps = 0.0890 for its instance).
+#pragma once
+
+#include "abft/core/subset_solver.hpp"
+#include "abft/util/rng.hpp"
+
+namespace abft::core {
+
+struct RedundancyReport {
+  /// Smallest eps satisfying Definition 3 (pairs with |S-hat| = n - 2f).
+  double epsilon = 0.0;
+  /// Appendix-J variant: additionally sweeps the intermediate sizes
+  /// n-2f < |S-hat| < n-f.  Never smaller than `epsilon`; reported because
+  /// the paper's experiment checks all |S-hat| >= n-2f.
+  double epsilon_all_sizes = 0.0;
+  /// Worst pair found for `epsilon`.
+  std::vector<int> worst_set;
+  std::vector<int> worst_subset;
+  /// Number of (S, S-hat) pairs examined for `epsilon`.
+  long pairs_checked = 0;
+};
+
+/// Measures the redundancy of a workload for the given f.  Requires
+/// 0 <= f and n - 2f >= 1.  For f = 0 the report is identically zero.
+/// Cost: sum over |S|=n-f of C(n-f, n-2f) subset minimizations (cached).
+RedundancyReport measure_redundancy(const SubsetSolver& solver, int f);
+
+/// Convenience check of Definition 3 within tolerance `tol`.
+bool has_redundancy(const SubsetSolver& solver, int f, double epsilon, double tol = 1e-12);
+
+/// Monte-Carlo lower estimate of the redundancy eps for systems whose exact
+/// sweep is combinatorially infeasible: samples `num_samples` random
+/// (S, S-hat) pairs per Definition 3.  Always <= the exact epsilon, and
+/// converges to it as samples grow (tested).
+double estimate_redundancy(const SubsetSolver& solver, int f, int num_samples, util::Rng& rng);
+
+}  // namespace abft::core

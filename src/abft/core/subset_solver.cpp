@@ -1,0 +1,63 @@
+#include "abft/core/subset_solver.hpp"
+
+#include <algorithm>
+
+#include "abft/util/check.hpp"
+
+namespace abft::core {
+
+void validate_subset(const SubsetSolver& solver, const std::vector<int>& agents) {
+  ABFT_REQUIRE(!agents.empty(), "subset must be non-empty");
+  ABFT_REQUIRE(std::is_sorted(agents.begin(), agents.end()), "subset must be sorted");
+  ABFT_REQUIRE(std::adjacent_find(agents.begin(), agents.end()) == agents.end(),
+               "subset must have distinct elements");
+  ABFT_REQUIRE(agents.front() >= 0 && agents.back() < solver.num_agents(),
+               "subset indices out of range");
+}
+
+CostSubsetSolver::CostSubsetSolver(std::vector<const opt::CostFunction*> costs, opt::Box box,
+                                   opt::GradientDescentOptions options)
+    : costs_(std::move(costs)), box_(std::move(box)), options_(options) {
+  ABFT_REQUIRE(!costs_.empty(), "solver needs at least one cost");
+  for (const auto* cost : costs_) {
+    ABFT_REQUIRE(cost != nullptr, "cost must not be null");
+    ABFT_REQUIRE(cost->dim() == box_.dim(), "cost/box dimension mismatch");
+  }
+}
+
+Vector CostSubsetSolver::solve(const std::vector<int>& agents) const {
+  validate_subset(*this, agents);
+  std::vector<const opt::CostFunction*> selected;
+  selected.reserve(agents.size());
+  for (int i : agents) selected.push_back(costs_[static_cast<std::size_t>(i)]);
+  const opt::AggregateCost aggregate(std::move(selected));
+  const Vector center = 0.5 * (box_.lower() + box_.upper());
+  return opt::minimize(aggregate, box_, center, options_).minimizer;
+}
+
+MeanSubsetSolver::MeanSubsetSolver(std::vector<Vector> centers) : centers_(std::move(centers)) {
+  ABFT_REQUIRE(!centers_.empty(), "mean solver needs at least one center");
+  const int d = centers_.front().dim();
+  for (const auto& c : centers_) {
+    ABFT_REQUIRE(c.dim() == d, "centers must share a dimension");
+  }
+}
+
+Vector MeanSubsetSolver::solve(const std::vector<int>& agents) const {
+  validate_subset(*this, agents);
+  Vector sum(dim());
+  for (int i : agents) sum += centers_[static_cast<std::size_t>(i)];
+  return sum / static_cast<double>(agents.size());
+}
+
+CachedSubsetSolver::CachedSubsetSolver(const SubsetSolver& inner) : inner_(inner) {}
+
+Vector CachedSubsetSolver::solve(const std::vector<int>& agents) const {
+  auto it = cache_.find(agents);
+  if (it != cache_.end()) return it->second;
+  Vector result = inner_.solve(agents);
+  cache_.emplace(agents, result);
+  return result;
+}
+
+}  // namespace abft::core

@@ -1,0 +1,53 @@
+// Distributed stochastic gradient descent with robust aggregation — the
+// Appendix-K training loop.  Each agent samples a mini-batch from its local
+// shard per iteration; faulty agents either train on label-flipped data
+// (data-level fault) or corrupt their gradient through a FaultModel
+// (message-level fault, e.g. gradient-reverse).
+#pragma once
+
+#include <optional>
+
+#include "abft/agg/aggregator.hpp"
+#include "abft/attack/fault.hpp"
+#include "abft/learn/model.hpp"
+
+namespace abft::learn {
+
+enum class AgentFault {
+  kHonest,
+  kLabelFlip,       // trains honestly on label_flipped(shard)
+  kGradientReverse  // sends the negated mini-batch gradient
+};
+
+struct DsgdConfig {
+  int iterations = 1000;
+  int batch_size = 128;
+  double step_size = 0.01;  // the paper's eta = 0.01
+  /// Declared fault bound handed to the gradient filter.
+  int f = 0;
+  /// Evaluate loss/accuracy every this many iterations (and at the end).
+  int eval_interval = 25;
+  /// Worker momentum beta in [0, 1): agents send m_t = beta m_{t-1} +
+  /// (1 - beta) g_t instead of the raw gradient — the "learning from
+  /// history" robustification of Karimireddy et al. (the paper's ref [28]).
+  /// 0 disables momentum (the paper's own setting).
+  double momentum = 0.0;
+  std::uint64_t seed = 0;
+};
+
+struct DsgdSeries {
+  std::vector<int> eval_iterations;
+  std::vector<double> train_loss;     // honest-shard cross-entropy
+  std::vector<double> test_accuracy;  // on the held-out test set
+  Vector final_params;
+};
+
+/// Runs D-SGD.  `shards[i]` is agent i's local data; `faults[i]` its
+/// behaviour.  The train-loss series is measured on the union of honest
+/// shards (the paper's fault-free reference loss).
+DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
+                    const std::vector<Dataset>& shards, const std::vector<AgentFault>& faults,
+                    const Dataset& test_set, const agg::GradientAggregator& aggregator,
+                    const DsgdConfig& config);
+
+}  // namespace abft::learn

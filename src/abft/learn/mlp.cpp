@@ -1,0 +1,141 @@
+#include "abft/learn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::learn {
+
+Mlp::Mlp(int feature_dim, int hidden_dim, int num_classes)
+    : feature_dim_(feature_dim), hidden_dim_(hidden_dim), num_classes_(num_classes) {
+  ABFT_REQUIRE(feature_dim > 0, "feature dimension must be positive");
+  ABFT_REQUIRE(hidden_dim > 0, "hidden dimension must be positive");
+  ABFT_REQUIRE(num_classes >= 2, "need at least two classes");
+}
+
+Mlp::Offsets Mlp::offsets() const noexcept {
+  Offsets off{};
+  off.w1 = 0;
+  off.b1 = hidden_dim_ * feature_dim_;
+  off.w2 = off.b1 + hidden_dim_;
+  off.b2 = off.w2 + num_classes_ * hidden_dim_;
+  return off;
+}
+
+int Mlp::param_dim() const noexcept {
+  const Offsets off = offsets();
+  return off.b2 + num_classes_;
+}
+
+Vector Mlp::initial_params(util::Rng& rng) const {
+  Vector params(param_dim());
+  const Offsets off = offsets();
+  const double w1_scale = 1.0 / std::sqrt(static_cast<double>(feature_dim_));
+  const double w2_scale = 1.0 / std::sqrt(static_cast<double>(hidden_dim_));
+  for (int i = 0; i < off.b1; ++i) params[i] = rng.normal(0.0, w1_scale);
+  for (int i = off.w2; i < off.b2; ++i) params[i] = rng.normal(0.0, w2_scale);
+  return params;  // biases start at zero
+}
+
+void Mlp::forward(const Vector& params, const Dataset& data, int example,
+                  std::vector<double>& hidden, std::vector<double>& probs) const {
+  const Offsets off = offsets();
+  hidden.assign(static_cast<std::size_t>(hidden_dim_), 0.0);
+  for (int h = 0; h < hidden_dim_; ++h) {
+    double pre = params[off.b1 + h];
+    const int row = off.w1 + h * feature_dim_;
+    for (int k = 0; k < feature_dim_; ++k) pre += params[row + k] * data.features(example, k);
+    hidden[static_cast<std::size_t>(h)] = std::tanh(pre);
+  }
+  probs.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  double max_logit = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double logit = params[off.b2 + c];
+    const int row = off.w2 + c * hidden_dim_;
+    for (int h = 0; h < hidden_dim_; ++h) logit += params[row + h] * hidden[static_cast<std::size_t>(h)];
+    probs[static_cast<std::size_t>(c)] = logit;
+    max_logit = std::max(max_logit, logit);
+  }
+  double denom = 0.0;
+  for (auto& p : probs) {
+    p = std::exp(p - max_logit);
+    denom += p;
+  }
+  for (auto& p : probs) p /= denom;
+}
+
+double Mlp::loss(const Vector& params, const Dataset& data, std::span<const int> examples,
+                 Vector* gradient) const {
+  ABFT_REQUIRE(params.dim() == param_dim(), "parameter dimension mismatch");
+  ABFT_REQUIRE(data.feature_dim() == feature_dim_, "dataset feature dimension mismatch");
+  ABFT_REQUIRE(!examples.empty(), "loss needs at least one example");
+  if (gradient != nullptr) *gradient = Vector(param_dim());
+  const Offsets off = offsets();
+
+  double total_loss = 0.0;
+  std::vector<double> hidden;
+  std::vector<double> probs;
+  std::vector<double> delta_hidden(static_cast<std::size_t>(hidden_dim_));
+  for (int example : examples) {
+    ABFT_REQUIRE(0 <= example && example < data.num_examples(), "example index out of range");
+    forward(params, data, example, hidden, probs);
+    const int label = data.labels[static_cast<std::size_t>(example)];
+    ABFT_REQUIRE(0 <= label && label < num_classes_, "label out of range");
+    total_loss += -std::log(std::max(probs[static_cast<std::size_t>(label)], 1e-300));
+    if (gradient == nullptr) continue;
+
+    // Backprop.  Output layer: dL/dlogit_c = p_c - 1{c == label}.
+    std::fill(delta_hidden.begin(), delta_hidden.end(), 0.0);
+    for (int c = 0; c < num_classes_; ++c) {
+      const double err = probs[static_cast<std::size_t>(c)] - (c == label ? 1.0 : 0.0);
+      const int row = off.w2 + c * hidden_dim_;
+      for (int h = 0; h < hidden_dim_; ++h) {
+        (*gradient)[row + h] += err * hidden[static_cast<std::size_t>(h)];
+        delta_hidden[static_cast<std::size_t>(h)] += err * params[row + h];
+      }
+      (*gradient)[off.b2 + c] += err;
+    }
+    // Hidden layer: tanh' = 1 - tanh^2.
+    for (int h = 0; h < hidden_dim_; ++h) {
+      const double act = hidden[static_cast<std::size_t>(h)];
+      const double delta = delta_hidden[static_cast<std::size_t>(h)] * (1.0 - act * act);
+      if (delta == 0.0) continue;
+      const int row = off.w1 + h * feature_dim_;
+      for (int k = 0; k < feature_dim_; ++k) {
+        (*gradient)[row + k] += delta * data.features(example, k);
+      }
+      (*gradient)[off.b1 + h] += delta;
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(examples.size());
+  if (gradient != nullptr) *gradient *= scale;
+  return total_loss * scale;
+}
+
+int Mlp::predict(const Vector& params, const Vector& features) const {
+  ABFT_REQUIRE(params.dim() == param_dim(), "parameter dimension mismatch");
+  ABFT_REQUIRE(features.dim() == feature_dim_, "feature dimension mismatch");
+  const Offsets off = offsets();
+  std::vector<double> hidden(static_cast<std::size_t>(hidden_dim_));
+  for (int h = 0; h < hidden_dim_; ++h) {
+    double pre = params[off.b1 + h];
+    const int row = off.w1 + h * feature_dim_;
+    for (int k = 0; k < feature_dim_; ++k) pre += params[row + k] * features[k];
+    hidden[static_cast<std::size_t>(h)] = std::tanh(pre);
+  }
+  int best = 0;
+  double best_logit = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double logit = params[off.b2 + c];
+    const int row = off.w2 + c * hidden_dim_;
+    for (int h = 0; h < hidden_dim_; ++h) logit += params[row + h] * hidden[static_cast<std::size_t>(h)];
+    if (logit > best_logit) {
+      best_logit = logit;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace abft::learn

@@ -1,0 +1,44 @@
+// One-hidden-layer perceptron with tanh activation and softmax output —
+// the nonconvex stand-in for the paper's LeNet (Appendix K notes the theory
+// is motivated by strong convexity near minimizers, and the experiments only
+// need a nonconvex multi-parameter model).
+//
+// Parameter layout (flat): W1 row-major (hidden x features), b1 (hidden),
+// W2 row-major (classes x hidden), b2 (classes).
+#pragma once
+
+#include "abft/learn/model.hpp"
+
+namespace abft::learn {
+
+class Mlp final : public Model {
+ public:
+  Mlp(int feature_dim, int hidden_dim, int num_classes);
+
+  [[nodiscard]] int param_dim() const noexcept override;
+  double loss(const Vector& params, const Dataset& data, std::span<const int> examples,
+              Vector* gradient) const override;
+  [[nodiscard]] int predict(const Vector& params, const Vector& features) const override;
+
+  /// He/Xavier-style random initialization.
+  [[nodiscard]] Vector initial_params(util::Rng& rng) const;
+
+  [[nodiscard]] int hidden_dim() const noexcept { return hidden_dim_; }
+
+ private:
+  struct Offsets {
+    int w1, b1, w2, b2;
+  };
+  [[nodiscard]] Offsets offsets() const noexcept;
+
+  /// Forward pass for one example; fills hidden activations and class
+  /// probabilities.
+  void forward(const Vector& params, const Dataset& data, int example,
+               std::vector<double>& hidden, std::vector<double>& probs) const;
+
+  int feature_dim_;
+  int hidden_dim_;
+  int num_classes_;
+};
+
+}  // namespace abft::learn

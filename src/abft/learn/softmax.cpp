@@ -1,0 +1,87 @@
+#include "abft/learn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::learn {
+
+SoftmaxRegression::SoftmaxRegression(int feature_dim, int num_classes)
+    : feature_dim_(feature_dim), num_classes_(num_classes) {
+  ABFT_REQUIRE(feature_dim > 0, "feature dimension must be positive");
+  ABFT_REQUIRE(num_classes >= 2, "need at least two classes");
+}
+
+int SoftmaxRegression::param_dim() const noexcept {
+  return num_classes_ * feature_dim_ + num_classes_;
+}
+
+void SoftmaxRegression::class_probabilities(const Vector& params, const Dataset& data,
+                                            int example, std::vector<double>& probs) const {
+  probs.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  double max_logit = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double logit = params[num_classes_ * feature_dim_ + c];  // bias
+    const int w_offset = c * feature_dim_;
+    for (int k = 0; k < feature_dim_; ++k) logit += params[w_offset + k] * data.features(example, k);
+    probs[static_cast<std::size_t>(c)] = logit;
+    max_logit = std::max(max_logit, logit);
+  }
+  double denom = 0.0;
+  for (auto& p : probs) {
+    p = std::exp(p - max_logit);
+    denom += p;
+  }
+  for (auto& p : probs) p /= denom;
+}
+
+double SoftmaxRegression::loss(const Vector& params, const Dataset& data,
+                               std::span<const int> examples, Vector* gradient) const {
+  ABFT_REQUIRE(params.dim() == param_dim(), "parameter dimension mismatch");
+  ABFT_REQUIRE(data.feature_dim() == feature_dim_, "dataset feature dimension mismatch");
+  ABFT_REQUIRE(!examples.empty(), "loss needs at least one example");
+  if (gradient != nullptr) *gradient = Vector(param_dim());
+
+  double total_loss = 0.0;
+  std::vector<double> probs;
+  for (int example : examples) {
+    ABFT_REQUIRE(0 <= example && example < data.num_examples(), "example index out of range");
+    class_probabilities(params, data, example, probs);
+    const int label = data.labels[static_cast<std::size_t>(example)];
+    ABFT_REQUIRE(0 <= label && label < num_classes_, "label out of range");
+    total_loss += -std::log(std::max(probs[static_cast<std::size_t>(label)], 1e-300));
+    if (gradient != nullptr) {
+      for (int c = 0; c < num_classes_; ++c) {
+        const double err = probs[static_cast<std::size_t>(c)] - (c == label ? 1.0 : 0.0);
+        const int w_offset = c * feature_dim_;
+        for (int k = 0; k < feature_dim_; ++k) {
+          (*gradient)[w_offset + k] += err * data.features(example, k);
+        }
+        (*gradient)[num_classes_ * feature_dim_ + c] += err;
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(examples.size());
+  if (gradient != nullptr) *gradient *= scale;
+  return total_loss * scale;
+}
+
+int SoftmaxRegression::predict(const Vector& params, const Vector& features) const {
+  ABFT_REQUIRE(params.dim() == param_dim(), "parameter dimension mismatch");
+  ABFT_REQUIRE(features.dim() == feature_dim_, "feature dimension mismatch");
+  int best = 0;
+  double best_logit = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double logit = params[num_classes_ * feature_dim_ + c];
+    const int w_offset = c * feature_dim_;
+    for (int k = 0; k < feature_dim_; ++k) logit += params[w_offset + k] * features[k];
+    if (logit > best_logit) {
+      best_logit = logit;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace abft::learn

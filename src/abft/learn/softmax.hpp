@@ -1,0 +1,30 @@
+// Multinomial logistic regression: logits = W x + b, cross-entropy loss.
+// Parameter layout: W row-major (classes x features), then b (classes).
+#pragma once
+
+#include "abft/learn/model.hpp"
+
+namespace abft::learn {
+
+class SoftmaxRegression final : public Model {
+ public:
+  SoftmaxRegression(int feature_dim, int num_classes);
+
+  [[nodiscard]] int param_dim() const noexcept override;
+  double loss(const Vector& params, const Dataset& data, std::span<const int> examples,
+              Vector* gradient) const override;
+  [[nodiscard]] int predict(const Vector& params, const Vector& features) const override;
+
+  [[nodiscard]] int feature_dim() const noexcept { return feature_dim_; }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+ private:
+  /// Softmax probabilities for one example.
+  void class_probabilities(const Vector& params, const Dataset& data, int example,
+                           std::vector<double>& probs) const;
+
+  int feature_dim_;
+  int num_classes_;
+};
+
+}  // namespace abft::learn

@@ -1,0 +1,103 @@
+#include "abft/linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "abft/util/check.hpp"
+
+namespace abft::linalg {
+
+namespace {
+
+double off_diagonal_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+SymmetricEigen symmetric_eigen(const Matrix& a) {
+  ABFT_REQUIRE(a.rows() == a.cols(), "symmetric_eigen needs a square matrix");
+  const int n = a.rows();
+  const double scale = std::max(1.0, frobenius_norm(a));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ABFT_REQUIRE(std::abs(a(i, j) - a(j, i)) <= 1e-9 * scale,
+                   "symmetric_eigen needs a symmetric matrix");
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  constexpr int kMaxSweeps = 64;
+  const double tol = 1e-14 * scale;
+  for (int sweep = 0; sweep < kMaxSweeps && off_diagonal_norm(d) > tol; ++sweep) {
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= tol / std::max(1, n)) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of d.
+        for (int k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&d](int i, int j) { return d(i, i) < d(j, j); });
+
+  SymmetricEigen out{Vector(n), Matrix(n, n)};
+  for (int k = 0; k < n; ++k) {
+    const int src = order[static_cast<std::size_t>(k)];
+    out.eigenvalues[k] = d(src, src);
+    for (int r = 0; r < n; ++r) out.eigenvectors(r, k) = v(r, src);
+  }
+  return out;
+}
+
+std::vector<double> symmetric_eigenvalues(const Matrix& a) {
+  const auto decomposition = symmetric_eigen(a);
+  std::vector<double> out(static_cast<std::size_t>(decomposition.eigenvalues.dim()));
+  for (int i = 0; i < decomposition.eigenvalues.dim(); ++i) {
+    out[static_cast<std::size_t>(i)] = decomposition.eigenvalues[i];
+  }
+  return out;
+}
+
+double largest_eigenvalue(const Matrix& a) { return symmetric_eigenvalues(a).back(); }
+
+double smallest_eigenvalue(const Matrix& a) { return symmetric_eigenvalues(a).front(); }
+
+}  // namespace abft::linalg

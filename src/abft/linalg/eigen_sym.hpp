@@ -1,0 +1,29 @@
+// Symmetric eigenvalue computation via the cyclic Jacobi method.  Used to
+// compute the paper's smoothness / strong-convexity constants:
+//   mu    = 2 * lambda_max(A_i^T A_i)          (Assumption 2, eq. 138)
+//   gamma = (2/|S|) * lambda_min(A_S^T A_S)    (Assumption 3, eq. 139)
+#pragma once
+
+#include "abft/linalg/matrix.hpp"
+#include "abft/linalg/vector.hpp"
+
+namespace abft::linalg {
+
+/// Eigen-decomposition of a symmetric matrix.
+struct SymmetricEigen {
+  Vector eigenvalues;   // ascending
+  Matrix eigenvectors;  // column k pairs with eigenvalues[k]
+};
+
+/// Full decomposition.  `a` must be square and symmetric (checked to a small
+/// tolerance).  Classic cyclic Jacobi; cubic per sweep, converges in a few
+/// sweeps for the sizes used here.
+SymmetricEigen symmetric_eigen(const Matrix& a);
+
+/// Eigenvalues only, ascending.
+std::vector<double> symmetric_eigenvalues(const Matrix& a);
+
+double largest_eigenvalue(const Matrix& a);
+double smallest_eigenvalue(const Matrix& a);
+
+}  // namespace abft::linalg

@@ -1,0 +1,39 @@
+// The compact convex constraint set W of Section 4 (eq. 20).  The paper uses
+// an axis-aligned hypercube [-1000, 1000]^d; we implement the general
+// axis-aligned box, whose Euclidean projection is coordinate-wise clamping.
+#pragma once
+
+#include "abft/linalg/vector.hpp"
+
+namespace abft::opt {
+
+class Box {
+ public:
+  /// Box with per-coordinate bounds.  Requires lower[i] <= upper[i] for all i.
+  Box(linalg::Vector lower, linalg::Vector upper);
+
+  /// Hypercube [-half_width, half_width]^dim.
+  static Box centered_cube(int dim, double half_width);
+
+  [[nodiscard]] int dim() const noexcept { return lower_.dim(); }
+
+  /// Euclidean projection [x]_W (unique because the box is convex+compact).
+  [[nodiscard]] linalg::Vector project(const linalg::Vector& x) const;
+
+  [[nodiscard]] bool contains(const linalg::Vector& x, double tol = 0.0) const;
+
+  /// max_{w in W} ||w - x|| — the constant Gamma in the Theorem 3 proof.
+  [[nodiscard]] double max_distance_from(const linalg::Vector& x) const;
+
+  /// Euclidean diameter of the box.
+  [[nodiscard]] double diameter() const;
+
+  [[nodiscard]] const linalg::Vector& lower() const noexcept { return lower_; }
+  [[nodiscard]] const linalg::Vector& upper() const noexcept { return upper_; }
+
+ private:
+  linalg::Vector lower_;
+  linalg::Vector upper_;
+};
+
+}  // namespace abft::opt

@@ -1,0 +1,54 @@
+#include "abft/opt/cost.hpp"
+
+#include "abft/util/check.hpp"
+
+namespace abft::opt {
+
+AggregateCost::AggregateCost(std::vector<const CostFunction*> costs)
+    : AggregateCost(std::move(costs), {}) {}
+
+AggregateCost::AggregateCost(std::vector<const CostFunction*> costs, std::vector<double> weights)
+    : costs_(std::move(costs)), weights_(std::move(weights)) {
+  ABFT_REQUIRE(!costs_.empty(), "aggregate cost needs at least one term");
+  if (weights_.empty()) weights_.assign(costs_.size(), 1.0);
+  ABFT_REQUIRE(weights_.size() == costs_.size(), "one weight per cost required");
+  for (const auto* cost : costs_) {
+    ABFT_REQUIRE(cost != nullptr, "aggregate cost term must not be null");
+  }
+  dim_ = costs_.front()->dim();
+  for (const auto* cost : costs_) {
+    ABFT_REQUIRE(cost->dim() == dim_, "aggregate cost terms must share a dimension");
+  }
+}
+
+double AggregateCost::value(const Vector& x) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < costs_.size(); ++i) sum += weights_[i] * costs_[i]->value(x);
+  return sum;
+}
+
+Vector AggregateCost::gradient(const Vector& x) const {
+  Vector grad(dim_);
+  for (std::size_t i = 0; i < costs_.size(); ++i) {
+    grad.add_scaled(weights_[i], costs_[i]->gradient(x));
+  }
+  return grad;
+}
+
+Vector numerical_gradient(const CostFunction& cost, const Vector& x, double step) {
+  ABFT_REQUIRE(step > 0.0, "finite-difference step must be positive");
+  Vector grad(cost.dim());
+  Vector probe = x;
+  for (int i = 0; i < cost.dim(); ++i) {
+    const double original = probe[i];
+    probe[i] = original + step;
+    const double plus = cost.value(probe);
+    probe[i] = original - step;
+    const double minus = cost.value(probe);
+    probe[i] = original;
+    grad[i] = (plus - minus) / (2.0 * step);
+  }
+  return grad;
+}
+
+}  // namespace abft::opt

@@ -1,0 +1,50 @@
+// Cost-function abstraction.  Each agent i holds a local cost Q_i : R^d -> R
+// (paper, Section 1); the library works with values and gradients only.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abft/linalg/vector.hpp"
+
+namespace abft::opt {
+
+using linalg::Vector;
+
+/// A differentiable cost Q : R^d -> R.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  [[nodiscard]] virtual int dim() const noexcept = 0;
+  [[nodiscard]] virtual double value(const Vector& x) const = 0;
+  [[nodiscard]] virtual Vector gradient(const Vector& x) const = 0;
+};
+
+/// Weighted sum of costs: sum_i w_i Q_i(x).  Non-owning by design: the agents
+/// own their costs; aggregates are views over them.
+class AggregateCost final : public CostFunction {
+ public:
+  /// Uniform weights.  All costs must share one dimension; the list must be
+  /// non-empty.
+  explicit AggregateCost(std::vector<const CostFunction*> costs);
+
+  AggregateCost(std::vector<const CostFunction*> costs, std::vector<double> weights);
+
+  [[nodiscard]] int dim() const noexcept override { return dim_; }
+  [[nodiscard]] double value(const Vector& x) const override;
+  [[nodiscard]] Vector gradient(const Vector& x) const override;
+
+  [[nodiscard]] int num_terms() const noexcept { return static_cast<int>(costs_.size()); }
+
+ private:
+  std::vector<const CostFunction*> costs_;
+  std::vector<double> weights_;
+  int dim_ = 0;
+};
+
+/// Central finite-difference gradient; used by tests to validate analytic
+/// gradients of every cost implementation.
+Vector numerical_gradient(const CostFunction& cost, const Vector& x, double step = 1e-6);
+
+}  // namespace abft::opt

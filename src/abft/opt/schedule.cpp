@@ -1,0 +1,39 @@
+#include "abft/opt/schedule.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::opt {
+
+HarmonicSchedule::HarmonicSchedule(double scale) : scale_(scale) {
+  ABFT_REQUIRE(scale > 0.0, "harmonic schedule scale must be positive");
+}
+
+double HarmonicSchedule::step(int t) const {
+  ABFT_REQUIRE(t >= 0, "iteration index must be non-negative");
+  return scale_ / static_cast<double>(t + 1);
+}
+
+ConstantSchedule::ConstantSchedule(double scale) : scale_(scale) {
+  ABFT_REQUIRE(scale > 0.0, "constant schedule scale must be positive");
+}
+
+double ConstantSchedule::step(int t) const {
+  ABFT_REQUIRE(t >= 0, "iteration index must be non-negative");
+  return scale_;
+}
+
+PolynomialSchedule::PolynomialSchedule(double scale, double power)
+    : scale_(scale), power_(power) {
+  ABFT_REQUIRE(scale > 0.0, "polynomial schedule scale must be positive");
+  ABFT_REQUIRE(power > 0.5 && power <= 1.0,
+               "polynomial schedule needs power in (1/2, 1] for Theorem 3");
+}
+
+double PolynomialSchedule::step(int t) const {
+  ABFT_REQUIRE(t >= 0, "iteration index must be non-negative");
+  return scale_ / std::pow(static_cast<double>(t + 1), power_);
+}
+
+}  // namespace abft::opt

@@ -1,0 +1,55 @@
+// Step-size schedules for the DGD update (eq. 21).  Theorem 3 requires
+// diminishing steps: sum eta_t = inf, sum eta_t^2 < inf.  The paper's
+// experiments use eta_t = 1.5 / (t + 1).
+#pragma once
+
+#include <memory>
+
+namespace abft::opt {
+
+class StepSchedule {
+ public:
+  virtual ~StepSchedule() = default;
+
+  /// Step size for iteration t >= 0; must be positive.
+  [[nodiscard]] virtual double step(int t) const = 0;
+
+  /// Whether the schedule satisfies Theorem 3's diminishing-step condition.
+  [[nodiscard]] virtual bool is_diminishing() const noexcept = 0;
+};
+
+/// eta_t = scale / (t + 1): satisfies both Theorem-3 conditions.
+class HarmonicSchedule final : public StepSchedule {
+ public:
+  explicit HarmonicSchedule(double scale);
+  [[nodiscard]] double step(int t) const override;
+  [[nodiscard]] bool is_diminishing() const noexcept override { return true; }
+
+ private:
+  double scale_;
+};
+
+/// eta_t = scale: used by the D-SGD learning experiments (Appendix K).
+class ConstantSchedule final : public StepSchedule {
+ public:
+  explicit ConstantSchedule(double scale);
+  [[nodiscard]] double step(int t) const override;
+  [[nodiscard]] bool is_diminishing() const noexcept override { return false; }
+
+ private:
+  double scale_;
+};
+
+/// eta_t = scale / (t + 1)^power with power in (1/2, 1]: diminishing.
+class PolynomialSchedule final : public StepSchedule {
+ public:
+  PolynomialSchedule(double scale, double power);
+  [[nodiscard]] double step(int t) const override;
+  [[nodiscard]] bool is_diminishing() const noexcept override { return true; }
+
+ private:
+  double scale_;
+  double power_;
+};
+
+}  // namespace abft::opt

@@ -1,0 +1,50 @@
+#include "abft/opt/solver.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+
+namespace abft::opt {
+
+GradientDescentResult minimize(const CostFunction& cost, const Box& box, const Vector& x0,
+                               const GradientDescentOptions& options) {
+  ABFT_REQUIRE(cost.dim() == box.dim(), "cost/box dimension mismatch");
+  ABFT_REQUIRE(x0.dim() == cost.dim(), "start point dimension mismatch");
+  ABFT_REQUIRE(options.max_iterations > 0, "max_iterations must be positive");
+
+  GradientDescentResult result;
+  Vector x = box.project(x0);
+  double fx = cost.value(x);
+  double step = options.step_scale > 0.0 ? options.step_scale : 1.0;
+
+  for (int t = 0; t < options.max_iterations; ++t) {
+    const Vector grad = cost.gradient(x);
+    // Backtracking: shrink until sufficient decrease (Armijo on the
+    // projected step).
+    Vector candidate = box.project(x - step * grad);
+    double f_candidate = cost.value(candidate);
+    int backtracks = 0;
+    while (f_candidate > fx - 1e-4 * linalg::dot(grad, x - candidate) && backtracks < 60) {
+      step *= 0.5;
+      candidate = box.project(x - step * grad);
+      f_candidate = cost.value(candidate);
+      ++backtracks;
+    }
+    const double moved = linalg::distance(candidate, x);
+    x = std::move(candidate);
+    fx = f_candidate;
+    result.iterations = t + 1;
+    if (moved <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Gentle growth so a conservative step can recover.
+    if (backtracks == 0) step *= 1.25;
+  }
+
+  result.minimizer = std::move(x);
+  result.value = fx;
+  return result;
+}
+
+}  // namespace abft::opt

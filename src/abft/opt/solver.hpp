@@ -1,0 +1,32 @@
+// Reference single-machine solvers.  The redundancy analyzer needs argmins of
+// subset aggregates; for quadratic families those are closed-form (see
+// regress/), and for everything else this projected gradient descent is the
+// fallback.
+#pragma once
+
+#include "abft/opt/box.hpp"
+#include "abft/opt/cost.hpp"
+#include "abft/opt/schedule.hpp"
+
+namespace abft::opt {
+
+struct GradientDescentOptions {
+  int max_iterations = 5000;
+  /// Stop early when the projected-gradient step moves less than this.
+  double tolerance = 1e-12;
+  double step_scale = 0.0;  // 0 means: auto (1 / L estimated by backtracking)
+};
+
+struct GradientDescentResult {
+  Vector minimizer;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `cost` over the box via projected gradient descent with
+/// backtracking line search.  Deterministic.
+GradientDescentResult minimize(const CostFunction& cost, const Box& box, const Vector& x0,
+                               const GradientDescentOptions& options = {});
+
+}  // namespace abft::opt

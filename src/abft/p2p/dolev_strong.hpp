@@ -1,0 +1,93 @@
+// Dolev-Strong authenticated Byzantine broadcast.  With unforgeable
+// signatures the f < n/3 bound of Oral Messages disappears: f + 1 rounds of
+// signature-chain relaying reach agreement for ANY f < n.  This extends the
+// peer-to-peer substrate of Section 1.4 beyond the paper's unauthenticated
+// setting (the DGD layer itself still requires f < n/2 by Lemma 1).
+//
+// Model: a message is (value, chain) where chain is the list of distinct
+// signer ids, starting with the source.  Honest node i, on first extracting
+// a value in round r <= f, re-signs and forwards it to everyone in round
+// r + 1.  After round f + 1 a node decides the unique extracted value, or
+// the default (zero vector) if it extracted zero or several values.
+// Signatures are simulated by construction: the simulator only lets node i
+// append its own id, so faulty nodes can equivocate (a faulty SOURCE can
+// sign several values) but can never forge an honest signature.
+//
+// Guarantees (validated by tests), for any number of faulty nodes f < n:
+//   agreement  — all honest nodes decide the same value;
+//   validity   — if the source is honest, they decide its value.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "abft/linalg/vector.hpp"
+#include "abft/util/rng.hpp"
+
+namespace abft::p2p {
+
+using DsPayload = linalg::Vector;
+
+/// What a faulty node does in the Dolev-Strong protocol.
+class DsStrategy {
+ public:
+  virtual ~DsStrategy() = default;
+
+  /// Values a faulty SOURCE signs and injects in round 1; entry k is the
+  /// value sent to receiver k (std::nullopt = send nothing to k).  `value`
+  /// is the value the source was supposed to broadcast.
+  [[nodiscard]] virtual std::vector<std::optional<DsPayload>> initial_sends(
+      int num_nodes, const DsPayload& value, util::Rng& rng) const = 0;
+
+  /// Whether a faulty RELAY forwards an extracted value to `receiver`
+  /// (honest behaviour: always true).  Selective forwarding is the classic
+  /// adversarial move against naive authenticated broadcast.
+  [[nodiscard]] virtual bool forward_to(int receiver, int round, util::Rng& rng) const = 0;
+};
+
+/// Source signs `value + k * offset` for receiver k (full equivocation);
+/// relays forward with probability `forward_probability`.
+class EquivocatingDsStrategy final : public DsStrategy {
+ public:
+  EquivocatingDsStrategy(double offset, double forward_probability);
+  [[nodiscard]] std::vector<std::optional<DsPayload>> initial_sends(
+      int num_nodes, const DsPayload& value, util::Rng& rng) const override;
+  [[nodiscard]] bool forward_to(int receiver, int round, util::Rng& rng) const override;
+
+ private:
+  double offset_;
+  double forward_probability_;
+};
+
+/// Sends nothing, forwards nothing.
+class SilentDsStrategy final : public DsStrategy {
+ public:
+  [[nodiscard]] std::vector<std::optional<DsPayload>> initial_sends(
+      int num_nodes, const DsPayload& value, util::Rng& rng) const override;
+  [[nodiscard]] bool forward_to(int receiver, int round, util::Rng& rng) const override;
+};
+
+struct DsOutcome {
+  std::vector<DsPayload> decisions;  // meaningful for honest nodes
+  long messages_sent = 0;
+  int rounds_used = 0;
+};
+
+class DolevStrongBroadcast {
+ public:
+  /// n nodes tolerating up to f faults; requires 0 <= f < n.
+  DolevStrongBroadcast(int n, int f);
+
+  [[nodiscard]] DsOutcome broadcast(int source, const DsPayload& value,
+                                    const std::vector<const DsStrategy*>& strategies,
+                                    std::uint64_t seed) const;
+
+  [[nodiscard]] int num_nodes() const noexcept { return n_; }
+  [[nodiscard]] int fault_bound() const noexcept { return f_; }
+
+ private:
+  int n_;
+  int f_;
+};
+
+}  // namespace abft::p2p

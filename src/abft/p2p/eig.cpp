@@ -1,0 +1,153 @@
+#include "abft/p2p/eig.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "abft/util/check.hpp"
+
+namespace abft::p2p {
+
+EquivocateStrategy::EquivocateStrategy(double stddev) : stddev_(stddev) {
+  ABFT_REQUIRE(stddev >= 0.0, "equivocation stddev must be non-negative");
+}
+
+std::optional<Payload> EquivocateStrategy::relay(int /*receiver*/, std::span<const int> /*path*/,
+                                                 const Payload& held, util::Rng& rng) const {
+  Payload out = held;
+  for (int i = 0; i < out.dim(); ++i) out[i] += rng.normal(0.0, stddev_);
+  return out;
+}
+
+std::optional<Payload> SilentStrategy::relay(int /*receiver*/, std::span<const int> /*path*/,
+                                             const Payload& /*held*/, util::Rng& /*rng*/) const {
+  return std::nullopt;
+}
+
+FixedValueStrategy::FixedValueStrategy(Payload payload) : payload_(std::move(payload)) {
+  ABFT_REQUIRE(payload_.dim() > 0, "fixed strategy payload must be non-empty");
+}
+
+std::optional<Payload> FixedValueStrategy::relay(int /*receiver*/, std::span<const int> /*path*/,
+                                                 const Payload& /*held*/,
+                                                 util::Rng& /*rng*/) const {
+  return payload_;
+}
+
+OralMessagesBroadcast::OralMessagesBroadcast(int n, int f) : n_(n), f_(f) {
+  ABFT_REQUIRE(n > 0 && f >= 0, "need n > 0, f >= 0");
+  ABFT_REQUIRE(n > 3 * f, "oral messages requires n > 3f");
+}
+
+namespace {
+
+/// Exact-match majority of a non-empty multiset of payloads; ties and
+/// no-majority fall back to `fallback` (the protocol default).
+Payload exact_majority(const std::vector<Payload>& votes, const Payload& fallback) {
+  const std::size_t need = votes.size() / 2 + 1;
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < votes.size(); ++j) {
+      if (votes[i] == votes[j]) ++count;
+    }
+    if (count >= need) return votes[i];
+  }
+  return fallback;
+}
+
+struct OmContext {
+  const std::vector<const RelayStrategy*>& strategies;
+  std::vector<util::Rng>& node_rng;
+  const Payload& default_value;
+  long messages = 0;
+};
+
+/// Runs OM(m) with the given commander holding `held`, over `lieutenants`
+/// (excluding everyone in `path` and the commander).  Returns each
+/// lieutenant's decision about the commander's value.
+std::map<int, Payload> om_round(OmContext& ctx, int commander, const Payload& held, int m,
+                                const std::vector<int>& lieutenants, std::vector<int>& path) {
+  // Step 1: commander sends its value to every lieutenant.
+  std::map<int, Payload> received;
+  for (int lt : lieutenants) {
+    ++ctx.messages;
+    std::optional<Payload> sent;
+    const auto* strategy = ctx.strategies[static_cast<std::size_t>(commander)];
+    if (strategy == nullptr) {
+      sent = held;  // honest relay is faithful
+    } else {
+      sent = strategy->relay(lt, path, held, ctx.node_rng[static_cast<std::size_t>(commander)]);
+    }
+    received.emplace(lt, sent.value_or(ctx.default_value));
+  }
+
+  if (m == 0) return received;
+
+  // Step 2: every lieutenant relays what it received via OM(m - 1).
+  path.push_back(commander);
+  std::map<int, std::map<int, Payload>> relayed;  // relayed[relayer][peer]
+  for (int lt : lieutenants) {
+    std::vector<int> rest;
+    rest.reserve(lieutenants.size() - 1);
+    for (int other : lieutenants) {
+      if (other != lt) rest.push_back(other);
+    }
+    relayed[lt] = om_round(ctx, lt, received.at(lt), m - 1, rest, path);
+  }
+  path.pop_back();
+
+  // Step 3: each lieutenant takes the majority of its direct value and the
+  // values decided through the other relays.
+  std::map<int, Payload> decisions;
+  for (int lt : lieutenants) {
+    std::vector<Payload> votes;
+    votes.reserve(lieutenants.size());
+    votes.push_back(received.at(lt));
+    for (int other : lieutenants) {
+      if (other != lt) votes.push_back(relayed.at(other).at(lt));
+    }
+    decisions.emplace(lt, exact_majority(votes, ctx.default_value));
+  }
+  return decisions;
+}
+
+}  // namespace
+
+BroadcastOutcome OralMessagesBroadcast::broadcast(
+    int source, const Payload& value, const std::vector<const RelayStrategy*>& strategies,
+    std::uint64_t seed) const {
+  ABFT_REQUIRE(0 <= source && source < n_, "source out of range");
+  ABFT_REQUIRE(static_cast<int>(strategies.size()) == n_, "one strategy slot per node");
+  ABFT_REQUIRE(value.dim() > 0, "broadcast payload must be non-empty");
+  int faulty = 0;
+  for (const auto* s : strategies) {
+    if (s != nullptr) ++faulty;
+  }
+  ABFT_REQUIRE(faulty <= f_, "more faulty nodes than the declared bound");
+
+  const Payload default_value(value.dim());
+  util::Rng master(seed);
+  std::vector<util::Rng> node_rng;
+  node_rng.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) node_rng.push_back(master.split());
+
+  std::vector<int> lieutenants;
+  lieutenants.reserve(static_cast<std::size_t>(n_) - 1);
+  for (int i = 0; i < n_; ++i) {
+    if (i != source) lieutenants.push_back(i);
+  }
+
+  OmContext ctx{strategies, node_rng, default_value};
+  std::vector<int> path;
+  const auto decisions = om_round(ctx, source, value, f_, lieutenants, path);
+
+  BroadcastOutcome outcome;
+  outcome.decisions.assign(static_cast<std::size_t>(n_), default_value);
+  outcome.decisions[static_cast<std::size_t>(source)] = value;  // source keeps its own value
+  for (const auto& [node, decision] : decisions) {
+    outcome.decisions[static_cast<std::size_t>(node)] = decision;
+  }
+  outcome.messages_sent = ctx.messages;
+  return outcome;
+}
+
+}  // namespace abft::p2p

@@ -1,0 +1,95 @@
+// Byzantine broadcast for the peer-to-peer architecture of Figure 1.  The
+// paper (Section 1.4) notes the server-based algorithm can be simulated on a
+// complete peer-to-peer network when f < n/3 using a Byzantine broadcast
+// primitive [Lynch 96].  We implement the classic recursive Oral-Messages
+// protocol OM(f) of Lamport, Shostak and Pease — the protocol whose
+// information flow the EIG (exponential information gathering) tree records —
+// with pluggable misbehaviour for faulty relays.
+//
+// Guarantees for n > 3f (validated by tests):
+//   IC1 (agreement)  all honest nodes decide the same value;
+//   IC2 (validity)   if the source is honest they decide the source's value.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "abft/linalg/vector.hpp"
+#include "abft/util/rng.hpp"
+
+namespace abft::p2p {
+
+using Payload = linalg::Vector;
+
+/// How a faulty node behaves when relaying inside the protocol (including
+/// the initial send when it is the source).
+class RelayStrategy {
+ public:
+  virtual ~RelayStrategy() = default;
+
+  /// The value this faulty node forwards to `receiver`, given the value it
+  /// actually `held` (what an honest node would forward) and the commander
+  /// chain `path` so far.  Return std::nullopt to stay silent (the receiver
+  /// substitutes the protocol default).
+  [[nodiscard]] virtual std::optional<Payload> relay(int receiver, std::span<const int> path,
+                                                     const Payload& held,
+                                                     util::Rng& rng) const = 0;
+};
+
+/// Sends held + per-receiver Gaussian noise: full equivocation.
+class EquivocateStrategy final : public RelayStrategy {
+ public:
+  explicit EquivocateStrategy(double stddev);
+  [[nodiscard]] std::optional<Payload> relay(int receiver, std::span<const int> path,
+                                             const Payload& held, util::Rng& rng) const override;
+
+ private:
+  double stddev_;
+};
+
+/// Never forwards anything.
+class SilentStrategy final : public RelayStrategy {
+ public:
+  [[nodiscard]] std::optional<Payload> relay(int receiver, std::span<const int> path,
+                                             const Payload& held, util::Rng& rng) const override;
+};
+
+/// Forwards a fixed payload to everyone, regardless of what it holds.
+class FixedValueStrategy final : public RelayStrategy {
+ public:
+  explicit FixedValueStrategy(Payload payload);
+  [[nodiscard]] std::optional<Payload> relay(int receiver, std::span<const int> path,
+                                             const Payload& held, util::Rng& rng) const override;
+
+ private:
+  Payload payload_;
+};
+
+struct BroadcastOutcome {
+  /// decisions[i] is node i's decision; meaningful for honest nodes only.
+  std::vector<Payload> decisions;
+  long messages_sent = 0;
+};
+
+class OralMessagesBroadcast {
+ public:
+  /// n nodes tolerating up to f Byzantine nodes; requires n > 3f.
+  OralMessagesBroadcast(int n, int f);
+
+  /// Runs OM(f) from `source` holding `value`.  `strategies[i]` non-null
+  /// marks node i as faulty with that relay behaviour (honest relays copy
+  /// faithfully).  The protocol default value is the zero vector.
+  [[nodiscard]] BroadcastOutcome broadcast(int source, const Payload& value,
+                                           const std::vector<const RelayStrategy*>& strategies,
+                                           std::uint64_t seed) const;
+
+  [[nodiscard]] int num_nodes() const noexcept { return n_; }
+  [[nodiscard]] int fault_bound() const noexcept { return f_; }
+
+ private:
+  int n_;
+  int f_;
+};
+
+}  // namespace abft::p2p

@@ -1,0 +1,155 @@
+#include "abft/p2p/p2p_dgd.hpp"
+
+#include <functional>
+
+#include "abft/p2p/dolev_strong.hpp"
+#include "abft/util/check.hpp"
+
+namespace abft::p2p {
+
+namespace {
+
+/// The transport-independent round structure: a broadcast function maps
+/// (source, value, round) to the per-node decisions plus a message count.
+struct BroadcastResultView {
+  std::vector<linalg::Vector> decisions;
+  long messages = 0;
+};
+using BroadcastFn =
+    std::function<BroadcastResultView(int source, const linalg::Vector& value, int round)>;
+
+P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDgdConfig& config,
+                          const agg::GradientAggregator& aggregator,
+                          const BroadcastFn& broadcast) {
+  const int n = static_cast<int>(roster.size());
+  ABFT_REQUIRE(n > 0, "p2p run needs at least one agent");
+  ABFT_REQUIRE(config.schedule != nullptr, "p2p run needs a step schedule");
+  ABFT_REQUIRE(config.iterations >= 0, "iterations must be non-negative");
+  ABFT_REQUIRE(config.x0.dim() == config.box.dim(), "x0/box dimension mismatch");
+
+  util::Rng master(config.seed);
+  std::vector<util::Rng> agent_rng;
+  agent_rng.reserve(roster.size());
+  for (std::size_t i = 0; i < roster.size(); ++i) agent_rng.push_back(master.split());
+
+  P2pDgdResult result;
+  for (int i = 0; i < n; ++i) {
+    if (roster[static_cast<std::size_t>(i)].is_honest()) result.honest_nodes.push_back(i);
+  }
+  ABFT_REQUIRE(!result.honest_nodes.empty(), "p2p run needs at least one honest agent");
+
+  // Per-honest-node estimates (they stay in lockstep; keeping them separate
+  // is the point — the tests verify agreement rather than assume it).
+  std::vector<linalg::Vector> estimates(result.honest_nodes.size(),
+                                        config.box.project(config.x0));
+  result.traces.resize(result.honest_nodes.size());
+  for (std::size_t k = 0; k < result.traces.size(); ++k) {
+    result.traces[k].estimates.push_back(estimates[k]);
+  }
+
+  const int dim = config.box.dim();
+  for (int t = 0; t < config.iterations; ++t) {
+    // Honest gradients, computed on each honest node's own estimate.
+    std::vector<linalg::Vector> honest_grads;
+    honest_grads.reserve(result.honest_nodes.size());
+    for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
+      const auto& spec = roster[static_cast<std::size_t>(result.honest_nodes[k])];
+      honest_grads.push_back(spec.cost->gradient(estimates[k]));
+    }
+
+    // Every agent broadcasts one value; honest nodes collect the decided
+    // multiset.  decided[receiver_slot][source].
+    std::vector<std::vector<linalg::Vector>> decided(
+        result.honest_nodes.size(), std::vector<linalg::Vector>(static_cast<std::size_t>(n)));
+    std::size_t honest_cursor = 0;
+    for (int source = 0; source < n; ++source) {
+      const auto& spec = roster[static_cast<std::size_t>(source)];
+      linalg::Vector value(dim);
+      if (spec.is_honest()) {
+        value = honest_grads[honest_cursor++];
+      } else {
+        const linalg::Vector reference = estimates.front();
+        const linalg::Vector true_grad =
+            spec.cost != nullptr ? spec.cost->gradient(reference) : linalg::Vector(dim);
+        const attack::AttackContext context{reference, true_grad, honest_grads, t};
+        auto payload = spec.fault->emit(context, agent_rng[static_cast<std::size_t>(source)]);
+        value = payload.value_or(linalg::Vector(dim));
+      }
+      const auto outcome = broadcast(source, value, t);
+      result.broadcast_messages += outcome.messages;
+      for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
+        decided[k][static_cast<std::size_t>(source)] =
+            outcome.decisions[static_cast<std::size_t>(result.honest_nodes[k])];
+      }
+    }
+
+    // Local filter + update on every honest node.
+    for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
+      const linalg::Vector filtered = aggregator.aggregate(decided[k], config.f);
+      estimates[k] =
+          config.box.project(estimates[k] - config.schedule->step(t) * filtered);
+      result.traces[k].estimates.push_back(estimates[k]);
+    }
+  }
+  return result;
+}
+
+std::uint64_t round_seed(std::uint64_t base, int round, int source) {
+  return base ^ (static_cast<std::uint64_t>(round) << 20) ^ static_cast<std::uint64_t>(source);
+}
+
+}  // namespace
+
+P2pDgdResult run_p2p_dgd(const std::vector<sim::AgentSpec>& roster, const P2pDgdConfig& config,
+                         const agg::GradientAggregator& aggregator,
+                         const RelayStrategy* faulty_relay) {
+  const int n = static_cast<int>(roster.size());
+  ABFT_REQUIRE(n > 3 * config.f, "unauthenticated p2p broadcast requires n > 3f");
+  const OralMessagesBroadcast broadcast(n, config.f);
+
+  // Broadcast-layer strategies: faulty agents get `faulty_relay` (or honest
+  // relay when none is given — they still lie at the source via FaultModel).
+  std::vector<const RelayStrategy*> strategies(roster.size(), nullptr);
+  if (faulty_relay != nullptr) {
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      if (!roster[i].is_honest()) strategies[i] = faulty_relay;
+    }
+  }
+
+  return run_p2p_core(roster, config, aggregator,
+                      [&broadcast, &strategies, &config](int source, const linalg::Vector& value,
+                                                         int round) {
+                        auto outcome = broadcast.broadcast(
+                            source, value, strategies, round_seed(config.seed, round, source));
+                        return BroadcastResultView{std::move(outcome.decisions),
+                                                   outcome.messages_sent};
+                      });
+}
+
+P2pDgdResult run_p2p_dgd_authenticated(const std::vector<sim::AgentSpec>& roster,
+                                       const P2pDgdConfig& config,
+                                       const agg::GradientAggregator& aggregator,
+                                       const DsStrategy* faulty_ds) {
+  const int n = static_cast<int>(roster.size());
+  ABFT_REQUIRE(n > 2 * config.f,
+               "p2p DGD needs f < n/2 (Lemma 1) even with authenticated broadcast");
+  const DolevStrongBroadcast broadcast(n, config.f);
+
+  std::vector<const DsStrategy*> strategies(roster.size(), nullptr);
+  if (faulty_ds != nullptr) {
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      if (!roster[i].is_honest()) strategies[i] = faulty_ds;
+    }
+  }
+
+  return run_p2p_core(roster, config, aggregator,
+                      [&broadcast, &strategies, &config](int source, const linalg::Vector& value,
+                                                         int round) {
+                        auto outcome = broadcast.broadcast(
+                            source, value, strategies, round_seed(config.seed, round, source));
+                        return BroadcastResultView{std::move(outcome.decisions),
+                                                   outcome.messages_sent};
+                      });
+}
+
+}  // namespace abft::p2p

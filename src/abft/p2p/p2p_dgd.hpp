@@ -1,0 +1,52 @@
+// Peer-to-peer DGD (Figure 1, right): no trusted server; every agent
+// maintains its own estimate, gradients are exchanged with Byzantine
+// broadcast so all honest agents agree on the same n-vector multiset each
+// round, and each honest agent then applies the same gradient filter and
+// update locally.  With f < n/3 this simulates the server-based algorithm
+// exactly — all honest estimates remain identical (asserted by tests).
+#pragma once
+
+#include "abft/agg/aggregator.hpp"
+#include "abft/p2p/eig.hpp"
+#include "abft/sim/agent.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/sim/trace.hpp"
+
+namespace abft::p2p {
+
+struct P2pDgdConfig {
+  linalg::Vector x0;
+  opt::Box box;
+  const opt::StepSchedule* schedule = nullptr;
+  int iterations = 0;
+  /// Declared fault bound; the broadcast layer requires n > 3f.
+  int f = 0;
+  std::uint64_t seed = 0;
+};
+
+struct P2pDgdResult {
+  std::vector<int> honest_nodes;
+  /// traces[k] belongs to honest_nodes[k]; identical across k by agreement.
+  std::vector<sim::Trace> traces;
+  long broadcast_messages = 0;
+};
+
+/// Runs peer-to-peer DGD.  Faulty agents pick their gradient message with
+/// their FaultModel (as in the server-based simulation) and additionally
+/// misbehave inside the broadcast protocol with `faulty_relay` when provided
+/// (nullptr = they relay faithfully and only lie at the source).
+P2pDgdResult run_p2p_dgd(const std::vector<sim::AgentSpec>& roster, const P2pDgdConfig& config,
+                         const agg::GradientAggregator& aggregator,
+                         const RelayStrategy* faulty_relay = nullptr);
+
+/// Peer-to-peer DGD over authenticated (Dolev-Strong) broadcast: the
+/// signature layer lifts the transport requirement from n > 3f to any
+/// f < n, so the binding constraint becomes the OPTIMIZATION bound f < n/2
+/// of Lemma 1.  `faulty_ds` (optional) is the faulty nodes' in-protocol
+/// behaviour.
+P2pDgdResult run_p2p_dgd_authenticated(const std::vector<sim::AgentSpec>& roster,
+                                       const P2pDgdConfig& config,
+                                       const agg::GradientAggregator& aggregator,
+                                       const class DsStrategy* faulty_ds = nullptr);
+
+}  // namespace abft::p2p

@@ -1,0 +1,72 @@
+#include "abft/regress/generator.hpp"
+
+#include <cmath>
+
+#include "abft/util/check.hpp"
+#include "abft/util/combinatorics.hpp"
+
+namespace abft::regress {
+
+namespace {
+
+bool all_subsets_full_rank(const RegressionProblem& problem, int subset_size) {
+  bool ok = true;
+  util::for_each_combination(problem.num_agents(), subset_size,
+                             [&](const std::vector<int>& subset) {
+                               if (problem.subset_rank(subset) < problem.dim()) {
+                                 ok = false;
+                                 return false;
+                               }
+                               return true;
+                             });
+  return ok;
+}
+
+}  // namespace
+
+RegressionProblem random_problem(const GeneratorOptions& options, util::Rng& rng) {
+  ABFT_REQUIRE(options.num_agents > 0 && options.dim > 0, "generator needs n, d > 0");
+  ABFT_REQUIRE(options.noise_stddev >= 0.0, "noise stddev must be non-negative");
+  ABFT_REQUIRE(options.rank_check_subset_size <= options.num_agents,
+               "rank-check subset size exceeds n");
+  ABFT_REQUIRE(options.rank_check_subset_size == 0 ||
+                   options.rank_check_subset_size >= options.dim,
+               "rank certificate impossible: subset smaller than dimension");
+
+  Vector x_star(options.dim);
+  if (options.x_star.empty()) {
+    for (int i = 0; i < options.dim; ++i) x_star[i] = 1.0;
+  } else {
+    ABFT_REQUIRE(static_cast<int>(options.x_star.size()) == options.dim,
+                 "x_star dimension mismatch");
+    for (int i = 0; i < options.dim; ++i) x_star[i] = options.x_star[static_cast<std::size_t>(i)];
+  }
+
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    linalg::Matrix a(options.num_agents, options.dim);
+    for (int r = 0; r < options.num_agents; ++r) {
+      // Uniform direction on the sphere: normalized Gaussian.
+      Vector row(options.dim);
+      double norm = 0.0;
+      do {
+        for (int c = 0; c < options.dim; ++c) row[c] = rng.normal();
+        norm = row.norm();
+      } while (norm < 1e-9);
+      row /= norm;
+      a.set_row(r, row);
+    }
+    Vector b(options.num_agents);
+    for (int r = 0; r < options.num_agents; ++r) {
+      b[r] = linalg::dot(a.row(r), x_star) + rng.normal(0.0, options.noise_stddev);
+    }
+    RegressionProblem problem(std::move(a), std::move(b));
+    if (options.rank_check_subset_size == 0 ||
+        all_subsets_full_rank(problem, options.rank_check_subset_size)) {
+      return problem;
+    }
+  }
+  ABFT_REQUIRE(false, "could not generate a full-rank instance (raise n or d)");
+}
+
+}  // namespace abft::regress

@@ -1,0 +1,28 @@
+// Randomized regression instance generator with controllable redundancy.
+// B = A x* + N with N ~ N(0, noise^2): noise = 0 gives exact 2f-redundancy
+// (Definition 1) provided every (n-2f)-row submatrix of A is full rank;
+// increasing noise grows the measured (2f, eps)-redundancy eps roughly
+// linearly — the knob behind bench_epsilon_sweep.
+#pragma once
+
+#include "abft/regress/problem.hpp"
+#include "abft/util/rng.hpp"
+
+namespace abft::regress {
+
+struct GeneratorOptions {
+  int num_agents = 6;
+  int dim = 2;
+  double noise_stddev = 0.05;
+  /// Verify that every subset of this size has full column rank (0 disables;
+  /// pass n - 2f to certify the 2f-redundancy precondition).
+  int rank_check_subset_size = 0;
+  /// The ground truth x*; defaults to the all-ones vector.
+  std::vector<double> x_star = {};
+};
+
+/// Draws rows uniformly on the unit sphere and observations B = A x* + N.
+/// Retries (bounded) until the rank certificate holds.
+RegressionProblem random_problem(const GeneratorOptions& options, util::Rng& rng);
+
+}  // namespace abft::regress

@@ -1,0 +1,95 @@
+#include "abft/regress/problem.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "abft/linalg/decompose.hpp"
+#include "abft/linalg/eigen_sym.hpp"
+#include "abft/util/check.hpp"
+
+namespace abft::regress {
+
+RegressionProblem::RegressionProblem(Matrix a, Vector b) : a_(std::move(a)), b_(std::move(b)) {
+  ABFT_REQUIRE(a_.rows() == b_.dim(), "design/observation shape mismatch");
+  ABFT_REQUIRE(a_.rows() > 0 && a_.cols() > 0, "regression needs a non-empty design");
+  costs_.reserve(static_cast<std::size_t>(a_.rows()));
+  for (int i = 0; i < a_.rows(); ++i) costs_.emplace_back(a_.row(i), b_[i]);
+}
+
+RegressionProblem RegressionProblem::paper_instance() {
+  // Appendix J, eq. (132).
+  const Matrix a{{1.0, 0.0}, {0.8, 0.5}, {0.5, 0.8}, {0.0, 1.0}, {-0.5, 0.8}, {-0.8, 0.5}};
+  const Vector b{0.9108, 1.3349, 1.3376, 1.0033, 0.2142, -0.3615};
+  return RegressionProblem(a, b);
+}
+
+const opt::ResidualSquaredCost& RegressionProblem::cost(int agent) const {
+  ABFT_REQUIRE(0 <= agent && agent < num_agents(), "agent index out of range");
+  return costs_[static_cast<std::size_t>(agent)];
+}
+
+std::vector<int> RegressionProblem::resolve(const std::vector<int>& agents) const {
+  if (!agents.empty()) return agents;
+  std::vector<int> everyone(static_cast<std::size_t>(num_agents()));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  return everyone;
+}
+
+std::vector<const opt::CostFunction*> RegressionProblem::costs(
+    const std::vector<int>& agents) const {
+  std::vector<const opt::CostFunction*> out;
+  for (int i : resolve(agents)) {
+    ABFT_REQUIRE(0 <= i && i < num_agents(), "agent index out of range");
+    out.push_back(&costs_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Vector RegressionProblem::subset_minimizer(const std::vector<int>& agents) const {
+  const auto selected = resolve(agents);
+  const Matrix a_s = a_.select_rows(selected);
+  Vector b_s(static_cast<int>(selected.size()));
+  for (std::size_t i = 0; i < selected.size(); ++i) b_s[static_cast<int>(i)] = b_[selected[i]];
+  return linalg::least_squares(a_s, b_s);
+}
+
+int RegressionProblem::subset_rank(const std::vector<int>& agents) const {
+  return linalg::column_rank(a_.select_rows(resolve(agents)));
+}
+
+double RegressionProblem::mu(const std::vector<int>& agents) const {
+  double worst = 0.0;
+  for (int i : resolve(agents)) {
+    worst = std::max(worst, costs_[static_cast<std::size_t>(i)].gradient_lipschitz());
+  }
+  return worst;
+}
+
+double RegressionProblem::gamma(const std::vector<int>& agents) const {
+  const auto selected = resolve(agents);
+  const Matrix a_s = a_.select_rows(selected);
+  const double lambda_min = linalg::smallest_eigenvalue(linalg::gram(a_s));
+  return 2.0 * lambda_min / static_cast<double>(selected.size());
+}
+
+double RegressionProblem::estimate_lambda(const std::vector<int>& agents,
+                                          const std::vector<Vector>& sample_points) const {
+  ABFT_REQUIRE(!sample_points.empty(), "lambda estimate needs sample points");
+  const auto selected = resolve(agents);
+  ABFT_REQUIRE(selected.size() >= 2, "lambda estimate needs at least two agents");
+  double lambda = 0.0;
+  for (const auto& x : sample_points) {
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const Vector gi = costs_[static_cast<std::size_t>(selected[i])].gradient(x);
+      for (std::size_t j = i + 1; j < selected.size(); ++j) {
+        const Vector gj = costs_[static_cast<std::size_t>(selected[j])].gradient(x);
+        const double denom = std::max(gi.norm(), gj.norm());
+        if (denom <= 1e-12) continue;
+        lambda = std::max(lambda, linalg::distance(gi, gj) / denom);
+      }
+    }
+  }
+  return lambda;
+}
+
+}  // namespace abft::regress

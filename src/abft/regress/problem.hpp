@@ -1,0 +1,86 @@
+// Distributed linear regression — the workload of Section 5 / Appendix J.
+// Agent i holds a row A_i and observation B_i = A_i x* + N_i and the cost
+// Q_i(x) = (B_i - A_i x)^2.  Subset aggregates minimize in closed form via
+// least squares, which makes the redundancy sweep and the exhaustive
+// algorithm exact.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abft/core/subset_solver.hpp"
+#include "abft/linalg/matrix.hpp"
+#include "abft/opt/quadratic.hpp"
+
+namespace abft::regress {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class RegressionProblem {
+ public:
+  /// a: n x d design matrix (one row per agent); b: n observations.
+  RegressionProblem(Matrix a, Vector b);
+
+  /// The exact instance of Appendix J (eq. 132): n = 6, d = 2,
+  /// B = A x* + N with x* = (1, 1).
+  static RegressionProblem paper_instance();
+
+  [[nodiscard]] int num_agents() const noexcept { return a_.rows(); }
+  [[nodiscard]] int dim() const noexcept { return a_.cols(); }
+
+  [[nodiscard]] const Matrix& design() const noexcept { return a_; }
+  [[nodiscard]] const Vector& observations() const noexcept { return b_; }
+
+  /// Agent i's cost Q_i.
+  [[nodiscard]] const opt::ResidualSquaredCost& cost(int agent) const;
+
+  /// Cost pointers for the given agents (all agents when empty()).
+  [[nodiscard]] std::vector<const opt::CostFunction*> costs(
+      const std::vector<int>& agents = {}) const;
+
+  /// Closed-form argmin of sum_{i in S} Q_i: least squares on (A_S, B_S).
+  /// Requires A_S to have full column rank.
+  [[nodiscard]] Vector subset_minimizer(const std::vector<int>& agents) const;
+
+  /// Column rank of A_S.
+  [[nodiscard]] int subset_rank(const std::vector<int>& agents) const;
+
+  /// Lipschitz-smoothness constant over the given agents (Assumption 2):
+  /// max_i 2 ||A_i||^2.
+  [[nodiscard]] double mu(const std::vector<int>& agents = {}) const;
+
+  /// Strong-convexity constant of the *average* cost over the given agents
+  /// (Assumption 3): (2/|S|) lambda_min(A_S^T A_S).
+  [[nodiscard]] double gamma(const std::vector<int>& agents = {}) const;
+
+  /// Empirical estimate of the Assumption-5 constant lambda: the max over
+  /// sampled points x of ||grad Q_i(x) - grad Q_j(x)|| /
+  /// max(||grad Q_i(x)||, ||grad Q_j(x)||) over honest pairs.
+  [[nodiscard]] double estimate_lambda(const std::vector<int>& agents,
+                                       const std::vector<Vector>& sample_points) const;
+
+ private:
+  [[nodiscard]] std::vector<int> resolve(const std::vector<int>& agents) const;
+
+  Matrix a_;
+  Vector b_;
+  std::vector<opt::ResidualSquaredCost> costs_;
+};
+
+/// core::SubsetSolver adapter backed by closed-form least squares.
+class RegressionSubsetSolver final : public core::SubsetSolver {
+ public:
+  explicit RegressionSubsetSolver(const RegressionProblem& problem) : problem_(problem) {}
+
+  [[nodiscard]] int num_agents() const noexcept override { return problem_.num_agents(); }
+  [[nodiscard]] int dim() const noexcept override { return problem_.dim(); }
+  [[nodiscard]] Vector solve(const std::vector<int>& agents) const override {
+    return problem_.subset_minimizer(agents);
+  }
+
+ private:
+  const RegressionProblem& problem_;
+};
+
+}  // namespace abft::regress

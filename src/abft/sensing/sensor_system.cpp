@@ -1,0 +1,165 @@
+#include "abft/sensing/sensor_system.hpp"
+
+#include <numeric>
+
+#include "abft/linalg/decompose.hpp"
+#include "abft/util/check.hpp"
+#include "abft/util/combinatorics.hpp"
+
+namespace abft::sensing {
+
+namespace {
+
+/// Stacks the observation matrices and measurement vectors of a subset.
+std::pair<Matrix, Vector> stack(const SensorSystem& system, const std::vector<int>& sensors) {
+  int total_rows = 0;
+  for (int s : sensors) total_rows += system.observation_matrix(s).rows();
+  Matrix h(total_rows, system.state_dim());
+  Vector y(total_rows);
+  int row = 0;
+  for (int s : sensors) {
+    const Matrix& h_s = system.observation_matrix(s);
+    const Vector& y_s = system.measurements(s);
+    for (int r = 0; r < h_s.rows(); ++r, ++row) {
+      for (int c = 0; c < h_s.cols(); ++c) h(row, c) = h_s(r, c);
+      y[row] = y_s[r];
+    }
+  }
+  return {std::move(h), std::move(y)};
+}
+
+}  // namespace
+
+SensorSystem::SensorSystem(std::vector<Matrix> observation_matrices,
+                           std::vector<Vector> measurements)
+    : observation_matrices_(std::move(observation_matrices)),
+      measurements_(std::move(measurements)) {
+  ABFT_REQUIRE(!observation_matrices_.empty(), "system needs at least one sensor");
+  ABFT_REQUIRE(observation_matrices_.size() == measurements_.size(),
+               "one measurement vector per sensor");
+  const int d = observation_matrices_.front().cols();
+  ABFT_REQUIRE(d > 0, "state dimension must be positive");
+  for (std::size_t i = 0; i < observation_matrices_.size(); ++i) {
+    ABFT_REQUIRE(observation_matrices_[i].cols() == d, "sensors must observe the same state");
+    ABFT_REQUIRE(observation_matrices_[i].rows() == measurements_[i].dim(),
+                 "observation/measurement shape mismatch");
+    costs_.emplace_back(observation_matrices_[i], measurements_[i]);
+  }
+}
+
+const Matrix& SensorSystem::observation_matrix(int sensor) const {
+  ABFT_REQUIRE(0 <= sensor && sensor < num_sensors(), "sensor index out of range");
+  return observation_matrices_[static_cast<std::size_t>(sensor)];
+}
+
+const Vector& SensorSystem::measurements(int sensor) const {
+  ABFT_REQUIRE(0 <= sensor && sensor < num_sensors(), "sensor index out of range");
+  return measurements_[static_cast<std::size_t>(sensor)];
+}
+
+const opt::LeastSquaresCost& SensorSystem::cost(int sensor) const {
+  ABFT_REQUIRE(0 <= sensor && sensor < num_sensors(), "sensor index out of range");
+  return costs_[static_cast<std::size_t>(sensor)];
+}
+
+std::vector<const opt::CostFunction*> SensorSystem::costs(const std::vector<int>& sensors) const {
+  std::vector<int> selected = sensors;
+  if (selected.empty()) {
+    selected.resize(static_cast<std::size_t>(num_sensors()));
+    std::iota(selected.begin(), selected.end(), 0);
+  }
+  std::vector<const opt::CostFunction*> out;
+  out.reserve(selected.size());
+  for (int s : selected) {
+    ABFT_REQUIRE(0 <= s && s < num_sensors(), "sensor index out of range");
+    out.push_back(&costs_[static_cast<std::size_t>(s)]);
+  }
+  return out;
+}
+
+bool SensorSystem::jointly_observable(const std::vector<int>& sensors) const {
+  ABFT_REQUIRE(!sensors.empty(), "observability of an empty subset is undefined");
+  const auto [h, y] = stack(*this, sensors);
+  (void)y;
+  return linalg::column_rank(h) == state_dim();
+}
+
+bool SensorSystem::sparse_observable(int k) const {
+  ABFT_REQUIRE(k >= 0, "sparsity level must be non-negative");
+  const int keep = num_sensors() - k;
+  if (keep < 1) return false;
+  bool observable = true;
+  util::for_each_combination(num_sensors(), keep, [&](const std::vector<int>& subset) {
+    if (!jointly_observable(subset)) {
+      observable = false;
+      return false;
+    }
+    return true;
+  });
+  return observable;
+}
+
+Vector SensorSystem::subset_estimate(const std::vector<int>& sensors) const {
+  ABFT_REQUIRE(!sensors.empty(), "estimate needs at least one sensor");
+  const auto [h, y] = stack(*this, sensors);
+  return linalg::least_squares(h, y);
+}
+
+SensorSystem SensorSystem::with_corrupted_sensor(int sensor, const Vector& fake) const {
+  ABFT_REQUIRE(0 <= sensor && sensor < num_sensors(), "sensor index out of range");
+  ABFT_REQUIRE(fake.dim() == measurements_[static_cast<std::size_t>(sensor)].dim(),
+               "fake measurement dimension mismatch");
+  std::vector<Vector> corrupted = measurements_;
+  corrupted[static_cast<std::size_t>(sensor)] = fake;
+  return SensorSystem(observation_matrices_, std::move(corrupted));
+}
+
+GeneratedSensorSystem random_sensor_system(const SensorGeneratorOptions& options,
+                                           util::Rng& rng) {
+  ABFT_REQUIRE(options.num_sensors > 0 && options.state_dim > 0 && options.rows_per_sensor > 0,
+               "generator needs positive sizes");
+  ABFT_REQUIRE(options.noise_stddev >= 0.0, "noise stddev must be non-negative");
+  ABFT_REQUIRE(options.sparse_observability >= 0, "sparsity level must be non-negative");
+
+  Vector x_star(options.state_dim);
+  if (options.true_state.empty()) {
+    for (int i = 0; i < options.state_dim; ++i) x_star[i] = 1.0;
+  } else {
+    ABFT_REQUIRE(static_cast<int>(options.true_state.size()) == options.state_dim,
+                 "true state dimension mismatch");
+    for (int i = 0; i < options.state_dim; ++i) {
+      x_star[i] = options.true_state[static_cast<std::size_t>(i)];
+    }
+  }
+
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<Matrix> h;
+    std::vector<Vector> y;
+    for (int s = 0; s < options.num_sensors; ++s) {
+      Matrix h_s(options.rows_per_sensor, options.state_dim);
+      Vector y_s(options.rows_per_sensor);
+      for (int r = 0; r < options.rows_per_sensor; ++r) {
+        Vector row(options.state_dim);
+        double norm = 0.0;
+        do {
+          for (int c = 0; c < options.state_dim; ++c) row[c] = rng.normal();
+          norm = row.norm();
+        } while (norm < 1e-9);
+        row /= norm;
+        h_s.set_row(r, row);
+        y_s[r] = linalg::dot(row, x_star) + rng.normal(0.0, options.noise_stddev);
+      }
+      h.push_back(std::move(h_s));
+      y.push_back(std::move(y_s));
+    }
+    SensorSystem system(std::move(h), std::move(y));
+    if (options.sparse_observability == 0 ||
+        system.sparse_observable(options.sparse_observability)) {
+      return GeneratedSensorSystem{std::move(system), x_star};
+    }
+  }
+  ABFT_REQUIRE(false, "could not generate a sparse-observable system (raise sensors or rows)");
+}
+
+}  // namespace abft::sensing

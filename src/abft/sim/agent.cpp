@@ -1,0 +1,40 @@
+#include "abft/sim/agent.hpp"
+
+#include "abft/util/check.hpp"
+
+namespace abft::sim {
+
+std::vector<AgentSpec> honest_roster(std::span<const opt::CostFunction* const> costs) {
+  ABFT_REQUIRE(!costs.empty(), "roster needs at least one agent");
+  std::vector<AgentSpec> roster;
+  roster.reserve(costs.size());
+  for (const auto* cost : costs) {
+    ABFT_REQUIRE(cost != nullptr, "honest agent needs a cost function");
+    roster.push_back(AgentSpec{cost, nullptr});
+  }
+  return roster;
+}
+
+void assign_fault(std::vector<AgentSpec>& roster, int agent, const attack::FaultModel& fault) {
+  ABFT_REQUIRE(0 <= agent && agent < static_cast<int>(roster.size()),
+               "fault assignment index out of range");
+  roster[static_cast<std::size_t>(agent)].fault = &fault;
+}
+
+std::vector<int> honest_indices(std::span<const AgentSpec> roster) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    if (roster[i].is_honest()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> byzantine_indices(std::span<const AgentSpec> roster) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    if (!roster[i].is_honest()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace abft::sim

@@ -1,0 +1,36 @@
+// Agent roster for the synchronous server-based system of Figure 1: each
+// agent is either honest (sends the true gradient of its local cost) or
+// Byzantine (its message comes from a FaultModel, possibly after observing
+// every honest gradient of the round).
+#pragma once
+
+#include <vector>
+
+#include "abft/attack/fault.hpp"
+#include "abft/opt/cost.hpp"
+
+namespace abft::sim {
+
+struct AgentSpec {
+  /// The agent's local cost Q_i.  Honest agents require it; Byzantine agents
+  /// may carry one (gradient-reverse needs the true gradient) or not.
+  const opt::CostFunction* cost = nullptr;
+  /// Non-null marks the agent Byzantine.
+  const attack::FaultModel* fault = nullptr;
+
+  [[nodiscard]] bool is_honest() const noexcept { return fault == nullptr; }
+};
+
+/// Builds a roster of n honest agents over the given costs.
+std::vector<AgentSpec> honest_roster(std::span<const opt::CostFunction* const> costs);
+
+/// Marks `agent` in the roster as Byzantine with the given behaviour.
+void assign_fault(std::vector<AgentSpec>& roster, int agent, const attack::FaultModel& fault);
+
+/// Indices of honest agents in the roster.
+std::vector<int> honest_indices(std::span<const AgentSpec> roster);
+
+/// Indices of Byzantine agents in the roster.
+std::vector<int> byzantine_indices(std::span<const AgentSpec> roster);
+
+}  // namespace abft::sim

@@ -1,0 +1,52 @@
+#include "abft/sim/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "abft/util/check.hpp"
+
+namespace abft::sim {
+
+int settling_index(std::span<const double> series, double band) {
+  ABFT_REQUIRE(!series.empty(), "settling index of empty series");
+  ABFT_REQUIRE(band >= 0.0, "band must be non-negative");
+  const double final_value = series.back();
+  int settle = static_cast<int>(series.size()) - 1;
+  for (int t = static_cast<int>(series.size()) - 1; t >= 0; --t) {
+    if (std::abs(series[static_cast<std::size_t>(t)] - final_value) > band) break;
+    settle = t;
+  }
+  return settle;
+}
+
+double tail_mean(std::span<const double> series, int window) {
+  ABFT_REQUIRE(!series.empty(), "tail mean of empty series");
+  ABFT_REQUIRE(window > 0, "window must be positive");
+  const auto count = std::min<std::size_t>(static_cast<std::size_t>(window), series.size());
+  double sum = 0.0;
+  for (std::size_t i = series.size() - count; i < series.size(); ++i) sum += series[i];
+  return sum / static_cast<double>(count);
+}
+
+bool is_decreasing_trend(std::span<const double> series, int window) {
+  ABFT_REQUIRE(window > 0, "window must be positive");
+  if (series.size() < 2 * static_cast<std::size_t>(window)) {
+    return series.back() <= series.front();
+  }
+  std::vector<double> smoothed;
+  smoothed.reserve(series.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    running += series[i];
+    if (i >= static_cast<std::size_t>(window)) running -= series[i - static_cast<std::size_t>(window)];
+    const auto denom = std::min<std::size_t>(i + 1, static_cast<std::size_t>(window));
+    smoothed.push_back(running / static_cast<double>(denom));
+  }
+  // Compare the smoothed head and tail.
+  const double head = smoothed[static_cast<std::size_t>(window)];
+  const double tail = smoothed.back();
+  return tail <= head + 1e-12;
+}
+
+}  // namespace abft::sim

@@ -1,0 +1,24 @@
+// Convergence analysis over recorded series (loss or distance): when did a
+// run settle, and at what level?  Used by benches to report "converged after
+// ~400 iterations" the way Section 5 does.
+#pragma once
+
+#include <span>
+
+#include "abft/sim/trace.hpp"
+
+namespace abft::sim {
+
+/// First index t such that every later value stays within `band` of the
+/// series' final value.  Returns the series length if it never settles
+/// (i.e. only the last point qualifies trivially, length - 1).
+int settling_index(std::span<const double> series, double band);
+
+/// Mean of the last `window` values (window clamped to the series length).
+double tail_mean(std::span<const double> series, int window);
+
+/// True if the series is (weakly) decreasing after smoothing with a moving
+/// average of the given window — a loose "is this run converging" check.
+bool is_decreasing_trend(std::span<const double> series, int window);
+
+}  // namespace abft::sim

@@ -1,0 +1,108 @@
+#include "abft/sim/dgd.hpp"
+
+#include <algorithm>
+
+#include "abft/util/check.hpp"
+
+namespace abft::sim {
+
+DgdSimulation::DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config)
+    : roster_(std::move(roster)),
+      config_(std::move(config)),
+      network_(config_.drop_probability, config_.seed ^ 0x5eedf00dULL) {
+  ABFT_REQUIRE(!roster_.empty(), "simulation needs at least one agent");
+  ABFT_REQUIRE(config_.schedule != nullptr, "simulation needs a step schedule");
+  ABFT_REQUIRE(config_.iterations >= 0, "iterations must be non-negative");
+  ABFT_REQUIRE(config_.f >= 0, "declared fault bound must be non-negative");
+  ABFT_REQUIRE(config_.x0.dim() == config_.box.dim(), "x0/box dimension mismatch");
+  for (const auto& spec : roster_) {
+    if (spec.is_honest()) {
+      ABFT_REQUIRE(spec.cost != nullptr, "honest agent needs a cost function");
+    }
+    if (spec.cost != nullptr) {
+      ABFT_REQUIRE(spec.cost->dim() == config_.box.dim(), "agent cost dimension mismatch");
+    }
+  }
+  network_.record_transcript(config_.record_transcript);
+  honest_gradient_ = [this](int agent, const Vector& estimate, int /*round*/) {
+    return roster_[static_cast<std::size_t>(agent)].cost->gradient(estimate);
+  };
+}
+
+void DgdSimulation::set_honest_gradient_fn(HonestGradientFn fn) {
+  ABFT_REQUIRE(static_cast<bool>(fn), "honest gradient function must be callable");
+  honest_gradient_ = std::move(fn);
+}
+
+void DgdSimulation::set_observer(Observer observer) { observer_ = std::move(observer); }
+
+Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
+  const int dim = config_.box.dim();
+  util::Rng master(config_.seed);
+  // Independent stream per agent so behaviour is invariant to roster order.
+  std::vector<util::Rng> agent_rng;
+  agent_rng.reserve(roster_.size());
+  for (std::size_t i = 0; i < roster_.size(); ++i) agent_rng.push_back(master.split());
+
+  std::vector<int> active(roster_.size());
+  for (std::size_t i = 0; i < roster_.size(); ++i) active[i] = static_cast<int>(i);
+  int current_f = config_.f;
+
+  Trace trace;
+  trace.estimates.reserve(static_cast<std::size_t>(config_.iterations) + 1);
+  Vector x = config_.box.project(config_.x0);
+  trace.estimates.push_back(x);
+
+  for (int t = 0; t < config_.iterations; ++t) {
+    // Honest replies first (omniscient faults may read them).
+    std::vector<Vector> honest_grads;
+    honest_grads.reserve(active.size());
+    for (int agent : active) {
+      if (roster_[static_cast<std::size_t>(agent)].is_honest()) {
+        honest_grads.push_back(honest_gradient_(agent, x, t));
+      }
+    }
+
+    // Collect what the server receives, in agent order.
+    std::vector<Vector> received;
+    received.reserve(active.size());
+    std::vector<int> still_active;
+    still_active.reserve(active.size());
+    std::size_t honest_cursor = 0;
+    for (int agent : active) {
+      const auto& spec = roster_[static_cast<std::size_t>(agent)];
+      std::optional<Vector> payload;
+      if (spec.is_honest()) {
+        payload = honest_grads[honest_cursor++];
+      } else {
+        const Vector true_grad =
+            spec.cost != nullptr ? spec.cost->gradient(x) : Vector(dim);
+        const attack::AttackContext context{x, true_grad, honest_grads, t};
+        payload = spec.fault->emit(context, agent_rng[static_cast<std::size_t>(agent)]);
+      }
+      payload = network_.transmit(agent, t, std::move(payload));
+      if (payload.has_value()) {
+        ABFT_REQUIRE(payload->dim() == dim, "agent sent a gradient of wrong dimension");
+        received.push_back(std::move(*payload));
+        still_active.push_back(agent);
+      } else {
+        // Step S1: a silent agent is necessarily faulty in a synchronous
+        // system — eliminate it and shrink both n and f.
+        ++trace.eliminated_agents;
+        current_f = std::max(0, current_f - 1);
+      }
+    }
+    active = std::move(still_active);
+    ABFT_REQUIRE(!active.empty(), "every agent was eliminated");
+
+    const int usable_f = std::min(current_f, static_cast<int>(received.size()) - 1);
+    const Vector filtered = aggregator.aggregate(received, std::max(0, usable_f));
+    if (observer_) observer_(t, x, filtered);
+
+    x = config_.box.project(x - config_.schedule->step(t) * filtered);
+    trace.estimates.push_back(x);
+  }
+  return trace;
+}
+
+}  // namespace abft::sim

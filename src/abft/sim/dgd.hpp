@@ -1,0 +1,67 @@
+// The Distributed Gradient Descent method of Section 4.1, on the synchronous
+// server-based architecture:
+//
+//   S1  server broadcasts x_t; agent i replies with g_i^t (honest: the true
+//       gradient; Byzantine: anything).  A silent agent is eliminated and
+//       n, f are updated.
+//   S2  x_{t+1} = [ x_t - eta_t * GradFilter(g_1^t, ..., g_n^t) ]_W.
+//
+// Byzantine replies are generated *after* the honest replies of the round so
+// that omniscient fault models can observe them (the strongest adversary the
+// model admits).
+#pragma once
+
+#include <functional>
+
+#include "abft/agg/aggregator.hpp"
+#include "abft/opt/box.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/sim/agent.hpp"
+#include "abft/sim/network.hpp"
+#include "abft/sim/trace.hpp"
+
+namespace abft::sim {
+
+struct DgdConfig {
+  Vector x0;
+  opt::Box box;
+  const opt::StepSchedule* schedule = nullptr;
+  int iterations = 0;
+  /// Declared fault bound f handed to the gradient filter.
+  int f = 0;
+  /// Seed for all randomness (fault behaviours, drop injection).
+  std::uint64_t seed = 0;
+  /// Probability that any agent->server message is lost (crash injection).
+  double drop_probability = 0.0;
+  bool record_transcript = false;
+};
+
+class DgdSimulation {
+ public:
+  /// Called once per iteration with (t, x_t, filtered gradient) before the
+  /// update — lets tests check the phi_t condition of Theorem 3 directly.
+  using Observer = std::function<void(int round, const Vector& estimate, const Vector& filtered)>;
+
+  /// Computes an honest agent's reply; the default sends cost->gradient(x).
+  /// The learning workload substitutes stochastic mini-batch gradients.
+  using HonestGradientFn = std::function<Vector(int agent, const Vector& estimate, int round)>;
+
+  DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config);
+
+  void set_honest_gradient_fn(HonestGradientFn fn);
+  void set_observer(Observer observer);
+
+  /// Runs the full DGD loop and returns the estimate trace.
+  Trace run(const agg::GradientAggregator& aggregator);
+
+  [[nodiscard]] const SyncNetwork& network() const noexcept { return network_; }
+
+ private:
+  std::vector<AgentSpec> roster_;
+  DgdConfig config_;
+  SyncNetwork network_;
+  HonestGradientFn honest_gradient_;
+  Observer observer_;
+};
+
+}  // namespace abft::sim

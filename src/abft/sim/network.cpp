@@ -1,0 +1,24 @@
+#include "abft/sim/network.hpp"
+
+#include "abft/util/check.hpp"
+
+namespace abft::sim {
+
+SyncNetwork::SyncNetwork(double drop_probability, std::uint64_t seed)
+    : drop_probability_(drop_probability), rng_(seed) {
+  ABFT_REQUIRE(0.0 <= drop_probability && drop_probability <= 1.0,
+               "drop probability must be in [0, 1]");
+}
+
+std::optional<Vector> SyncNetwork::transmit(int agent, int round,
+                                            std::optional<Vector> payload) {
+  ++messages_sent_;
+  if (payload.has_value() && drop_probability_ > 0.0 && rng_.uniform() < drop_probability_) {
+    payload.reset();
+    ++messages_dropped_;
+  }
+  if (recording_) transcript_.push_back(GradientMessage{agent, round, payload});
+  return payload;
+}
+
+}  // namespace abft::sim

@@ -1,0 +1,33 @@
+// Execution traces: the estimate sequence x_0, ..., x_T plus derived series
+// (aggregate honest loss and distance to x_H) — exactly the quantities the
+// paper plots in Figures 2-3.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "abft/opt/cost.hpp"
+
+namespace abft::sim {
+
+using linalg::Vector;
+
+struct Trace {
+  /// Estimates x_0, ..., x_T (length iterations + 1).
+  std::vector<Vector> estimates;
+  /// Number of agents eliminated for staying silent (step S1).
+  int eliminated_agents = 0;
+
+  [[nodiscard]] const Vector& final_estimate() const;
+
+  /// sum_{i in H} Q_i(x_t) for every recorded estimate ("loss" in Fig. 2).
+  [[nodiscard]] std::vector<double> loss_series(const opt::CostFunction& honest_aggregate) const;
+
+  /// ||x_t - reference|| for every recorded estimate ("distance" in Fig. 2).
+  [[nodiscard]] std::vector<double> distance_series(const Vector& reference) const;
+
+  /// CSV export (columns: t, x[0..d-1]) for external plotting.
+  void write_csv(std::ostream& os) const;
+};
+
+}  // namespace abft::sim

@@ -1,0 +1,41 @@
+// Precondition and invariant checking used across all abft modules.
+//
+// ABFT_REQUIRE  — validates a caller-supplied precondition; throws
+//                 std::invalid_argument with a source-located message.
+// ABFT_ENSURE   — validates an internal invariant / postcondition; throws
+//                 std::logic_error (a failure indicates a library bug).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace abft::util {
+
+[[noreturn]] inline void throw_require_failure(const char* expr, const char* file, int line,
+                                               const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement `" << expr << "` failed";
+  if (!message.empty()) os << ": " << message;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure_failure(const char* expr, const char* file, int line,
+                                              const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": invariant `" << expr << "` violated";
+  if (!message.empty()) os << ": " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace abft::util
+
+#define ABFT_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::abft::util::throw_require_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define ABFT_ENSURE(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) ::abft::util::throw_ensure_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

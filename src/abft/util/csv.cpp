@@ -1,0 +1,43 @@
+#include "abft/util/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "abft/util/check.hpp"
+#include "abft/util/table.hpp"
+
+namespace abft::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), width_(header.size()) {
+  ABFT_REQUIRE(width_ > 0, "csv needs at least one column");
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  ABFT_REQUIRE(row.size() == width_, "csv row width must match header");
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    os_ << csv_escape(row[i]) << (i + 1 < row.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v, 10));
+  add_row(cells);
+}
+
+}  // namespace abft::util

@@ -1,0 +1,27 @@
+// CSV emission for figure-series data (loss/distance/accuracy vs iteration),
+// so the bench output can be re-plotted directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace abft::util {
+
+/// Streams rows of a CSV document.  All rows must match the header width.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+  void add_numeric_row(const std::vector<double>& row);
+
+ private:
+  std::ostream& os_;
+  std::size_t width_;
+};
+
+/// Escapes a CSV field (quotes fields containing commas/quotes/newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace abft::util

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-for-bit reproducible across platforms and
+// standard-library implementations, so we implement both the generator
+// (xoshiro256++) and the distributions (uniform, Gaussian via Box–Muller)
+// ourselves instead of relying on std::<distribution> (whose output is
+// implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace abft::util {
+
+/// xoshiro256++ generator (Blackman & Vigna).  Seeded via splitmix64 so any
+/// 64-bit seed produces a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound).  Requires bound > 0.
+  /// Uses rejection sampling so the result is exactly unbiased.
+  std::uint64_t uniform_index(std::uint64_t bound);
+
+  /// Standard normal sample (Box–Muller; one cached spare per pair).
+  double normal() noexcept;
+
+  /// Normal sample with the given mean and standard deviation (stddev >= 0).
+  double normal(double mean, double stddev);
+
+  /// Vector of k i.i.d. standard normal samples.
+  std::vector<double> normal_vector(int k);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<int> permutation(int n);
+
+  /// k distinct indices sampled uniformly from [0, n) (k <= n).
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  /// Derive an independent generator (for per-agent streams).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace abft::util

@@ -1,0 +1,36 @@
+// Fixed-width console table printing, used by the bench binaries to emit the
+// same rows the paper's tables and figure annotations report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace abft::util {
+
+/// A simple left-aligned text table.  Columns are sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (general format).
+std::string format_double(double value, int digits = 4);
+
+/// Formats a double in scientific notation with `digits` digits after the
+/// point, e.g. 1.51e-03 — the style of the paper's figure annotations.
+std::string format_scientific(double value, int digits = 2);
+
+}  // namespace abft::util

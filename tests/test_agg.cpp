@@ -1,0 +1,387 @@
+// Unit and property tests for the gradient-filter library.  Each rule gets
+// exact small-case checks; a parameterized suite then asserts the shared
+// robustness contract across every robust rule: permutation invariance and
+// bounded output under f arbitrarily-large outliers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abft/agg/average.hpp"
+#include "abft/agg/bulyan.hpp"
+#include "abft/agg/cclip.hpp"
+#include "abft/agg/cge.hpp"
+#include "abft/agg/cwmed.hpp"
+#include "abft/agg/cwtm.hpp"
+#include "abft/agg/geomed.hpp"
+#include "abft/agg/krum.hpp"
+#include "abft/agg/normclip.hpp"
+#include "abft/agg/registry.hpp"
+#include "abft/util/rng.hpp"
+
+namespace {
+
+using namespace abft;
+using agg::Vector;
+
+std::vector<Vector> make_gradients(std::initializer_list<Vector> list) { return {list}; }
+
+TEST(Validate, SharedPreconditions) {
+  const auto grads = make_gradients({Vector{1.0, 0.0}, Vector{0.0, 1.0}});
+  EXPECT_EQ(agg::validate_gradients(grads, 0), 2);
+  EXPECT_THROW(agg::validate_gradients({}, 0), std::invalid_argument);
+  EXPECT_THROW(agg::validate_gradients(grads, -1), std::invalid_argument);
+  EXPECT_THROW(agg::validate_gradients(grads, 2), std::invalid_argument);
+  const auto ragged = make_gradients({Vector{1.0}, Vector{1.0, 2.0}});
+  EXPECT_THROW(agg::validate_gradients(ragged, 0), std::invalid_argument);
+}
+
+TEST(Average, IsTheMean) {
+  const agg::AverageAggregator rule;
+  const auto grads = make_gradients({Vector{2.0, 0.0}, Vector{0.0, 2.0}});
+  EXPECT_EQ(rule.aggregate(grads, 0), (Vector{1.0, 1.0}));
+}
+
+TEST(Cge, SumsSmallestNormGradients) {
+  const agg::CgeAggregator rule;
+  // Norms: 1, 2, 10 -> with f = 1, keep the two smallest.
+  const auto grads = make_gradients({Vector{1.0, 0.0}, Vector{0.0, 2.0}, Vector{10.0, 0.0}});
+  EXPECT_EQ(rule.aggregate(grads, 1), (Vector{1.0, 2.0}));
+}
+
+TEST(Cge, KeepsEverythingWhenFZero) {
+  const agg::CgeAggregator rule;
+  const auto grads = make_gradients({Vector{1.0}, Vector{2.0}, Vector{3.0}});
+  EXPECT_EQ(rule.aggregate(grads, 0), (Vector{6.0}));
+}
+
+TEST(Cge, KeptIndicesSortedByNorm) {
+  const auto grads = make_gradients({Vector{3.0}, Vector{1.0}, Vector{2.0}});
+  const auto kept = agg::CgeAggregator::kept_indices(grads, 1);
+  EXPECT_EQ(kept, (std::vector<int>{1, 2}));
+}
+
+TEST(Cge, TieBreakIsStableByIndex) {
+  const auto grads = make_gradients({Vector{1.0, 0.0}, Vector{0.0, 1.0}, Vector{-1.0, 0.0}});
+  const auto kept = agg::CgeAggregator::kept_indices(grads, 1);
+  EXPECT_EQ(kept, (std::vector<int>{0, 1}));  // equal norms: earlier index first
+}
+
+TEST(Cwtm, TrimsPerCoordinate) {
+  const agg::CwtmAggregator rule;
+  // Coordinate 0 sorted: 0, 1, 2, 100 -> trim 0 and 100, mean(1, 2) = 1.5.
+  const auto grads = make_gradients(
+      {Vector{0.0, 5.0}, Vector{1.0, 6.0}, Vector{2.0, 7.0}, Vector{100.0, 8.0}});
+  const Vector out = rule.aggregate(grads, 1);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], 6.5);
+}
+
+TEST(Cwtm, FZeroIsPlainMean) {
+  const agg::CwtmAggregator rule;
+  const auto grads = make_gradients({Vector{2.0}, Vector{4.0}});
+  EXPECT_EQ(rule.aggregate(grads, 0), (Vector{3.0}));
+}
+
+TEST(Cwtm, RequiresMoreThanTwoFGradients) {
+  const agg::CwtmAggregator rule;
+  const auto grads = make_gradients({Vector{1.0}, Vector{2.0}});
+  EXPECT_THROW(rule.aggregate(grads, 1), std::invalid_argument);
+}
+
+TEST(Cwtm, OutputInsideHonestHullPerCoordinate) {
+  // With at most f corrupt entries per coordinate, the trimmed mean stays
+  // within [min honest, max honest] per coordinate (paper, eq. 119-120).
+  util::Rng rng(3);
+  const agg::CwtmAggregator rule;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vector> grads;
+    const int honest = 5;
+    for (int i = 0; i < honest; ++i) {
+      grads.push_back(Vector{rng.normal(), rng.normal()});
+    }
+    double lo0 = 1e300, hi0 = -1e300, lo1 = 1e300, hi1 = -1e300;
+    for (const auto& g : grads) {
+      lo0 = std::min(lo0, g[0]);
+      hi0 = std::max(hi0, g[0]);
+      lo1 = std::min(lo1, g[1]);
+      hi1 = std::max(hi1, g[1]);
+    }
+    grads.push_back(Vector{1e9, -1e9});  // one Byzantine outlier, f = 1
+    const Vector out = rule.aggregate(grads, 1);
+    EXPECT_GE(out[0], lo0 - 1e-12);
+    EXPECT_LE(out[0], hi0 + 1e-12);
+    EXPECT_GE(out[1], lo1 - 1e-12);
+    EXPECT_LE(out[1], hi1 + 1e-12);
+  }
+}
+
+TEST(Cwmed, OddAndEvenCounts) {
+  const agg::CwmedAggregator rule;
+  const auto odd = make_gradients({Vector{1.0}, Vector{5.0}, Vector{3.0}});
+  EXPECT_EQ(rule.aggregate(odd, 0), (Vector{3.0}));
+  const auto even = make_gradients({Vector{1.0}, Vector{5.0}, Vector{3.0}, Vector{4.0}});
+  EXPECT_EQ(rule.aggregate(even, 0), (Vector{3.5}));
+}
+
+TEST(Krum, SelectsFromTheHonestCluster) {
+  const agg::KrumAggregator rule;
+  // Five clustered gradients + one far outlier; Krum must return a cluster
+  // member (n = 6 > 2f + 2 with f = 1).
+  auto grads = make_gradients({Vector{1.0, 1.0}, Vector{1.1, 1.0}, Vector{0.9, 1.0},
+                               Vector{1.0, 1.1}, Vector{1.0, 0.9}, Vector{50.0, 50.0}});
+  const Vector out = rule.aggregate(grads, 1);
+  EXPECT_LT(linalg::distance(out, Vector{1.0, 1.0}), 0.5);
+  // Krum returns one of its inputs verbatim.
+  EXPECT_NE(std::find(grads.begin(), grads.end(), out), grads.end());
+}
+
+TEST(Krum, RequiresNGreaterThanTwoFPlusTwo) {
+  const agg::KrumAggregator rule;
+  const auto grads = make_gradients({Vector{1.0}, Vector{2.0}, Vector{3.0}, Vector{4.0}});
+  EXPECT_THROW(rule.aggregate(grads, 1), std::invalid_argument);  // 4 <= 2*1+2
+}
+
+TEST(MultiKrum, AveragesLowScoreGradients) {
+  const agg::MultiKrumAggregator rule(2);
+  const auto grads = make_gradients({Vector{1.0, 0.0}, Vector{1.2, 0.0}, Vector{0.8, 0.0},
+                                     Vector{1.1, 0.0}, Vector{0.9, 0.0}, Vector{99.0, 0.0}});
+  const Vector out = rule.aggregate(grads, 1);
+  EXPECT_NEAR(out[0], 1.0, 0.3);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(GeometricMedian, MatchesMedianInOneDimension) {
+  const auto points = make_gradients({Vector{1.0}, Vector{2.0}, Vector{100.0}});
+  const Vector med = agg::geometric_median(points);
+  EXPECT_NEAR(med[0], 2.0, 1e-6);
+}
+
+TEST(GeometricMedian, FirstOrderOptimality) {
+  // At the geometric median the sum of unit vectors toward the points
+  // (sub)vanishes.
+  util::Rng rng(9);
+  std::vector<Vector> points;
+  for (int i = 0; i < 7; ++i) points.push_back(Vector{rng.normal(), rng.normal()});
+  const Vector med = agg::geometric_median(points, 1e-12, 500);
+  Vector subgradient(2);
+  for (const auto& p : points) {
+    const double dist = linalg::distance(med, p);
+    ASSERT_GT(dist, 1e-9);
+    subgradient.add_scaled(1.0 / dist, med - p);
+  }
+  EXPECT_LT(subgradient.norm(), 1e-4);
+}
+
+TEST(Gmom, SingleBucketIsGeometricMedianOfMean) {
+  const agg::GmomAggregator rule(1);
+  const auto grads = make_gradients({Vector{0.0}, Vector{2.0}});
+  EXPECT_NEAR(rule.aggregate(grads, 0)[0], 1.0, 1e-9);
+}
+
+TEST(Gmom, DefaultBucketCountResistsOutlier) {
+  const agg::GmomAggregator rule;  // 2f + 1 = 3 buckets
+  const auto grads = make_gradients({Vector{1.0}, Vector{1.1}, Vector{0.9}, Vector{1.05},
+                                     Vector{0.95}, Vector{1e6}});
+  EXPECT_LT(std::abs(rule.aggregate(grads, 1)[0] - 1.0), 0.6);
+}
+
+TEST(Bulyan, RequiresFourFPlusThree) {
+  const agg::BulyanAggregator rule;
+  const auto grads = make_gradients({Vector{1.0}, Vector{2.0}, Vector{3.0}, Vector{4.0},
+                                     Vector{5.0}, Vector{6.0}});
+  EXPECT_THROW(rule.aggregate(grads, 1), std::invalid_argument);  // 6 < 4*1+3
+}
+
+TEST(Bulyan, StaysInsideHonestCluster) {
+  const agg::BulyanAggregator rule;
+  std::vector<Vector> grads;
+  util::Rng rng(12);
+  for (int i = 0; i < 6; ++i) grads.push_back(Vector{1.0 + 0.01 * rng.normal()});
+  grads.push_back(Vector{-1e7});  // f = 1, n = 7 >= 4f + 3
+  const Vector out = rule.aggregate(grads, 1);
+  EXPECT_NEAR(out[0], 1.0, 0.1);
+}
+
+TEST(NormClip, BoundsOutlierInfluence) {
+  const agg::NormClipAggregator rule;
+  const auto grads = make_gradients({Vector{1.0}, Vector{1.0}, Vector{1e9}});
+  // Median norm = 1, so the outlier is scaled to norm 1: mean = 1.
+  EXPECT_NEAR(rule.aggregate(grads, 1)[0], 1.0, 1e-9);
+}
+
+TEST(CenteredClip, PassesCleanGradientsThrough) {
+  // When every gradient sits within the clip radius of the pivot, centered
+  // clipping converges to the plain mean.
+  const agg::CenteredClipAggregator rule(10.0, 5);
+  const auto grads = make_gradients({Vector{1.0, 0.0}, Vector{3.0, 0.0}});
+  EXPECT_NEAR(rule.aggregate(grads, 0)[0], 2.0, 1e-9);
+}
+
+TEST(CenteredClip, OutlierInfluenceBoundedByTau) {
+  const agg::CenteredClipAggregator rule(1.0, 1);
+  const auto grads = make_gradients({Vector{0.0}, Vector{0.0}, Vector{1e9}});
+  // Pivot = median = 0; the outlier contributes at most tau/n = 1/3.
+  EXPECT_NEAR(rule.aggregate(grads, 1)[0], 1.0 / 3.0, 1e-9);
+}
+
+TEST(CenteredClip, AdaptiveRadiusResistsOutliers) {
+  const agg::CenteredClipAggregator rule;  // adaptive tau, 3 iterations
+  util::Rng rng(55);
+  std::vector<Vector> grads;
+  for (int i = 0; i < 8; ++i) grads.push_back(Vector{1.0 + 0.05 * rng.normal()});
+  grads.push_back(Vector{1e7});
+  EXPECT_NEAR(rule.aggregate(grads, 1)[0], 1.0, 0.3);
+}
+
+TEST(CenteredClip, IdenticalGradientsShortCircuit) {
+  const agg::CenteredClipAggregator rule;
+  const auto grads = make_gradients({Vector{2.0, -1.0}, Vector{2.0, -1.0}, Vector{2.0, -1.0}});
+  EXPECT_EQ(rule.aggregate(grads, 1), (Vector{2.0, -1.0}));
+}
+
+TEST(ClippedInput, CapsNormsBeforeInnerRule) {
+  const agg::AverageAggregator inner;
+  const agg::ClippedInputAggregator rule(inner);
+  const auto grads = make_gradients({Vector{1.0}, Vector{1.0}, Vector{1e9}});
+  // Median norm 1 caps the outlier: mean = 1.
+  EXPECT_NEAR(rule.aggregate(grads, 1)[0], 1.0, 1e-9);
+}
+
+// Structural property of CGE across an (n, f) grid: the output is exactly
+// the sum of some n - f of the inputs, all with norms no larger than every
+// dropped input's norm.
+struct CgeGridParam {
+  int n;
+  int f;
+};
+
+class CgeStructure : public ::testing::TestWithParam<CgeGridParam> {};
+
+TEST_P(CgeStructure, OutputIsSumOfSmallestNormSubset) {
+  const auto [n, f] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n * 10 + f));
+  std::vector<Vector> grads;
+  for (int i = 0; i < n; ++i) {
+    grads.push_back(Vector{rng.normal(), rng.normal(), rng.normal()});
+  }
+  const agg::CgeAggregator rule;
+  const Vector out = rule.aggregate(grads, f);
+  const auto kept = agg::CgeAggregator::kept_indices(grads, f);
+  ASSERT_EQ(kept.size(), static_cast<std::size_t>(n - f));
+  Vector expected(3);
+  double max_kept_norm = 0.0;
+  for (int idx : kept) {
+    expected += grads[static_cast<std::size_t>(idx)];
+    max_kept_norm = std::max(max_kept_norm, grads[static_cast<std::size_t>(idx)].norm());
+  }
+  EXPECT_TRUE(linalg::approx_equal(out, expected, 1e-12));
+  // Every dropped gradient has norm >= every kept one.
+  std::vector<bool> is_kept(grads.size(), false);
+  for (int idx : kept) is_kept[static_cast<std::size_t>(idx)] = true;
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    if (!is_kept[i]) {
+      EXPECT_GE(grads[i].norm() + 1e-12, max_kept_norm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CgeStructure,
+                         ::testing::Values(CgeGridParam{3, 0}, CgeGridParam{5, 1},
+                                           CgeGridParam{6, 2}, CgeGridParam{9, 3},
+                                           CgeGridParam{12, 5}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_f" +
+                                  std::to_string(info.param.f);
+                         });
+
+TEST(Registry, ConstructsEveryKnownRule) {
+  for (const auto name : agg::aggregator_names()) {
+    const auto rule = agg::make_aggregator(name);
+    ASSERT_NE(rule, nullptr);
+    EXPECT_EQ(rule->name(), name);
+  }
+  EXPECT_THROW(agg::make_aggregator("nope"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Shared robustness contract, parameterized across robust rules.
+// n = 11, f = 2 satisfies every rule's precondition (n > 2f+2, n >= 4f+3).
+// ---------------------------------------------------------------------------
+
+class RobustRuleTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr int kN = 11;
+  static constexpr int kF = 2;
+
+  static std::vector<Vector> honest_cluster(util::Rng& rng, int count, double spread) {
+    std::vector<Vector> grads;
+    for (int i = 0; i < count; ++i) {
+      grads.push_back(Vector{1.0 + spread * rng.normal(), -2.0 + spread * rng.normal(),
+                             0.5 + spread * rng.normal()});
+    }
+    return grads;
+  }
+};
+
+TEST_P(RobustRuleTest, OutputBoundedUnderHugeOutliers) {
+  const auto rule = agg::make_aggregator(GetParam());
+  util::Rng rng(101);
+  auto grads = honest_cluster(rng, kN - kF, 0.05);
+  double honest_norm_cap = 0.0;
+  for (const auto& g : grads) honest_norm_cap = std::max(honest_norm_cap, g.norm());
+  for (int i = 0; i < kF; ++i) grads.push_back(Vector{1e8, -1e8, 1e8});
+  const Vector out = rule->aggregate(grads, kF);
+  // A robust rule's output is bounded by a constant multiple of the honest
+  // norms (for CGE, the sum of n - f of them), never by the outlier scale.
+  EXPECT_LE(out.norm(), static_cast<double>(kN) * honest_norm_cap + 1e-9)
+      << "rule " << GetParam() << " was dragged by outliers";
+}
+
+TEST_P(RobustRuleTest, PermutationInvariant) {
+  if (GetParam() == "gmom") {
+    GTEST_SKIP() << "gmom buckets by index; permutation invariance does not apply";
+  }
+  const auto rule = agg::make_aggregator(GetParam());
+  util::Rng rng(202);
+  auto grads = honest_cluster(rng, kN - kF, 0.2);
+  for (int i = 0; i < kF; ++i) {
+    grads.push_back(Vector{10.0 + rng.normal(), 10.0, -10.0});
+  }
+  const Vector base = rule->aggregate(grads, kF);
+  auto shuffled = grads;
+  const auto perm = rng.permutation(static_cast<int>(shuffled.size()));
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    shuffled[i] = grads[static_cast<std::size_t>(perm[i])];
+  }
+  const Vector permuted = rule->aggregate(shuffled, kF);
+  EXPECT_TRUE(linalg::approx_equal(base, permuted, 1e-9))
+      << "rule " << GetParam() << " depends on input order";
+}
+
+TEST_P(RobustRuleTest, IdenticalGradientsAreAFixedPoint) {
+  // When every agent reports the same vector g, any sensible rule returns g
+  // itself — except CGE, which by definition returns the SUM of n - f
+  // copies.
+  const auto rule = agg::make_aggregator(GetParam());
+  const Vector g{0.7, -1.3, 2.1};
+  const std::vector<Vector> grads(kN, g);
+  const Vector out = rule->aggregate(grads, kF);
+  const Vector expected = GetParam() == "cge" ? static_cast<double>(kN - kF) * g : g;
+  EXPECT_TRUE(linalg::approx_equal(out, expected, 1e-9)) << GetParam();
+}
+
+TEST_P(RobustRuleTest, CleanInputStaysNearHonestMean) {
+  const auto rule = agg::make_aggregator(GetParam());
+  util::Rng rng(303);
+  const auto grads = honest_cluster(rng, kN, 0.01);
+  Vector out = rule->aggregate(grads, kF);
+  if (GetParam() == "cge") out /= static_cast<double>(kN - kF);  // CGE returns a sum
+  EXPECT_LT(linalg::distance(out, Vector{1.0, -2.0, 0.5}), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRobustRules, RobustRuleTest,
+                         ::testing::Values("cge", "cwtm", "cwmed", "krum", "multikrum",
+                                           "geomed", "gmom", "bulyan", "normclip", "cclip"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace

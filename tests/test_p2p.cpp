@@ -1,0 +1,404 @@
+// Tests for the Byzantine-broadcast substrate and the peer-to-peer DGD
+// built on it: the IC1/IC2 conditions of Oral Messages under adversarial
+// relay strategies, and lockstep agreement of the honest P2P estimates with
+// the server-based run.
+#include <gtest/gtest.h>
+
+#include "abft/agg/cge.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/p2p/dolev_strong.hpp"
+#include "abft/p2p/eig.hpp"
+#include "abft/p2p/p2p_dgd.hpp"
+#include "abft/regress/problem.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Vector;
+using p2p::Payload;
+
+std::vector<const p2p::RelayStrategy*> no_faults(int n) {
+  return std::vector<const p2p::RelayStrategy*>(static_cast<std::size_t>(n), nullptr);
+}
+
+TEST(OralMessages, RequiresNGreaterThanThreeF) {
+  EXPECT_THROW(p2p::OralMessagesBroadcast(3, 1), std::invalid_argument);
+  EXPECT_NO_THROW(p2p::OralMessagesBroadcast(4, 1));
+  EXPECT_THROW(p2p::OralMessagesBroadcast(6, 2), std::invalid_argument);
+  EXPECT_NO_THROW(p2p::OralMessagesBroadcast(7, 2));
+}
+
+TEST(OralMessages, FaultFreeBroadcastDeliversEverywhere) {
+  const p2p::OralMessagesBroadcast bcast(4, 1);
+  const Payload value{1.5, -2.5};
+  const auto outcome = bcast.broadcast(0, value, no_faults(4), 9);
+  for (const auto& decision : outcome.decisions) EXPECT_EQ(decision, value);
+  EXPECT_GT(outcome.messages_sent, 0);
+}
+
+TEST(OralMessages, ValidityWithFaultyRelay) {
+  // Honest source, one equivocating relay: every honest node must still
+  // decide the source's value (IC2).
+  const p2p::OralMessagesBroadcast bcast(4, 1);
+  const p2p::EquivocateStrategy equivocate(10.0);
+  const Payload value{3.0};
+  for (int faulty = 1; faulty < 4; ++faulty) {
+    auto strategies = no_faults(4);
+    strategies[static_cast<std::size_t>(faulty)] = &equivocate;
+    const auto outcome = bcast.broadcast(0, value, strategies, 31);
+    for (int node = 0; node < 4; ++node) {
+      if (node == faulty) continue;
+      EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], value)
+          << "faulty relay " << faulty << " broke validity at node " << node;
+    }
+  }
+}
+
+TEST(OralMessages, AgreementWithFaultySource) {
+  // Byzantine source equivocating: all honest nodes must still agree (IC1).
+  const p2p::OralMessagesBroadcast bcast(4, 1);
+  const p2p::EquivocateStrategy equivocate(5.0);
+  auto strategies = no_faults(4);
+  strategies[0] = &equivocate;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto outcome = bcast.broadcast(0, Payload{1.0, 1.0}, strategies, seed);
+    const auto& reference = outcome.decisions[1];
+    EXPECT_EQ(outcome.decisions[2], reference) << "seed " << seed;
+    EXPECT_EQ(outcome.decisions[3], reference) << "seed " << seed;
+  }
+}
+
+TEST(OralMessages, AgreementWithSilentSource) {
+  const p2p::OralMessagesBroadcast bcast(4, 1);
+  const p2p::SilentStrategy silent;
+  auto strategies = no_faults(4);
+  strategies[0] = &silent;
+  const auto outcome = bcast.broadcast(0, Payload{9.0}, strategies, 3);
+  // Everyone falls back to the protocol default (zero vector), consistently.
+  for (int node = 1; node < 4; ++node) {
+    EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], Payload{0.0});
+  }
+}
+
+TEST(OralMessages, TwoFaultsWithSevenNodes) {
+  const p2p::OralMessagesBroadcast bcast(7, 2);
+  const p2p::EquivocateStrategy equivocate(8.0);
+  const p2p::FixedValueStrategy fixed(Payload{-4.0});
+  // Faulty source + one faulty relay: honest agreement must survive.
+  auto strategies = no_faults(7);
+  strategies[0] = &equivocate;
+  strategies[3] = &fixed;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto outcome = bcast.broadcast(0, Payload{1.0}, strategies, seed);
+    const auto& reference = outcome.decisions[1];
+    for (int node = 2; node < 7; ++node) {
+      if (node == 3) continue;
+      EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], reference)
+          << "seed " << seed << " node " << node;
+    }
+  }
+}
+
+TEST(OralMessages, HonestSourceWithTwoFaultyRelays) {
+  const p2p::OralMessagesBroadcast bcast(7, 2);
+  const p2p::EquivocateStrategy equivocate(8.0);
+  auto strategies = no_faults(7);
+  strategies[2] = &equivocate;
+  strategies[5] = &equivocate;
+  const Payload value{2.5, 0.5};
+  const auto outcome = bcast.broadcast(1, value, strategies, 13);
+  for (int node = 0; node < 7; ++node) {
+    if (node == 2 || node == 5) continue;
+    EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], value);
+  }
+}
+
+TEST(OralMessages, RejectsTooManyFaulty) {
+  const p2p::OralMessagesBroadcast bcast(4, 1);
+  const p2p::SilentStrategy silent;
+  std::vector<const p2p::RelayStrategy*> strategies(4, &silent);
+  EXPECT_THROW(bcast.broadcast(0, Payload{1.0}, strategies, 0), std::invalid_argument);
+}
+
+TEST(OralMessages, MessageCountMatchesRecursionFormula) {
+  // OM(m) over L lieutenants sends L + L * OM(m-1) over L-1 messages:
+  // f = 1, L = n - 1:  (n-1) + (n-1)(n-2).
+  for (const int n : {4, 5, 6, 7}) {
+    const p2p::OralMessagesBroadcast bcast(n, 1);
+    const auto outcome =
+        bcast.broadcast(0, Payload{1.0},
+                        std::vector<const p2p::RelayStrategy*>(static_cast<std::size_t>(n),
+                                                               nullptr),
+                        0);
+    const long lieutenants = n - 1;
+    EXPECT_EQ(outcome.messages_sent, lieutenants + lieutenants * (lieutenants - 1)) << n;
+  }
+  // f = 2: L + L((L-1) + (L-1)(L-2)).
+  const p2p::OralMessagesBroadcast deep(7, 2);
+  const auto outcome = deep.broadcast(
+      0, Payload{1.0}, std::vector<const p2p::RelayStrategy*>(7, nullptr), 0);
+  const long l = 6;
+  EXPECT_EQ(outcome.messages_sent, l + l * ((l - 1) + (l - 1) * (l - 2)));
+}
+
+TEST(OralMessages, MixedStrategiesAgreementSweep) {
+  // Every combination of two distinct faulty nodes with different strategy
+  // types: honest nodes must always agree.
+  const p2p::OralMessagesBroadcast bcast(7, 2);
+  const p2p::EquivocateStrategy equivocate(3.0);
+  const p2p::SilentStrategy silent;
+  const p2p::FixedValueStrategy fixed(Payload{9.0, -9.0});
+  const std::vector<const p2p::RelayStrategy*> kinds{&equivocate, &silent, &fixed};
+  const Payload value{1.0, 2.0};
+  for (std::size_t a = 0; a < kinds.size(); ++a) {
+    for (std::size_t b = 0; b < kinds.size(); ++b) {
+      auto strategies = no_faults(7);
+      strategies[2] = kinds[a];
+      strategies[4] = kinds[b];
+      const auto outcome = bcast.broadcast(0, value, strategies, 5);
+      // Source honest: validity must hold at every honest node.
+      for (int node = 0; node < 7; ++node) {
+        if (node == 2 || node == 4) continue;
+        EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], value)
+            << "strategies " << a << "/" << b << " node " << node;
+      }
+    }
+  }
+}
+
+TEST(OralMessages, MessageComplexityGrowsWithF) {
+  const p2p::OralMessagesBroadcast shallow(7, 1);
+  const p2p::OralMessagesBroadcast deep(7, 2);
+  const auto a = shallow.broadcast(0, Payload{1.0}, no_faults(7), 0);
+  const auto b = deep.broadcast(0, Payload{1.0}, no_faults(7), 0);
+  EXPECT_GT(b.messages_sent, a.messages_sent);
+}
+
+// --------------------------- Dolev-Strong ----------------------------------
+
+std::vector<const p2p::DsStrategy*> ds_no_faults(int n) {
+  return std::vector<const p2p::DsStrategy*>(static_cast<std::size_t>(n), nullptr);
+}
+
+TEST(DolevStrong, HonestSourceDeliversEverywhere) {
+  const p2p::DolevStrongBroadcast bcast(5, 2);
+  const p2p::DsPayload value{3.5, -1.0};
+  const auto outcome = bcast.broadcast(1, value, ds_no_faults(5), 9);
+  for (const auto& decision : outcome.decisions) EXPECT_EQ(decision, value);
+  EXPECT_EQ(outcome.rounds_used, 3);  // f + 1
+}
+
+TEST(DolevStrong, ToleratesAnyFBelowN) {
+  // The authenticated protocol has no n > 3f restriction: n = 4, f = 3.
+  EXPECT_NO_THROW(p2p::DolevStrongBroadcast(4, 3));
+  EXPECT_THROW(p2p::DolevStrongBroadcast(4, 4), std::invalid_argument);
+
+  // With 3 of 4 nodes faulty, the lone honest node still "agrees" (with
+  // itself) — protocol runs to completion.
+  const p2p::DolevStrongBroadcast bcast(4, 3);
+  const p2p::SilentDsStrategy silent;
+  std::vector<const p2p::DsStrategy*> strategies(4, &silent);
+  strategies[2] = nullptr;  // the honest one
+  const auto outcome = bcast.broadcast(0, p2p::DsPayload{1.0}, strategies, 4);
+  EXPECT_EQ(outcome.decisions[2], p2p::DsPayload{0.0});  // silent source -> default
+}
+
+TEST(DolevStrong, ValidityWithFaultyRelays) {
+  // Honest source, two selectively-forwarding faulty relays: every honest
+  // node must still decide the source's value.
+  const p2p::DolevStrongBroadcast bcast(6, 2);
+  const p2p::EquivocatingDsStrategy flaky(10.0, 0.3);
+  const p2p::DsPayload value{7.0};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto strategies = ds_no_faults(6);
+    strategies[3] = &flaky;
+    strategies[5] = &flaky;
+    const auto outcome = bcast.broadcast(0, value, strategies, seed);
+    for (int node = 0; node < 6; ++node) {
+      if (node == 3 || node == 5) continue;
+      EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], value)
+          << "seed " << seed << " node " << node;
+    }
+  }
+}
+
+TEST(DolevStrong, AgreementUnderEquivocatingSource) {
+  // Byzantine source signs a different value for every receiver, plus a
+  // selective-forwarding accomplice.  All honest nodes must agree (they
+  // extract >= 2 values and fall back to the default, or all extract the
+  // same single value).
+  const p2p::DolevStrongBroadcast bcast(6, 2);
+  const p2p::EquivocatingDsStrategy equivocate(5.0, 0.5);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    auto strategies = ds_no_faults(6);
+    strategies[0] = &equivocate;  // the source
+    strategies[4] = &equivocate;  // accomplice relay
+    const auto outcome = bcast.broadcast(0, p2p::DsPayload{1.0, 1.0}, strategies, seed);
+    const auto& reference = outcome.decisions[1];
+    for (int node = 2; node < 6; ++node) {
+      if (node == 4) continue;
+      EXPECT_EQ(outcome.decisions[static_cast<std::size_t>(node)], reference)
+          << "seed " << seed << " node " << node;
+    }
+  }
+}
+
+TEST(DolevStrong, AgreementWithMaximalFaultCount) {
+  // n = 5, f = 4: only one honest node — agreement is vacuous but the
+  // protocol must terminate after f + 1 rounds; sweep seeds for crashes.
+  const p2p::DolevStrongBroadcast bcast(5, 4);
+  const p2p::EquivocatingDsStrategy equivocate(2.0, 0.4);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    std::vector<const p2p::DsStrategy*> strategies(5, &equivocate);
+    strategies[3] = nullptr;
+    const auto outcome = bcast.broadcast(0, p2p::DsPayload{2.0}, strategies, seed);
+    EXPECT_EQ(outcome.rounds_used, 5);
+  }
+}
+
+TEST(DolevStrong, RejectsTooManyFaulty) {
+  const p2p::DolevStrongBroadcast bcast(4, 1);
+  const p2p::SilentDsStrategy silent;
+  std::vector<const p2p::DsStrategy*> strategies(4, &silent);
+  EXPECT_THROW(bcast.broadcast(0, p2p::DsPayload{1.0}, strategies, 0), std::invalid_argument);
+}
+
+TEST(DolevStrong, FZeroIsSingleRound) {
+  const p2p::DolevStrongBroadcast bcast(4, 0);
+  const auto outcome = bcast.broadcast(2, p2p::DsPayload{4.0}, ds_no_faults(4), 0);
+  EXPECT_EQ(outcome.rounds_used, 1);
+  EXPECT_EQ(outcome.messages_sent, 3);
+  for (const auto& decision : outcome.decisions) EXPECT_EQ(decision, p2p::DsPayload{4.0});
+}
+
+// --------------------------- P2P DGD ---------------------------------------
+
+struct P2pFixture {
+  regress::RegressionProblem problem = regress::RegressionProblem::paper_instance();
+  opt::HarmonicSchedule schedule{1.5};
+
+  [[nodiscard]] p2p::P2pDgdConfig config(int iterations, int f) {
+    return p2p::P2pDgdConfig{Vector{0.0, 0.0}, opt::Box::centered_cube(2, 1000.0), &schedule,
+                             iterations, f, 5};
+  }
+};
+
+TEST(P2pDgd, FaultFreeMatchesAggregateMinimum) {
+  P2pFixture fx;
+  const auto roster = sim::honest_roster(fx.problem.costs());
+  const agg::CgeAggregator cge;
+  const auto result = p2p::run_p2p_dgd(roster, fx.config(300, 0), cge);
+  EXPECT_EQ(result.honest_nodes.size(), 6u);
+  const auto x_all = fx.problem.subset_minimizer({});
+  for (const auto& trace : result.traces) {
+    EXPECT_LT(linalg::distance(trace.final_estimate(), x_all), 1e-2);
+  }
+}
+
+TEST(P2pDgd, HonestEstimatesStayInLockstep) {
+  P2pFixture fx;
+  auto roster = sim::honest_roster(fx.problem.costs());
+  const attack::GradientReverseFault fault;
+  sim::assign_fault(roster, 0, fault);
+  const agg::CgeAggregator cge;
+  const p2p::EquivocateStrategy equivocate(50.0);
+  const auto result = p2p::run_p2p_dgd(roster, fx.config(100, 1), cge, &equivocate);
+  ASSERT_EQ(result.traces.size(), 5u);
+  // Byzantine broadcast forces identical honest views, hence identical
+  // estimates at every iteration.
+  for (std::size_t k = 1; k < result.traces.size(); ++k) {
+    ASSERT_EQ(result.traces[k].estimates.size(), result.traces[0].estimates.size());
+    for (std::size_t t = 0; t < result.traces[0].estimates.size(); ++t) {
+      EXPECT_EQ(result.traces[k].estimates[t], result.traces[0].estimates[t])
+          << "node " << k << " diverged at iteration " << t;
+    }
+  }
+}
+
+TEST(P2pDgd, ConvergesNearHonestMinimizerUnderAttack) {
+  P2pFixture fx;
+  auto roster = sim::honest_roster(fx.problem.costs());
+  const attack::GradientReverseFault fault;
+  sim::assign_fault(roster, 0, fault);
+  const agg::CgeAggregator cge;
+  const auto result = p2p::run_p2p_dgd(roster, fx.config(400, 1), cge);
+  const auto x_h = fx.problem.subset_minimizer({1, 2, 3, 4, 5});
+  // (2f, eps)-redundancy holds with eps = 0.0890: the honest estimates land
+  // within eps of x_H, as in the server-based run.
+  EXPECT_LT(linalg::distance(result.traces.front().final_estimate(), x_h), 0.0890);
+}
+
+TEST(P2pDgd, CountsBroadcastMessages) {
+  P2pFixture fx;
+  const auto roster = sim::honest_roster(fx.problem.costs());
+  const agg::CgeAggregator cge;
+  const auto result = p2p::run_p2p_dgd(roster, fx.config(2, 1), cge);
+  // Per round: 6 sources, each OM(1) among 5 lieutenants = 5 + 5*4 = 25.
+  EXPECT_EQ(result.broadcast_messages, 2L * 6L * 25L);
+}
+
+TEST(P2pDgdAuthenticated, WorksWhereOralMessagesCannot) {
+  // n = 6, f = 2: unauthenticated broadcast needs n > 3f = 6 and is
+  // impossible; Dolev-Strong handles it, and the optimization layer still
+  // satisfies Lemma 1 (f < n/2).
+  P2pFixture fx;
+  auto roster = sim::honest_roster(fx.problem.costs());
+  const attack::GradientReverseFault fault;
+  sim::assign_fault(roster, 0, fault);
+  sim::assign_fault(roster, 1, fault);
+  const agg::CgeAggregator cge;
+
+  EXPECT_THROW(p2p::run_p2p_dgd(roster, fx.config(10, 2), cge), std::invalid_argument);
+
+  const p2p::EquivocatingDsStrategy equivocate(20.0, 0.5);
+  const auto result = p2p::run_p2p_dgd_authenticated(roster, fx.config(200, 2), cge, &equivocate);
+  ASSERT_EQ(result.traces.size(), 4u);
+  // Honest estimates in lockstep despite in-protocol equivocation.
+  for (std::size_t k = 1; k < result.traces.size(); ++k) {
+    for (std::size_t t = 0; t < result.traces[0].estimates.size(); ++t) {
+      ASSERT_EQ(result.traces[k].estimates[t], result.traces[0].estimates[t])
+          << "node " << k << " diverged at iteration " << t;
+    }
+  }
+  // And the run makes optimization progress toward the honest minimizer.
+  const auto x_h = fx.problem.subset_minimizer({2, 3, 4, 5});
+  EXPECT_LT(linalg::distance(result.traces.front().final_estimate(), x_h), 0.5);
+}
+
+TEST(P2pDgdAuthenticated, MatchesUnauthenticatedRunWhenBothApply) {
+  // With f = 1 and faithful relays both transports deliver the same values,
+  // so the trajectories coincide exactly.
+  P2pFixture fx;
+  auto roster = sim::honest_roster(fx.problem.costs());
+  const attack::GradientReverseFault fault;
+  sim::assign_fault(roster, 0, fault);
+  const agg::CgeAggregator cge;
+  const auto om = p2p::run_p2p_dgd(roster, fx.config(60, 1), cge);
+  const auto ds = p2p::run_p2p_dgd_authenticated(roster, fx.config(60, 1), cge);
+  ASSERT_EQ(om.traces.size(), ds.traces.size());
+  for (std::size_t k = 0; k < om.traces.size(); ++k) {
+    for (std::size_t t = 0; t < om.traces[k].estimates.size(); ++t) {
+      EXPECT_EQ(om.traces[k].estimates[t], ds.traces[k].estimates[t]);
+    }
+  }
+}
+
+TEST(P2pDgdAuthenticated, RejectsHalfFaulty) {
+  P2pFixture fx;
+  const auto roster = sim::honest_roster(fx.problem.costs());
+  const agg::CgeAggregator cge;
+  EXPECT_THROW(p2p::run_p2p_dgd_authenticated(roster, fx.config(10, 3), cge),
+               std::invalid_argument);  // f = n/2
+}
+
+TEST(P2pDgd, ValidatesConfiguration) {
+  P2pFixture fx;
+  const auto roster = sim::honest_roster(fx.problem.costs());
+  const agg::CgeAggregator cge;
+  EXPECT_THROW(p2p::run_p2p_dgd(roster, fx.config(10, 2), cge), std::invalid_argument);  // 6 <= 3*2
+  auto config = fx.config(10, 1);
+  config.schedule = nullptr;
+  EXPECT_THROW(p2p::run_p2p_dgd(roster, config, cge), std::invalid_argument);
+}
+
+}  // namespace

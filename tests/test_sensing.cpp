@@ -1,0 +1,166 @@
+// Tests for the distributed state-estimation workload (Section 2.4):
+// observability analysis, the 2f-sparse-observability <-> 2f-redundancy
+// equivalence, least-squares estimation, sensor corruption, and the
+// LeastSquaresCost gradients.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "abft/core/exhaustive.hpp"
+#include "abft/core/redundancy.hpp"
+#include "abft/opt/cost.hpp"
+#include "abft/sensing/sensor_system.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Matrix;
+using linalg::Vector;
+
+sensing::SensorSystem axis_system() {
+  // Three sensors, each observing one coordinate of a 2-dimensional state
+  // x* = (2, -1); sensor 2 observes the sum.
+  std::vector<Matrix> h{Matrix{{1.0, 0.0}}, Matrix{{0.0, 1.0}}, Matrix{{1.0, 1.0}}};
+  std::vector<Vector> y{Vector{2.0}, Vector{-1.0}, Vector{1.0}};
+  return sensing::SensorSystem(std::move(h), std::move(y));
+}
+
+TEST(LeastSquaresCost, ValueAndGradient) {
+  const opt::LeastSquaresCost cost(Matrix{{1.0, 0.0}, {0.0, 2.0}}, Vector{1.0, 4.0});
+  // Residual at x = (0, 0): ||(1, 4)||^2 = 17.
+  EXPECT_DOUBLE_EQ(cost.value(Vector{0.0, 0.0}), 17.0);
+  EXPECT_DOUBLE_EQ(cost.value(Vector{1.0, 2.0}), 0.0);
+  const Vector x{0.5, -1.0};
+  EXPECT_TRUE(linalg::approx_equal(cost.gradient(x), opt::numerical_gradient(cost, x), 1e-5));
+  // Lipschitz: 2 * lambda_max(H^T H) = 2 * 4 = 8.
+  EXPECT_NEAR(cost.gradient_lipschitz(), 8.0, 1e-9);
+}
+
+TEST(SensorSystem, ConstructionAndAccessors) {
+  const auto system = axis_system();
+  EXPECT_EQ(system.num_sensors(), 3);
+  EXPECT_EQ(system.state_dim(), 2);
+  EXPECT_EQ(system.measurements(0), Vector{2.0});
+  EXPECT_EQ(system.costs().size(), 3u);
+  EXPECT_THROW((void)system.measurements(3), std::invalid_argument);
+}
+
+TEST(SensorSystem, RejectsInconsistentShapes) {
+  EXPECT_THROW(sensing::SensorSystem({Matrix{{1.0, 0.0}}, Matrix{{1.0}}},
+                                     {Vector{1.0}, Vector{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(sensing::SensorSystem({Matrix{{1.0, 0.0}}}, {Vector{1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(SensorSystem, JointObservability) {
+  const auto system = axis_system();
+  EXPECT_FALSE(system.jointly_observable({0}));     // one projection: rank 1
+  EXPECT_TRUE(system.jointly_observable({0, 1}));   // both axes
+  EXPECT_TRUE(system.jointly_observable({0, 2}));   // axis + diagonal
+  EXPECT_TRUE(system.jointly_observable({0, 1, 2}));
+}
+
+TEST(SensorSystem, SparseObservability) {
+  const auto system = axis_system();
+  // Removing any one sensor leaves an observable pair: 1-sparse observable.
+  EXPECT_TRUE(system.sparse_observable(1));
+  // Removing two leaves a single projection: not 2-sparse observable.
+  EXPECT_FALSE(system.sparse_observable(2));
+  EXPECT_FALSE(system.sparse_observable(3));  // nothing left
+}
+
+TEST(SensorSystem, SubsetEstimateRecoversState) {
+  const auto system = axis_system();
+  EXPECT_TRUE(linalg::approx_equal(system.subset_estimate({0, 1}), Vector{2.0, -1.0}, 1e-10));
+  EXPECT_TRUE(
+      linalg::approx_equal(system.subset_estimate({0, 1, 2}), Vector{2.0, -1.0}, 1e-10));
+}
+
+TEST(SensorSystem, CorruptionOnlyTouchesOneSensor) {
+  const auto system = axis_system();
+  const auto corrupted = system.with_corrupted_sensor(2, Vector{100.0});
+  EXPECT_EQ(corrupted.measurements(2), Vector{100.0});
+  EXPECT_EQ(corrupted.measurements(0), system.measurements(0));
+  // Estimation from the two honest sensors is unaffected.
+  EXPECT_TRUE(
+      linalg::approx_equal(corrupted.subset_estimate({0, 1}), Vector{2.0, -1.0}, 1e-10));
+  EXPECT_THROW(system.with_corrupted_sensor(0, Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Generator, ProducesRequestedCertificate) {
+  util::Rng rng(17);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = 8;
+  options.state_dim = 3;
+  options.rows_per_sensor = 1;
+  options.noise_stddev = 0.0;
+  options.sparse_observability = 4;  // 2f with f = 2
+  const auto generated = sensing::random_sensor_system(options, rng);
+  EXPECT_TRUE(generated.system.sparse_observable(4));
+  EXPECT_FALSE(generated.system.jointly_observable({0}));  // single projection
+  // Noiseless: any observable subset recovers x* exactly.
+  EXPECT_TRUE(linalg::approx_equal(generated.system.subset_estimate({0, 1, 2, 3}),
+                                   generated.true_state, 1e-8));
+}
+
+TEST(Generator, NoiseZeroMeansTwoFRedundancyExactly) {
+  // The Section-2.4 equivalence: 2f-sparse observability of the noiseless
+  // system == (2f, 0)-redundancy of the quadratic costs.
+  util::Rng rng(23);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = 8;
+  options.state_dim = 2;
+  options.noise_stddev = 0.0;
+  options.sparse_observability = 4;
+  const auto generated = sensing::random_sensor_system(options, rng);
+  const sensing::SensorSubsetSolver solver(generated.system);
+  EXPECT_NEAR(core::measure_redundancy(solver, 2).epsilon, 0.0, 1e-8);
+}
+
+TEST(Generator, NoiseInflatesRedundancy) {
+  util::Rng rng(29);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = 8;
+  options.state_dim = 2;
+  options.noise_stddev = 0.2;
+  options.sparse_observability = 4;
+  const auto generated = sensing::random_sensor_system(options, rng);
+  const sensing::SensorSubsetSolver solver(generated.system);
+  EXPECT_GT(core::measure_redundancy(solver, 2).epsilon, 1e-4);
+}
+
+TEST(ExhaustiveOnSensors, RecoversStateDespiteCorruptSensors) {
+  util::Rng rng(41);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = 9;
+  options.state_dim = 3;
+  options.noise_stddev = 0.005;
+  options.sparse_observability = 4;
+  const auto generated = sensing::random_sensor_system(options, rng);
+
+  auto corrupted = generated.system.with_corrupted_sensor(0, Vector{50.0});
+  corrupted = corrupted.with_corrupted_sensor(1, Vector{-75.0});
+  const sensing::SensorSubsetSolver solver(corrupted);
+  const auto result = core::exhaustive_resilient_solve(solver, 2);
+  // Output within a small multiple of the noise floor of the true state.
+  EXPECT_LT(linalg::distance(result.output, generated.true_state), 0.1);
+
+  // The naive full-stack estimate is dragged far away by the corruption.
+  std::vector<int> everyone(9);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  EXPECT_GT(linalg::distance(corrupted.subset_estimate(everyone), generated.true_state), 1.0);
+}
+
+TEST(MultiRowSensors, ObservableAloneWhenRowsSpanState) {
+  util::Rng rng(47);
+  sensing::SensorGeneratorOptions options;
+  options.num_sensors = 4;
+  options.state_dim = 2;
+  options.rows_per_sensor = 3;  // each sensor alone (generically) observable
+  options.noise_stddev = 0.0;
+  const auto generated = sensing::random_sensor_system(options, rng);
+  EXPECT_TRUE(generated.system.jointly_observable({0}));
+}
+
+}  // namespace

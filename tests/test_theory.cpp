@@ -1,0 +1,505 @@
+// The paper's theorems as executable properties, parameterized over problem
+// families: Lemma 3 (vector geometry), Lemma 4 (gradient bounds under
+// (2f, eps)-redundancy), Appendix C (gamma <= mu), Theorem 3 (generic DGD
+// convergence under the phi_t condition), Theorems 4/5 (CGE resilience) and
+// Theorem 6 (CWTM with lambda = 0), and Lemma 1 / Theorem 1 feasibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "abft/agg/cge.hpp"
+#include "abft/agg/cwtm.hpp"
+#include "abft/attack/adaptive_faults.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/core/bounds.hpp"
+#include "abft/core/lowerbound.hpp"
+#include "abft/core/redundancy.hpp"
+#include "abft/opt/quadratic.hpp"
+#include "abft/regress/generator.hpp"
+#include "abft/regress/problem.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/combinatorics.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Vector;
+
+// --------------------------- Lemma 3 ---------------------------------------
+
+struct Lemma3Param {
+  int p;  // number of vectors
+  int q;  // subset size (q <= p/2)
+  int d;  // dimension
+};
+
+class Lemma3Test : public ::testing::TestWithParam<Lemma3Param> {};
+
+TEST_P(Lemma3Test, SubsetSumBoundImpliesIndividualBound) {
+  const auto [p, q, d] = GetParam();
+  util::Rng rng(1000 + static_cast<std::uint64_t>(p * 100 + q * 10 + d));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vector> vectors;
+    for (int i = 0; i < p; ++i) {
+      Vector v(d);
+      for (int k = 0; k < d; ++k) v[k] = rng.normal();
+      vectors.push_back(std::move(v));
+    }
+    // r = max over q-subsets of ||sum||; Lemma 3 then bounds each vector.
+    double r = 0.0;
+    util::for_each_combination(p, q, [&](const std::vector<int>& subset) {
+      Vector sum(d);
+      for (int i : subset) sum += vectors[static_cast<std::size_t>(i)];
+      r = std::max(r, sum.norm());
+      return true;
+    });
+    for (const auto& v : vectors) {
+      EXPECT_LE(v.norm(), 2.0 * r + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Lemma3Test,
+                         ::testing::Values(Lemma3Param{4, 2, 1}, Lemma3Param{4, 2, 3},
+                                           Lemma3Param{6, 2, 2}, Lemma3Param{6, 3, 2},
+                                           Lemma3Param{8, 4, 5}, Lemma3Param{5, 1, 4}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.p) + "_q" +
+                                  std::to_string(info.param.q) + "_d" +
+                                  std::to_string(info.param.d);
+                         });
+
+// --------------------------- Lemma 4 ---------------------------------------
+
+TEST(Lemma4, GradientBoundsAtHonestMinimizer) {
+  // On regression instances with f <= n/3: at x_H every f-subset gradient
+  // sum is bounded by (n - 2f) mu eps, every single gradient by twice that.
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    util::Rng rng(seed);
+    regress::GeneratorOptions options;
+    options.num_agents = 6;
+    options.dim = 2;
+    options.noise_stddev = 0.1;
+    options.rank_check_subset_size = 4;
+    const auto problem = regress::random_problem(options, rng);
+    const int n = 6;
+    const int f = 1;
+
+    const regress::RegressionSubsetSolver solver(problem);
+    const double eps = core::measure_redundancy(solver, f).epsilon;
+    const double mu = problem.mu();
+    const auto bounds = core::lemma4_bounds(n, f, mu, eps);
+
+    std::vector<int> honest(static_cast<std::size_t>(n - f));
+    std::iota(honest.begin(), honest.end(), 0);
+    const Vector x_h = problem.subset_minimizer(honest);
+
+    for (int j : honest) {
+      const double g_norm = problem.cost(j).gradient(x_h).norm();
+      EXPECT_LE(g_norm, bounds.subset_sum_bound + 1e-9)  // |T| = f = 1 here
+          << "seed " << seed << " agent " << j;
+      EXPECT_LE(g_norm, bounds.single_bound + 1e-9);
+    }
+  }
+}
+
+TEST(Lemma4, SubsetSumBoundWithLargerF) {
+  util::Rng rng(77);
+  regress::GeneratorOptions options;
+  options.num_agents = 9;  // f = 2 <= n/3
+  options.dim = 2;
+  options.noise_stddev = 0.05;
+  options.rank_check_subset_size = 5;
+  const auto problem = regress::random_problem(options, rng);
+  const int n = 9;
+  const int f = 2;
+  const regress::RegressionSubsetSolver solver(problem);
+  const double eps = core::measure_redundancy(solver, f).epsilon;
+  const auto bounds = core::lemma4_bounds(n, f, problem.mu(), eps);
+
+  std::vector<int> honest(static_cast<std::size_t>(n - f));
+  std::iota(honest.begin(), honest.end(), 0);
+  const Vector x_h = problem.subset_minimizer(honest);
+  // Every f-subset T of H.
+  util::for_each_combination(n - f, f, [&](const std::vector<int>& positions) {
+    Vector sum(2);
+    for (int p : positions) sum += problem.cost(honest[static_cast<std::size_t>(p)]).gradient(x_h);
+    EXPECT_LE(sum.norm(), bounds.subset_sum_bound + 1e-9);
+    return true;
+  });
+}
+
+// --------------------------- Appendix C ------------------------------------
+
+TEST(AppendixC, GammaNeverExceedsMuOnRandomEnsembles) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    util::Rng rng(3000 + seed);
+    regress::GeneratorOptions options;
+    options.num_agents = 5 + static_cast<int>(seed % 4);
+    options.dim = 2;
+    options.noise_stddev = 0.2;
+    const auto problem = regress::random_problem(options, rng);
+    EXPECT_LE(problem.gamma(), problem.mu() + 1e-9) << "seed " << seed;
+  }
+}
+
+// --------------------------- Theorem 3 -------------------------------------
+
+TEST(Theorem3, ConvergesToBallUnderPhiCondition) {
+  // Synthetic filter: grad Q(x) = 2x (gamma = 2) plus a worst-case bounded
+  // perturbation of magnitude B pushing away from x* = 0.  phi_t =
+  // 2||x||^2 - B||x|| > 0 whenever ||x|| > B/2, so Theorem 3 promises
+  // lim ||x_t|| <= B/2 (+ delta).  The perturbation direction flips
+  // adversarially each round.
+  const double b_mag = 0.5;
+  const opt::SquaredDistanceCost cost(Vector{0.0, 0.0});
+  const auto costs = std::vector<const opt::CostFunction*>{&cost};
+  auto roster = sim::honest_roster(costs);
+  const opt::HarmonicSchedule schedule(0.8);
+  sim::DgdConfig config{Vector{8.0, -6.0}, opt::Box::centered_cube(2, 10.0), &schedule, 4000, 0,
+                        5};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  simulation.set_honest_gradient_fn([b_mag](int, const Vector& x, int round) {
+    Vector grad = 2.0 * x;
+    const double norm = x.norm();
+    Vector unit = norm > 1e-12 ? x / norm : Vector{1.0, 0.0};
+    // Alternate between pushing outward and sideways: adversarial but
+    // bounded by b_mag.
+    if (round % 2 == 0) {
+      grad.add_scaled(-b_mag, unit);
+    } else {
+      grad.add_scaled(b_mag, Vector{-unit[1], unit[0]});
+    }
+    return grad;
+  });
+  const agg::CgeAggregator cge;  // f = 0: passes the single gradient through
+  const auto trace = simulation.run(cge);
+  EXPECT_LE(trace.final_estimate().norm(), b_mag / 2.0 + 0.05);
+}
+
+TEST(Theorem3, FaultFreeDgdDrivesErrorToZero) {
+  // With no perturbation (B = 0) the same setup must converge to x*.
+  const opt::SquaredDistanceCost cost(Vector{1.0, 1.0});
+  const auto costs = std::vector<const opt::CostFunction*>{&cost};
+  const opt::HarmonicSchedule schedule(0.8);
+  sim::DgdConfig config{Vector{9.0, -9.0}, opt::Box::centered_cube(2, 10.0), &schedule, 3000, 0,
+                        5};
+  sim::DgdSimulation simulation(sim::honest_roster(costs), std::move(config));
+  const agg::CgeAggregator cge;
+  EXPECT_LT(linalg::distance(simulation.run(cge).final_estimate(), Vector{1.0, 1.0}), 1e-3);
+}
+
+// --------------------------- Theorems 4/5 (CGE) ----------------------------
+
+struct CgeParam {
+  int n;
+  int f;
+  double noise;
+  const char* label;
+};
+
+class CgeResilienceTest : public ::testing::TestWithParam<CgeParam> {};
+
+TEST_P(CgeResilienceTest, FinalErrorWithinTheoremBound) {
+  const auto param = GetParam();
+  util::Rng rng(9000 + static_cast<std::uint64_t>(param.n * 10 + param.f));
+  regress::GeneratorOptions options;
+  options.num_agents = param.n;
+  options.dim = 2;
+  options.noise_stddev = param.noise;
+  options.rank_check_subset_size = param.n - 2 * param.f;
+  const auto problem = regress::random_problem(options, rng);
+
+  const regress::RegressionSubsetSolver solver(problem);
+  const double eps = core::measure_redundancy(solver, param.f).epsilon;
+
+  std::vector<int> honest(static_cast<std::size_t>(param.n - param.f));
+  std::iota(honest.begin(), honest.end(), param.f);  // agents [f, n) honest
+  const double mu = problem.mu(honest);
+  const double gamma = problem.gamma(honest);
+  const auto t4 = core::cge_bound_theorem4(param.n, param.f, mu, gamma);
+  const auto t5 = core::cge_bound_theorem5(param.n, param.f, mu, gamma);
+  if (!t4.valid && !t5.valid) {
+    GTEST_SKIP() << "neither CGE theorem applies (alpha <= 0) on this instance";
+  }
+  const double factor = t5.valid ? std::min(t5.factor, t4.valid ? t4.factor : 1e300) : t4.factor;
+  const Vector x_h = problem.subset_minimizer(honest);
+
+  const opt::HarmonicSchedule schedule(0.5);
+  const attack::GradientReverseFault reverse;
+  auto roster = sim::honest_roster(problem.costs());
+  for (int i = 0; i < param.f; ++i) sim::assign_fault(roster, i, reverse);
+  sim::DgdConfig config{Vector{0.0, 0.0}, opt::Box::centered_cube(2, 1000.0), &schedule, 1200,
+                        param.f, 31};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const agg::CgeAggregator cge;
+  const auto trace = simulation.run(cge);
+
+  const double error = linalg::distance(trace.final_estimate(), x_h);
+  // Theorem guarantee is asymptotic: allow a small delta for the finite run.
+  EXPECT_LE(error, factor * eps + 0.05)
+      << param.label << ": error " << error << " vs bound " << factor * eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CgeResilienceTest,
+    ::testing::Values(CgeParam{8, 1, 0.02, "n8_f1_lownoise"},
+                      CgeParam{8, 1, 0.10, "n8_f1_midnoise"},
+                      CgeParam{12, 1, 0.05, "n12_f1"}, CgeParam{12, 2, 0.05, "n12_f2"},
+                      CgeParam{15, 2, 0.10, "n15_f2"}, CgeParam{9, 1, 0.00, "n9_f1_exact"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Theorem4, ExactRedundancyGivesExactConvergenceWhenAlphaPositive) {
+  // eps = 0 (noiseless) and alpha_thm4 > 0: CGE must converge to x_H itself
+  // — the exact fault-tolerance special case ((f, 0)-resilience) — even
+  // against an omniscient mean-reverse adversary.
+  util::Rng rng(404);
+  regress::GeneratorOptions options;
+  options.num_agents = 15;
+  options.dim = 2;
+  options.noise_stddev = 0.0;
+  options.rank_check_subset_size = 13;
+  const auto problem = regress::random_problem(options, rng);
+  std::vector<int> honest(14);
+  std::iota(honest.begin(), honest.end(), 1);
+  const Vector x_h = problem.subset_minimizer(honest);
+  const auto t4 = core::cge_bound_theorem4(15, 1, problem.mu(honest), problem.gamma(honest));
+  ASSERT_TRUE(t4.valid) << "instance unexpectedly ill-conditioned: alpha = " << t4.alpha;
+
+  const opt::HarmonicSchedule schedule(0.5);
+  const attack::MeanReverseFault fault(2.0);
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{3.0, 3.0}, opt::Box::centered_cube(2, 100.0), &schedule, 4000, 1,
+                        77};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const agg::CgeAggregator cge;
+  EXPECT_LT(linalg::distance(simulation.run(cge).final_estimate(), x_h), 5e-3);
+}
+
+TEST(Theorem4, AlphaConditionIsNotVacuous) {
+  // Documented tightness observation (see EXPERIMENTS.md): with f/n = 2/9
+  // the Theorem-4 coefficient gamma(n-f) - 2 mu f is negative on this
+  // instance, and an omniscient mean-reverse adversary indeed keeps CGE away
+  // from x_H despite exact (eps = 0) redundancy.  Theorem 5's weaker alpha
+  // is positive here, so this run also charts the limits of its claim (its
+  // Appendix-H proof drops a mu*f*||x_t - x_H|| Lipschitz correction in
+  // eq. (104)).
+  util::Rng rng(404);
+  regress::GeneratorOptions options;
+  options.num_agents = 9;
+  options.dim = 2;
+  options.noise_stddev = 0.0;
+  options.rank_check_subset_size = 5;
+  const auto problem = regress::random_problem(options, rng);
+  std::vector<int> honest{2, 3, 4, 5, 6, 7, 8};
+  const Vector x_h = problem.subset_minimizer(honest);
+  const auto t4 = core::cge_bound_theorem4(9, 2, problem.mu(honest), problem.gamma(honest));
+  ASSERT_FALSE(t4.valid);  // the hypothesis of the convergence theorem fails
+
+  const opt::HarmonicSchedule schedule(0.5);
+  const attack::MeanReverseFault fault(2.0);
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::assign_fault(roster, 1, fault);
+  sim::DgdConfig config{Vector{3.0, 3.0}, opt::Box::centered_cube(2, 100.0), &schedule, 2500, 2,
+                        77};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const agg::CgeAggregator cge;
+  EXPECT_GT(linalg::distance(simulation.run(cge).final_estimate(), x_h), 0.1);
+}
+
+TEST(Theorem4, PhiInequalityHoldsRoundByRound) {
+  // The literal statement of Theorem 4: whenever ||x_t - x_H|| >=
+  // (4 mu f / (alpha gamma)) eps + delta, the inner product
+  // phi_t = <x_t - x_H, GradFilter(...)> is at least
+  // alpha n gamma delta ((4 mu f / (alpha gamma)) eps + delta).
+  // We verify it at every iteration of a live run via the observer hook.
+  util::Rng rng(505);
+  regress::GeneratorOptions options;
+  options.num_agents = 15;
+  options.dim = 2;
+  options.noise_stddev = 0.05;
+  options.rank_check_subset_size = 13;
+  const auto problem = regress::random_problem(options, rng);
+
+  const int n = 15;
+  const int f = 1;
+  std::vector<int> honest(14);
+  std::iota(honest.begin(), honest.end(), 1);
+  const Vector x_h = problem.subset_minimizer(honest);
+  const double mu = problem.mu(honest);
+  const double gamma = problem.gamma(honest);
+  const auto t4 = core::cge_bound_theorem4(n, f, mu, gamma);
+  ASSERT_TRUE(t4.valid);
+  const regress::RegressionSubsetSolver solver(problem);
+  const double eps = core::measure_redundancy(solver, f).epsilon;
+
+  const double delta = 0.05;
+  const double radius = t4.factor * eps + delta;
+  const double phi_floor = t4.alpha * n * gamma * delta * radius;
+
+  const opt::HarmonicSchedule schedule(0.5);
+  const attack::GradientReverseFault fault;
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{5.0, -5.0}, opt::Box::centered_cube(2, 1000.0), &schedule, 400, f,
+                        21};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  int rounds_above_radius = 0;
+  simulation.set_observer([&](int /*round*/, const Vector& x, const Vector& filtered) {
+    if (linalg::distance(x, x_h) >= radius) {
+      ++rounds_above_radius;
+      const double phi = linalg::dot(x - x_h, filtered);
+      EXPECT_GE(phi, phi_floor - 1e-9) << "phi_t inequality violated at distance "
+                                       << linalg::distance(x, x_h);
+    }
+  });
+  const agg::CgeAggregator cge;
+  simulation.run(cge);
+  EXPECT_GT(rounds_above_radius, 0) << "run never exercised the far-field condition";
+}
+
+TEST(Theorem4, CgeFilteredNormStaysBounded) {
+  // Part 1 of Theorems 4/5: ||GradFilter|| < infinity over the whole run —
+  // concretely, bounded by (n - f)(2 n mu eps + mu Gamma) (eq. 88).
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const std::vector<int> honest{1, 2, 3, 4, 5};
+  const Vector x_h = problem.subset_minimizer(honest);
+  const double mu = problem.mu(honest);
+  const regress::RegressionSubsetSolver solver(problem);
+  const double eps = core::measure_redundancy(solver, 1).epsilon;
+  const auto box = opt::Box::centered_cube(2, 1000.0);
+  const double gamma_box = box.max_distance_from(x_h);
+  const double bound = 5.0 * (2.0 * 6.0 * mu * eps + mu * gamma_box);
+
+  const opt::HarmonicSchedule schedule(1.5);
+  const attack::RandomGaussianFault fault(200.0);
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{900.0, -900.0}, box, &schedule, 300, 1, 77};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  simulation.set_observer([&](int, const Vector&, const Vector& filtered) {
+    EXPECT_LE(filtered.norm(), bound);
+  });
+  const agg::CgeAggregator cge;
+  simulation.run(cge);
+}
+
+// --------------------------- Theorem 6 (CWTM) ------------------------------
+
+TEST(Theorem6, IdenticalCostsMeanLambdaZeroAndExactConvergence) {
+  // lambda = 0 < gamma / (mu sqrt(d)): D' = 0, so CWTM must drive the error
+  // to zero despite f Byzantine agents.
+  std::vector<opt::SquaredDistanceCost> costs_storage;
+  for (int i = 0; i < 7; ++i) costs_storage.emplace_back(Vector{2.0, -1.0});
+  std::vector<const opt::CostFunction*> costs;
+  for (const auto& c : costs_storage) costs.push_back(&c);
+
+  auto roster = sim::honest_roster(costs);
+  const attack::RandomGaussianFault fault(50.0);
+  sim::assign_fault(roster, 0, fault);
+  sim::assign_fault(roster, 1, fault);
+  const opt::HarmonicSchedule schedule(0.5);
+  sim::DgdConfig config{Vector{-5.0, 5.0}, opt::Box::centered_cube(2, 100.0), &schedule, 3000, 2,
+                        13};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const agg::CwtmAggregator cwtm;
+  EXPECT_LT(linalg::distance(simulation.run(cwtm).final_estimate(), Vector{2.0, -1.0}), 5e-3);
+}
+
+TEST(Theorem6, FactorFormulaMonotoneInLambda) {
+  double previous = 0.0;
+  for (const double lambda : {0.01, 0.05, 0.1, 0.2}) {
+    const auto bound = core::cwtm_bound_theorem6(10, 2, 1.0, 1.0, lambda);
+    ASSERT_TRUE(bound.valid);
+    EXPECT_GT(bound.factor, previous);
+    previous = bound.factor;
+  }
+}
+
+TEST(Theorem6, CwtmStaysInsideHonestHullThroughoutRun) {
+  // The hull property (eqs. 119-120) that powers the CWTM analysis, checked
+  // live at every round against the honest gradients recomputed at x_t.
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const std::vector<int> honest{1, 2, 3, 4, 5};
+  const opt::HarmonicSchedule schedule(1.5);
+  const attack::RandomGaussianFault fault(200.0);
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0), &schedule,
+                        300, 1, 11};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  simulation.set_observer([&](int, const Vector& x, const Vector& filtered) {
+    for (int k = 0; k < 2; ++k) {
+      double lo = 1e300;
+      double hi = -1e300;
+      for (int i : honest) {
+        const double g = problem.cost(i).gradient(x)[k];
+        lo = std::min(lo, g);
+        hi = std::max(hi, g);
+      }
+      EXPECT_GE(filtered[k], lo - 1e-9);
+      EXPECT_LE(filtered[k], hi + 1e-9);
+    }
+  });
+  const agg::CwtmAggregator cwtm;
+  simulation.run(cwtm);
+}
+
+TEST(Theorem6, PaperInstanceEmpiricallyWithinEpsilon) {
+  // The paper cannot verify the lambda condition for its instance either;
+  // its Section-5 observation is the empirical one: CWTM lands within eps.
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const Vector x_h = problem.subset_minimizer({1, 2, 3, 4, 5});
+  const opt::HarmonicSchedule schedule(1.5);
+  const attack::GradientReverseFault fault;
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0), &schedule,
+                        500, 1, 3};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const agg::CwtmAggregator cwtm;
+  EXPECT_LT(linalg::distance(simulation.run(cwtm).final_estimate(), x_h), 0.0890);
+}
+
+// --------------------------- Lemma 1 / Theorem 1 ---------------------------
+
+TEST(Lemma1, HalfFaultyIsInfeasible) {
+  EXPECT_FALSE(core::resilience_feasible(4, 2));
+  EXPECT_FALSE(core::resilience_feasible(5, 3));
+  EXPECT_TRUE(core::resilience_feasible(5, 2));
+}
+
+TEST(Theorem1, NecessityAcrossParameterGrid) {
+  // For every (n, f, eps): the constructed worlds are indistinguishable yet
+  // no output can satisfy both — the impossibility is witnessed numerically.
+  for (int n = 3; n <= 8; ++n) {
+    for (int f = 1; 2 * f < n; ++f) {
+      for (const double eps : {0.0, 0.1, 1.0}) {
+        const auto gap = core::make_gap_instance(n, f, eps, 0.05);
+        const double worst_gap = gap.x_b_shat - gap.x_s;
+        EXPECT_GT(worst_gap, 2.0 * eps);
+        // Candidates across the interval, including both world-minimizers.
+        for (const double candidate :
+             {gap.x_s, gap.x_b_shat, 0.0, gap.x_s - eps, gap.x_b_shat + eps}) {
+          EXPECT_FALSE(core::output_satisfies_both_worlds(gap, candidate))
+              << "n=" << n << " f=" << f << " eps=" << eps;
+        }
+      }
+    }
+  }
+}
+
+TEST(Theorem1, RedundantInstancesDoNotTriggerTheGap) {
+  // Sanity inversion: when eps_actual <= eps_target the gap construction's
+  // premise fails — measure_redundancy on a tight instance confirms the
+  // redundancy direction of the equivalence.
+  const core::MeanSubsetSolver solver(
+      {Vector{0.0}, Vector{0.01}, Vector{-0.01}, Vector{0.005}, Vector{0.0}});
+  const double eps = core::measure_redundancy(solver, 1).epsilon;
+  EXPECT_LT(eps, 0.02);
+}
+
+}  // namespace
