@@ -17,4 +17,18 @@ int validate_gradients(std::span<const Vector> gradients, int f) {
   return dim;
 }
 
+void GradientAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                        AggregatorWorkspace& /*workspace*/) const {
+  validate_batch(batch, f);
+  const auto gradients = batch.unpack();
+  out = aggregate(gradients, f);
+}
+
+Vector GradientAggregator::aggregate_batched(const GradientBatch& batch, int f,
+                                             AggregatorWorkspace& workspace) const {
+  Vector out;
+  aggregate_into(out, batch, f, workspace);
+  return out;
+}
+
 }  // namespace abft::agg

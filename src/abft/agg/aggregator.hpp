@@ -1,11 +1,20 @@
 // Gradient-filter (robust gradient aggregation) interface — Section 4's
 // GradFilter : R^{d x n} -> R^d.  The server hands the filter all n received
 // gradients plus the fault-tolerance parameter f.
+//
+// Two entry points:
+//   aggregate(span, f)                      — the original allocating API.
+//   aggregate_into(out, batch, f, ws)       — the batched hot path: gradients
+//     arrive packed in a contiguous GradientBatch, every rule draws scratch
+//     from the caller's AggregatorWorkspace, and the steady state performs
+//     no heap allocation.  The base class provides an adapter so rules that
+//     only implement the span API keep working.
 #pragma once
 
 #include <span>
 #include <string_view>
 
+#include "abft/agg/batch.hpp"
 #include "abft/linalg/vector.hpp"
 
 namespace abft::agg {
@@ -20,6 +29,18 @@ class GradientAggregator {
   /// Preconditions (checked): gradients non-empty and equal-dimension,
   /// 0 <= f, and f small enough for the specific rule (documented per rule).
   [[nodiscard]] virtual Vector aggregate(std::span<const Vector> gradients, int f) const = 0;
+
+  /// Batched aggregation into a caller-owned output vector.  The default
+  /// implementation adapts through the span API (unpacking the batch, which
+  /// allocates); every registry rule overrides it with an allocation-free
+  /// kernel.  `out` is resized to the batch dimension.
+  virtual void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                              AggregatorWorkspace& workspace) const;
+
+  /// Convenience wrapper around aggregate_into for callers that want a fresh
+  /// Vector (tests, examples); not for the hot path.
+  [[nodiscard]] Vector aggregate_batched(const GradientBatch& batch, int f,
+                                         AggregatorWorkspace& workspace) const;
 
   /// Stable identifier, e.g. "cge"; used by the registry and bench labels.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;

@@ -1,0 +1,246 @@
+#include "abft/agg/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+namespace {
+
+/// Tile width of the Gram accumulation: row segments of kChunk doubles stay
+/// L2-resident across the O(n^2) pair sweep, so the whole batch streams from
+/// memory once instead of once per pair.
+constexpr int kChunk = 1024;
+
+/// Accumulates partial dot products <row_i, row_j> over the full chunk
+/// [k0, k0 + kChunk) into the upper triangle of `pairdist` for i in
+/// [i_begin, i_end), j > i.  The fixed-size lane array makes the inner
+/// product vectorizable without -ffast-math (each lane is an independent
+/// partial sum), and the compile-time k extent is what lets the compiler
+/// schedule the vector loop well — a runtime bound here costs ~3x.
+void accumulate_pair_dots_chunk(const GradientBatch& batch, double* pairdist, int n,
+                                int i_begin, int i_end, int k0) {
+  constexpr int kLanes = 8;
+  for (int i = i_begin; i < i_end; ++i) {
+    const double* ri = batch.row(i).data();
+    for (int j = i + 1; j < n; ++j) {
+      const double* rj = batch.row(j).data();
+      double lanes[kLanes] = {0.0};
+      for (int k = k0; k < k0 + kChunk; k += kLanes) {
+        for (int b = 0; b < kLanes; ++b) lanes[b] += ri[k + b] * rj[k + b];
+      }
+      double dot = 0.0;
+      for (int b = 0; b < kLanes; ++b) dot += lanes[b];
+      pairdist[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(j)] += dot;
+    }
+  }
+}
+
+/// Runtime-bound variant for the final partial chunk [k0, k1).
+void accumulate_pair_dots_tail(const GradientBatch& batch, double* pairdist, int n,
+                               int i_begin, int i_end, int k0, int k1) {
+  constexpr int kLanes = 8;
+  for (int i = i_begin; i < i_end; ++i) {
+    const double* ri = batch.row(i).data();
+    for (int j = i + 1; j < n; ++j) {
+      const double* rj = batch.row(j).data();
+      double lanes[kLanes] = {0.0};
+      int k = k0;
+      for (; k + kLanes <= k1; k += kLanes) {
+        for (int b = 0; b < kLanes; ++b) lanes[b] += ri[k + b] * rj[k + b];
+      }
+      double dot = 0.0;
+      for (; k < k1; ++k) dot += ri[k] * rj[k];
+      for (int b = 0; b < kLanes; ++b) dot += lanes[b];
+      pairdist[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(j)] += dot;
+    }
+  }
+}
+
+/// Walks all d-chunks for rows [i_begin, i_end): full chunks through the
+/// fixed-extent kernel, the remainder through the tail kernel.
+void accumulate_pair_dots(const GradientBatch& batch, double* pairdist, int n, int d,
+                          int i_begin, int i_end) {
+  int k0 = 0;
+  for (; k0 + kChunk <= d; k0 += kChunk) {
+    accumulate_pair_dots_chunk(batch, pairdist, n, i_begin, i_end, k0);
+  }
+  if (k0 < d) accumulate_pair_dots_tail(batch, pairdist, n, i_begin, i_end, k0, d);
+}
+
+}  // namespace
+
+void GradientBatch::reshape(int n, int d) {
+  ABFT_REQUIRE(n >= 0 && d >= 0, "batch shape must be non-negative");
+  n_ = n;
+  d_ = d;
+  data_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+}
+
+void GradientBatch::pack(std::span<const Vector> gradients) {
+  ABFT_REQUIRE(!gradients.empty(), "cannot pack an empty gradient family");
+  const int d = gradients.front().dim();
+  reshape(static_cast<int>(gradients.size()), d);
+  for (std::size_t i = 0; i < gradients.size(); ++i) {
+    ABFT_REQUIRE(gradients[i].dim() == d, "all gradients must share a dimension");
+    const auto src = gradients[i].coefficients();
+    std::memcpy(data_.data() + i * static_cast<std::size_t>(d), src.data(),
+                static_cast<std::size_t>(d) * sizeof(double));
+  }
+}
+
+void GradientBatch::set_row(int i, const Vector& v) {
+  ABFT_REQUIRE(0 <= i && i < n_, "batch row index out of range");
+  ABFT_REQUIRE(v.dim() == d_, "row dimension mismatch");
+  std::memcpy(data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(d_),
+              v.coefficients().data(), static_cast<std::size_t>(d_) * sizeof(double));
+}
+
+Vector GradientBatch::unpack_row(int i) const {
+  ABFT_REQUIRE(0 <= i && i < n_, "batch row index out of range");
+  const auto r = row(i);
+  return Vector(std::vector<double>(r.begin(), r.end()));
+}
+
+std::vector<Vector> GradientBatch::unpack() const {
+  std::vector<Vector> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) out.push_back(unpack_row(i));
+  return out;
+}
+
+void AggregatorWorkspace::fill_colmajor(const GradientBatch& batch) {
+  const int n = batch.rows();
+  const int d = batch.cols();
+  colmajor.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  // Cache-blocked transpose: both the row-major source and the column-major
+  // destination are touched in tiles that fit in L1.
+  constexpr int kBlock = 64;
+  parallel_for(0, d, parallel_threads, [&](int k_begin, int k_end) {
+    for (int k0 = k_begin; k0 < k_end; k0 += kBlock) {
+      const int k1 = std::min(k0 + kBlock, k_end);
+      for (int i0 = 0; i0 < n; i0 += kBlock) {
+        const int i1 = std::min(i0 + kBlock, n);
+        for (int i = i0; i < i1; ++i) {
+          const double* src = batch.row(i).data();
+          double* dst = colmajor.data() + i;
+          for (int k = k0; k < k1; ++k) {
+            dst[static_cast<std::size_t>(k) * static_cast<std::size_t>(n)] = src[k];
+          }
+        }
+      }
+    }
+  });
+}
+
+void AggregatorWorkspace::fill_sqnorms(const GradientBatch& batch) {
+  const int n = batch.rows();
+  const int d = batch.cols();
+  constexpr int kLanes = 8;
+  sqnorms.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double* r = batch.row(i).data();
+    double lanes[kLanes] = {0.0};
+    int k = 0;
+    for (; k + kLanes <= d; k += kLanes) {
+      for (int b = 0; b < kLanes; ++b) lanes[b] += r[k + b] * r[k + b];
+    }
+    double sum = 0.0;
+    for (; k < d; ++k) sum += r[k] * r[k];
+    for (int b = 0; b < kLanes; ++b) sum += lanes[b];
+    sqnorms[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+void AggregatorWorkspace::fill_norms(const GradientBatch& batch) {
+  fill_sqnorms(batch);
+  norms.resize(sqnorms.size());
+  for (std::size_t i = 0; i < sqnorms.size(); ++i) norms[i] = std::sqrt(sqnorms[i]);
+}
+
+void AggregatorWorkspace::fill_pairwise_sqdist(const GradientBatch& batch) {
+  const int n = batch.rows();
+  const int d = batch.cols();
+  fill_sqnorms(batch);
+  pairdist.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  // Dot products accumulate into the upper triangle in d-chunks sized so the
+  // active rows stay cache-resident across the O(n^2) pair sweep — the whole
+  // batch is read from memory once instead of once per pair.  The fixed-size
+  // lane array makes the inner product vectorizable without -ffast-math
+  // (each lane is an independent partial sum).
+  // Pair-level parallelism partitions the i range once per call (one thread
+  // team, not one per chunk); every (i, j > i) cell is written by exactly
+  // one thread.  Each thread walks the d-chunks so its active row segments
+  // stay cache-resident across its pair sweep.
+  parallel_for(0, n, parallel_threads, [&](int i_begin, int i_end) {
+    accumulate_pair_dots(batch, pairdist.data(), n, d, i_begin, i_end);
+  });
+  // Convert the accumulated dots to squared distances and mirror.  The Gram
+  // identity cancels catastrophically when gradients share a large common
+  // component (||xi - xj||^2 << ||xi||^2 + ||xj||^2) — exactly the clustered
+  // regime where Krum-family selection matters — so pairs whose result is
+  // small relative to the cancellation scale are recomputed directly.  On
+  // well-separated data no pair trips the guard and nothing is recomputed.
+  constexpr double kCancellationGuard = 1e-6;
+  for (int i = 0; i < n; ++i) {
+    const double sqi = sqnorms[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      const std::size_t ij =
+          static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j);
+      const double scale = sqi + sqnorms[static_cast<std::size_t>(j)];
+      double d2 = std::max(0.0, scale - 2.0 * pairdist[ij]);
+      if (d2 < kCancellationGuard * scale) {
+        constexpr int kLanes = 8;
+        const double* ri = batch.row(i).data();
+        const double* rj = batch.row(j).data();
+        double lanes[kLanes] = {0.0};
+        int k = 0;
+        for (; k + kLanes <= d; k += kLanes) {
+          for (int b = 0; b < kLanes; ++b) {
+            const double diff = ri[k + b] - rj[k + b];
+            lanes[b] += diff * diff;
+          }
+        }
+        d2 = 0.0;
+        for (; k < d; ++k) {
+          const double diff = ri[k] - rj[k];
+          d2 += diff * diff;
+        }
+        for (int b = 0; b < kLanes; ++b) d2 += lanes[b];
+      }
+      pairdist[ij] = d2;
+      pairdist[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(i)] = d2;
+    }
+  }
+}
+
+int validate_batch(const GradientBatch& batch, int f) {
+  ABFT_REQUIRE(batch.rows() > 0, "aggregation needs at least one gradient");
+  ABFT_REQUIRE(f >= 0, "fault bound f must be non-negative");
+  ABFT_REQUIRE(f < batch.rows(), "fault bound f must be smaller than the number of gradients");
+  ABFT_REQUIRE(batch.cols() > 0, "gradients must be non-empty vectors");
+  return batch.cols();
+}
+
+void resize_output(Vector& out, int d) {
+  if (out.dim() != d) out = Vector(d);
+}
+
+double median_inplace(double* first, double* last) {
+  const std::size_t m = static_cast<std::size_t>(last - first);
+  ABFT_REQUIRE(m > 0, "median of empty range");
+  double* mid = first + m / 2;
+  std::nth_element(first, mid, last);
+  if (m % 2 == 1) return *mid;
+  const double hi = *mid;
+  const double lo = *std::max_element(first, mid);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace abft::agg

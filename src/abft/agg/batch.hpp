@@ -1,0 +1,151 @@
+// Batched, zero-allocation support for the gradient-filter hot path.
+//
+// GradientBatch packs the n received gradients into one contiguous
+// row-major n x d buffer once per round; AggregatorWorkspace owns every
+// piece of scratch the rules need (column buffers, score/norm arrays, the
+// pairwise squared-distance matrix) so that steady-state aggregation
+// performs no heap allocation at all.  Buffers only ever grow, so a
+// workspace reused across rounds (or across rules) settles into a
+// fixed-footprint regime after the first call.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "abft/linalg/vector.hpp"
+
+namespace abft::agg {
+
+using linalg::Vector;
+
+/// Contiguous row-major n x d matrix of gradients.  Row i is gradient i.
+/// reshape() never shrinks capacity, so a batch reused across rounds stops
+/// allocating once it has seen the largest (n, d) shape.
+class GradientBatch {
+ public:
+  GradientBatch() = default;
+  GradientBatch(int n, int d) { reshape(n, d); }
+
+  /// Sets the logical shape.  Existing contents become unspecified; every
+  /// row must be written before the batch is handed to an aggregator.
+  void reshape(int n, int d);
+
+  /// reshape + copy: packs a family of equal-dimension vectors.
+  void pack(std::span<const Vector> gradients);
+
+  [[nodiscard]] int rows() const noexcept { return n_; }
+  [[nodiscard]] int cols() const noexcept { return d_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0 || d_ == 0; }
+
+  [[nodiscard]] std::span<double> row(int i) noexcept {
+    return {data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(d_),
+            static_cast<std::size_t>(d_)};
+  }
+  [[nodiscard]] std::span<const double> row(int i) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(d_),
+            static_cast<std::size_t>(d_)};
+  }
+
+  /// Copies a vector into row i (dimension must equal cols()).
+  void set_row(int i, const Vector& v);
+
+  /// Copies row i out into a Vector (allocates; not for the hot path).
+  [[nodiscard]] Vector unpack_row(int i) const;
+
+  /// Copies the whole batch out into vectors (allocates; adapter/test use).
+  [[nodiscard]] std::vector<Vector> unpack() const;
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+ private:
+  std::vector<double> data_;
+  int n_ = 0;
+  int d_ = 0;
+};
+
+/// Reusable scratch for the batched aggregation kernels.  All buffers grow
+/// monotonically; fill_* helpers recompute derived quantities from a batch.
+struct AggregatorWorkspace {
+  // --- configuration -------------------------------------------------------
+  /// Coordinate/pair-level parallel-for width for large d.  1 (the default)
+  /// keeps every kernel single-threaded; drivers thread their config flag
+  /// through here.
+  int parallel_threads = 1;
+
+  // --- scratch buffers -----------------------------------------------------
+  std::vector<double> colmajor;  ///< d x n transposed copy of the batch
+  std::vector<double> norms;     ///< per-gradient Euclidean norms (n)
+  std::vector<double> sqnorms;   ///< per-gradient squared norms (n)
+  std::vector<double> pairdist;  ///< n x n squared pairwise distances
+  std::vector<double> scores;    ///< per-gradient filter scores (n)
+  std::vector<double> scratch;   ///< misc n-sized scratch (dists, columns)
+  std::vector<double> vecbuf;    ///< misc d-sized scratch (Weiszfeld, cclip)
+  std::vector<int> order;        ///< index permutation (n)
+  std::vector<unsigned char> active;  ///< selection mask (n), Bulyan stage 1
+  GradientBatch aux_batch;       ///< secondary batch (GMoM buckets, Bulyan)
+  GradientBatch clip_batch;      ///< clipped copy for ClippedInputAggregator
+
+  // --- fill helpers --------------------------------------------------------
+  /// Transposes the batch into `colmajor` (cache-blocked), so per-coordinate
+  /// kernels see each column as a contiguous run of n doubles.  The copy is
+  /// scratch: kernels may reorder it in place (nth_element).
+  void fill_colmajor(const GradientBatch& batch);
+
+  /// Fills `sqnorms` with per-row squared Euclidean norms.
+  void fill_sqnorms(const GradientBatch& batch);
+
+  /// Fills `norms` (and `sqnorms`) with per-row Euclidean norms.
+  void fill_norms(const GradientBatch& batch);
+
+  /// Fills the n x n `pairdist` matrix with squared Euclidean distances via
+  /// the Gram identity ||xi - xj||^2 = ||xi||^2 + ||xj||^2 - 2 <xi, xj>,
+  /// computing each pair once.  Shared by Krum, Multi-Krum and Bulyan.
+  void fill_pairwise_sqdist(const GradientBatch& batch);
+};
+
+/// Validates the shared batched preconditions (non-empty, equal-dimension by
+/// construction, 0 <= f < n); returns the common dimension d.
+int validate_batch(const GradientBatch& batch, int f);
+
+/// Ensures `out` has dimension d (reallocates only on dimension change).
+void resize_output(Vector& out, int d);
+
+/// Median of [first, last) computed in place via nth_element; matches the
+/// sort-based median exactly ((m odd) middle element, (m even) mean of the
+/// two middle elements).  Reorders the range.
+double median_inplace(double* first, double* last);
+
+/// Runs fn(begin_chunk, end_chunk) over [begin, end) split across up to
+/// num_threads std::threads.  num_threads <= 1 (or a tiny range) degenerates
+/// to a direct call on the calling thread — that path is allocation-free
+/// (the callable is a template parameter, not a std::function).  With
+/// num_threads > 1 each call spawns and joins a fresh thread team (tens of
+/// microseconds), so callers should invoke it once per kernel, not per
+/// tile; a persistent pool is a ROADMAP follow-on.  fn must not throw.
+template <typename Fn>
+void parallel_for(int begin, int end, int num_threads, Fn&& fn) {
+  const int range = end - begin;
+  if (range <= 0) return;
+  const int workers = std::min(num_threads, range);
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  const int chunk = (range + workers - 1) / workers;
+  for (int w = 1; w < workers; ++w) {
+    const int lo = begin + w * chunk;
+    const int hi = std::min(lo + chunk, end);
+    if (lo >= hi) break;
+    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  fn(begin, std::min(begin + chunk, end));
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace abft::agg

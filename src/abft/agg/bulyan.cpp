@@ -1,6 +1,7 @@
 #include "abft/agg/bulyan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "abft/agg/krum.hpp"
@@ -46,6 +47,91 @@ Vector BulyanAggregator::aggregate(std::span<const Vector> gradients, int f) con
     out[k] = sum / static_cast<double>(take);
   }
   return out;
+}
+
+void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                      AggregatorWorkspace& ws) const {
+  const int d = validate_batch(batch, f);
+  const int n = batch.rows();
+  ABFT_REQUIRE(n >= 4 * f + 3, "bulyan needs n >= 4f + 3");
+  const int theta = n - 2 * f;
+  const int beta = theta - 2 * f;
+
+  // Stage 1: iterated Krum selection over a shrinking active set.  The
+  // pairwise squared distances are computed once (Gram identity) and shared
+  // across all theta rounds instead of being recomputed per round.
+  ws.fill_pairwise_sqdist(batch);
+  ws.active.assign(static_cast<std::size_t>(n), 1);
+  ws.order.resize(static_cast<std::size_t>(theta));  // selected rows, in pick order
+  ws.scratch.resize(static_cast<std::size_t>(n));
+  int pool = n;
+  for (int round = 0; round < theta; ++round) {
+    // The span path's relaxed_scores rejects a pool of fewer than two
+    // gradients (which f = 0 reaches on the final round); mirror it.
+    ABFT_REQUIRE(pool >= 2, "relaxed krum scores need at least two gradients");
+    const int neighbors = std::max(1, pool - f - 2);
+    int best = -1;
+    double best_score = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (!ws.active[static_cast<std::size_t>(i)]) continue;
+      const double* row =
+          ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+      int m = 0;
+      for (int j = 0; j < n; ++j) {
+        if (j != i && ws.active[static_cast<std::size_t>(j)]) {
+          ws.scratch[static_cast<std::size_t>(m++)] = row[j];
+        }
+      }
+      std::nth_element(ws.scratch.begin(), ws.scratch.begin() + (neighbors - 1),
+                       ws.scratch.begin() + m);
+      double score = 0.0;
+      for (int s = 0; s < neighbors; ++s) score += ws.scratch[static_cast<std::size_t>(s)];
+      if (best < 0 || score < best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    ws.order[static_cast<std::size_t>(round)] = best;
+    ws.active[static_cast<std::size_t>(best)] = 0;
+    --pool;
+  }
+
+  // Stage 2: per coordinate, average the beta selected entries closest to
+  // the selected median.  Columns come from the contiguous workspace
+  // transpose.  The selection replicates the span path's two sorts verbatim
+  // so tie-breaking among equidistant entries is bit-identical.
+  ws.fill_colmajor(batch);
+  resize_output(out, d);
+  auto result = out.coefficients();
+  const int take = std::min(beta, theta);
+  if (ws.parallel_threads <= 1) ws.scratch.resize(static_cast<std::size_t>(theta));
+  parallel_for(0, d, ws.parallel_threads, [&](int k_begin, int k_end) {
+    // Single-threaded (the common case) stays allocation-free by borrowing
+    // ws.scratch (free after stage 1); parallel chunks get a private buffer.
+    std::vector<double> local_column;
+    double* column = ws.scratch.data();
+    if (ws.parallel_threads > 1) {
+      local_column.resize(static_cast<std::size_t>(theta));
+      column = local_column.data();
+    }
+    for (int k = k_begin; k < k_end; ++k) {
+      const double* col =
+          ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+      for (int s = 0; s < theta; ++s) {
+        column[s] = col[ws.order[static_cast<std::size_t>(s)]];
+      }
+      std::sort(column, column + theta);
+      const double med = (theta % 2 == 1)
+                             ? column[theta / 2]
+                             : 0.5 * (column[theta / 2 - 1] + column[theta / 2]);
+      std::sort(column, column + theta, [med](double a, double b) {
+        return std::abs(a - med) < std::abs(b - med);
+      });
+      double sum = 0.0;
+      for (int s = 0; s < take; ++s) sum += column[s];
+      result[static_cast<std::size_t>(k)] = sum / static_cast<double>(take);
+    }
+  });
 }
 
 }  // namespace abft::agg

@@ -12,6 +12,8 @@ namespace abft::agg {
 class BulyanAggregator final : public GradientAggregator {
  public:
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "bulyan"; }
 };
 

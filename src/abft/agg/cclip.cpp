@@ -1,6 +1,8 @@
 #include "abft/agg/cclip.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 #include "abft/agg/cwmed.hpp"
 #include "abft/util/check.hpp"
@@ -43,6 +45,53 @@ Vector CenteredClipAggregator::aggregate(std::span<const Vector> gradients, int 
   return pivot;
 }
 
+void CenteredClipAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                            AggregatorWorkspace& ws) const {
+  const int d = validate_batch(batch, f);
+  const int n = batch.rows();
+  // Robust pivot: batched coordinate-wise median straight into `out`.
+  const CwmedAggregator median_rule;
+  median_rule.aggregate_into(out, batch, f, ws);
+  auto pivot = out.coefficients();
+
+  ws.vecbuf.resize(static_cast<std::size_t>(d));
+  double* correction = ws.vecbuf.data();
+  for (int iter = 0; iter < iterations_; ++iter) {
+    double tau = tau_;
+    if (tau <= 0.0) {
+      // Adaptive radius: median distance from the current pivot.
+      ws.scratch.resize(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const double* row = batch.row(i).data();
+        double dist_sq = 0.0;
+        for (int k = 0; k < d; ++k) {
+          const double diff = row[k] - pivot[static_cast<std::size_t>(k)];
+          dist_sq += diff * diff;
+        }
+        ws.scratch[static_cast<std::size_t>(i)] = std::sqrt(dist_sq);
+      }
+      tau = median_inplace(ws.scratch.data(), ws.scratch.data() + n);
+      if (tau <= 0.0) return;  // all gradients equal the pivot
+    }
+    std::fill(correction, correction + d, 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double* row = batch.row(i).data();
+      double norm_sq = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double diff = row[k] - pivot[static_cast<std::size_t>(k)];
+        norm_sq += diff * diff;
+      }
+      const double norm = std::sqrt(norm_sq);
+      const double s = norm > tau ? tau / norm : 1.0;
+      for (int k = 0; k < d; ++k) {
+        correction[k] += s * (row[k] - pivot[static_cast<std::size_t>(k)]);
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(n);
+    for (int k = 0; k < d; ++k) pivot[static_cast<std::size_t>(k)] += inv * correction[k];
+  }
+}
+
 ClippedInputAggregator::ClippedInputAggregator(const GradientAggregator& inner)
     : inner_(inner) {}
 
@@ -59,6 +108,31 @@ Vector ClippedInputAggregator::aggregate(std::span<const Vector> gradients, int 
     if (norms[i] > cap && norms[i] > 0.0) capped[i] *= cap / norms[i];
   }
   return inner_.aggregate(capped, f);
+}
+
+void ClippedInputAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                            AggregatorWorkspace& ws) const {
+  const int d = validate_batch(batch, f);
+  const int n = batch.rows();
+  ws.fill_norms(batch);
+  ws.scratch.assign(ws.norms.begin(), ws.norms.end());
+  const double cap = median_inplace(ws.scratch.data(), ws.scratch.data() + n);
+  // Capped copy lives in its own workspace batch (clip_batch) so the inner
+  // rule is free to use aux_batch and the other scratch buffers.  Nesting
+  // ClippedInput inside ClippedInput would alias clip_batch; don't.
+  ws.clip_batch.reshape(n, d);
+  for (int i = 0; i < n; ++i) {
+    const double norm = ws.norms[static_cast<std::size_t>(i)];
+    const double* src = batch.row(i).data();
+    double* dst = ws.clip_batch.row(i).data();
+    if (norm > cap && norm > 0.0) {
+      const double s = cap / norm;
+      for (int k = 0; k < d; ++k) dst[k] = src[k] * s;
+    } else {
+      std::memcpy(dst, src, static_cast<std::size_t>(d) * sizeof(double));
+    }
+  }
+  inner_.aggregate_into(out, ws.clip_batch, f, ws);
 }
 
 }  // namespace abft::agg

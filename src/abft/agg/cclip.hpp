@@ -18,6 +18,8 @@ class CenteredClipAggregator final : public GradientAggregator {
   explicit CenteredClipAggregator(double tau = 0.0, int iterations = 3);
 
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "cclip"; }
 
  private:
@@ -36,6 +38,8 @@ class ClippedInputAggregator final : public GradientAggregator {
   explicit ClippedInputAggregator(const GradientAggregator& inner);
 
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "clipped-input"; }
 
  private:

@@ -1,6 +1,7 @@
 #include "abft/agg/geomed.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "abft/util/check.hpp"
@@ -11,10 +12,14 @@ Vector geometric_median(std::span<const Vector> points, double tolerance, int ma
   ABFT_REQUIRE(!points.empty(), "geometric median of empty family");
   Vector current = linalg::mean(points);
   const double scale = std::max(1.0, current.norm());
+  // The numerator is hoisted out of the iteration loop and re-zeroed in
+  // place, so Weiszfeld allocates nothing after the first update.
+  Vector numerator(current.dim());
   for (int iter = 0; iter < max_iterations; ++iter) {
     // Damped Weiszfeld update: weights 1 / max(dist, floor) sidestep the
     // singularity when the iterate coincides with an input point.
-    Vector numerator(current.dim());
+    auto num = numerator.coefficients();
+    std::fill(num.begin(), num.end(), 0.0);
     double denominator = 0.0;
     for (const auto& p : points) {
       const double dist = std::max(linalg::distance(current, p), 1e-12 * scale);
@@ -22,17 +27,82 @@ Vector geometric_median(std::span<const Vector> points, double tolerance, int ma
       numerator.add_scaled(w, p);
       denominator += w;
     }
-    Vector next = numerator / denominator;
-    const double moved = linalg::distance(next, current);
-    current = std::move(next);
-    if (moved <= tolerance * scale) break;
+    // next = numerator / denominator, formed in place while accumulating the
+    // step length ||next - current||.
+    const double inv = 1.0 / denominator;
+    auto cur = current.coefficients();
+    double moved_sq = 0.0;
+    for (std::size_t k = 0; k < cur.size(); ++k) {
+      const double next_k = num[k] * inv;
+      const double diff = next_k - cur[k];
+      moved_sq += diff * diff;
+      cur[k] = next_k;
+    }
+    if (std::sqrt(moved_sq) <= tolerance * scale) break;
   }
   return current;
+}
+
+void geometric_median_into(Vector& out, const GradientBatch& batch,
+                           AggregatorWorkspace& ws, double tolerance, int max_iterations) {
+  const int n = batch.rows();
+  const int d = batch.cols();
+  ABFT_REQUIRE(n > 0 && d > 0, "geometric median of empty family");
+  resize_output(out, d);
+  auto cur = out.coefficients();
+  // current = mean of the rows (same summation order as linalg::mean).
+  std::fill(cur.begin(), cur.end(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = batch.row(i).data();
+    for (int k = 0; k < d; ++k) cur[static_cast<std::size_t>(k)] += row[k];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double sq = 0.0;
+  for (int k = 0; k < d; ++k) {
+    cur[static_cast<std::size_t>(k)] *= inv_n;
+    sq += cur[static_cast<std::size_t>(k)] * cur[static_cast<std::size_t>(k)];
+  }
+  const double scale = std::max(1.0, std::sqrt(sq));
+  const double floor = 1e-12 * scale;
+
+  ws.vecbuf.resize(static_cast<std::size_t>(d));
+  double* num = ws.vecbuf.data();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(num, num + d, 0.0);
+    double denominator = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double* row = batch.row(i).data();
+      double dist_sq = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double diff = cur[static_cast<std::size_t>(k)] - row[k];
+        dist_sq += diff * diff;
+      }
+      const double dist = std::max(std::sqrt(dist_sq), floor);
+      const double w = 1.0 / dist;
+      for (int k = 0; k < d; ++k) num[k] += w * row[k];
+      denominator += w;
+    }
+    const double inv = 1.0 / denominator;
+    double moved_sq = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double next_k = num[k] * inv;
+      const double diff = next_k - cur[static_cast<std::size_t>(k)];
+      moved_sq += diff * diff;
+      cur[static_cast<std::size_t>(k)] = next_k;
+    }
+    if (std::sqrt(moved_sq) <= tolerance * scale) break;
+  }
 }
 
 Vector GeometricMedianAggregator::aggregate(std::span<const Vector> gradients, int f) const {
   validate_gradients(gradients, f);
   return geometric_median(gradients);
+}
+
+void GeometricMedianAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                               AggregatorWorkspace& ws) const {
+  validate_batch(batch, f);
+  geometric_median_into(out, batch, ws);
 }
 
 GmomAggregator::GmomAggregator(int num_buckets) : num_buckets_(num_buckets) {
@@ -55,6 +125,30 @@ Vector GmomAggregator::aggregate(std::span<const Vector> gradients, int f) const
     start += size;
   }
   return geometric_median(bucket_means);
+}
+
+void GmomAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                    AggregatorWorkspace& ws) const {
+  const int d = validate_batch(batch, f);
+  const int n = batch.rows();
+  const int k = std::min(n, num_buckets_ > 0 ? num_buckets_ : 2 * f + 1);
+  // Bucket means go into the auxiliary batch (same deterministic partition
+  // as the span path), then the batched Weiszfeld runs over them.
+  ws.aux_batch.reshape(k, d);
+  int start = 0;
+  for (int b = 0; b < k; ++b) {
+    const int size = (n - start) / (k - b);
+    auto mean_row = ws.aux_batch.row(b);
+    std::fill(mean_row.begin(), mean_row.end(), 0.0);
+    for (int i = start; i < start + size; ++i) {
+      const double* row = batch.row(i).data();
+      for (int kk = 0; kk < d; ++kk) mean_row[static_cast<std::size_t>(kk)] += row[kk];
+    }
+    const double inv = 1.0 / static_cast<double>(size);
+    for (int kk = 0; kk < d; ++kk) mean_row[static_cast<std::size_t>(kk)] *= inv;
+    start += size;
+  }
+  geometric_median_into(out, ws.aux_batch, ws);
 }
 
 }  // namespace abft::agg

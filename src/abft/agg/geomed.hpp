@@ -11,9 +11,19 @@ namespace abft::agg {
 Vector geometric_median(std::span<const Vector> points, double tolerance = 1e-10,
                         int max_iterations = 200);
 
+/// Batched geometric median over the rows of `batch`, written into `out`.
+/// Draws the Weiszfeld numerator from workspace.vecbuf — no allocation in
+/// the iteration loop.  Same damping, tolerance and iteration schedule as
+/// the span overload.
+void geometric_median_into(Vector& out, const GradientBatch& batch,
+                           AggregatorWorkspace& workspace, double tolerance = 1e-10,
+                           int max_iterations = 200);
+
 class GeometricMedianAggregator final : public GradientAggregator {
  public:
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "geomed"; }
 };
 
@@ -25,6 +35,8 @@ class GmomAggregator final : public GradientAggregator {
   explicit GmomAggregator(int num_buckets = 0);
 
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "gmom"; }
 
  private:

@@ -15,10 +15,19 @@ namespace abft::agg {
 class KrumAggregator final : public GradientAggregator {
  public:
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "krum"; }
 
   /// Krum scores for all gradients (exposed for tests and Bulyan).
   [[nodiscard]] static std::vector<double> scores(std::span<const Vector> gradients, int f);
+
+  /// Batched Krum scores, written into workspace.scores.  Fills the shared
+  /// pairwise squared-distance matrix in workspace.pairdist via the Gram
+  /// identity; Krum and Multi-Krum both score from it (Bulyan runs its own
+  /// active-set scoring loop over the same fill_pairwise_sqdist matrix).
+  static void batched_scores(const GradientBatch& batch, int f,
+                             AggregatorWorkspace& workspace);
 
   /// Scores with the neighbour count clamped to at least one — used by
   /// Bulyan, whose selection loop shrinks the pool below Krum's own n > 2f+2
@@ -34,6 +43,8 @@ class MultiKrumAggregator final : public GradientAggregator {
   explicit MultiKrumAggregator(int m = 0);
 
   [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "multikrum"; }
 
  private:

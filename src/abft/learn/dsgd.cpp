@@ -75,12 +75,16 @@ DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
   };
   evaluate(0);
 
-  std::vector<Vector> gradients;
-  gradients.reserve(shards.size());
+  // Per-round messages land in one contiguous batch (row i = agent i) and
+  // the filter reuses a persistent workspace — no per-iteration allocation
+  // in the aggregation path.
+  agg::GradientBatch round_batch(static_cast<int>(shards.size()), model.param_dim());
+  agg::AggregatorWorkspace workspace;
+  workspace.parallel_threads = std::max(1, config.agg_threads);
+  Vector filtered;
   std::vector<Vector> momenta(shards.size(), Vector(model.param_dim()));
   Vector grad(model.param_dim());
   for (int t = 1; t <= config.iterations; ++t) {
-    gradients.clear();
     for (std::size_t i = 0; i < shards.size(); ++i) {
       const auto batch =
           sample_batch(agent_rng[i], effective[i].num_examples(), config.batch_size);
@@ -93,9 +97,9 @@ DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
         grad = momenta[i];
       }
       if (faults[i] == AgentFault::kGradientReverse) grad *= -1.0;
-      gradients.push_back(grad);
+      round_batch.set_row(static_cast<int>(i), grad);
     }
-    const Vector filtered = aggregator.aggregate(gradients, config.f);
+    aggregator.aggregate_into(filtered, round_batch, config.f, workspace);
     params.add_scaled(-config.step_size, filtered);
     if (t % config.eval_interval == 0 || t == config.iterations) evaluate(t);
   }

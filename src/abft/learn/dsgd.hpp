@@ -33,6 +33,9 @@ struct DsgdConfig {
   /// 0 disables momentum (the paper's own setting).
   double momentum = 0.0;
   std::uint64_t seed = 0;
+  /// Coordinate/pair-level parallelism inside the gradient filter (threaded
+  /// into AggregatorWorkspace::parallel_threads).  1 = single-threaded.
+  int agg_threads = 1;
 };
 
 struct DsgdSeries {

@@ -1,5 +1,6 @@
 #include "abft/p2p/p2p_dgd.hpp"
 
+#include <algorithm>
 #include <functional>
 
 #include "abft/p2p/dolev_strong.hpp"
@@ -48,6 +49,13 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   }
 
   const int dim = config.box.dim();
+  // Each honest node runs its own GradFilter every round; one batch and one
+  // workspace are reused across all nodes and all rounds so the per-call
+  // cost is pack + filter with no allocation.
+  agg::GradientBatch batch;
+  agg::AggregatorWorkspace workspace;
+  workspace.parallel_threads = std::max(1, config.agg_threads);
+  linalg::Vector filtered;
   for (int t = 0; t < config.iterations; ++t) {
     // Honest gradients, computed on each honest node's own estimate.
     std::vector<linalg::Vector> honest_grads;
@@ -85,7 +93,8 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
 
     // Local filter + update on every honest node.
     for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
-      const linalg::Vector filtered = aggregator.aggregate(decided[k], config.f);
+      batch.pack(decided[k]);
+      aggregator.aggregate_into(filtered, batch, config.f, workspace);
       estimates[k] =
           config.box.project(estimates[k] - config.schedule->step(t) * filtered);
       result.traces[k].estimates.push_back(estimates[k]);

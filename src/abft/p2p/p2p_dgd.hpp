@@ -22,6 +22,9 @@ struct P2pDgdConfig {
   /// Declared fault bound; the broadcast layer requires n > 3f.
   int f = 0;
   std::uint64_t seed = 0;
+  /// Coordinate/pair-level parallelism inside each node's gradient filter
+  /// (threaded into AggregatorWorkspace::parallel_threads).
+  int agg_threads = 1;
 };
 
 struct P2pDgdResult {

@@ -53,6 +53,14 @@ Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
   Vector x = config_.box.project(config_.x0);
   trace.estimates.push_back(x);
 
+  // Hot-path state reused across rounds: the received gradients are packed
+  // into one contiguous batch per round, and the aggregator draws all its
+  // scratch from a workspace that stops allocating after the first round.
+  agg::GradientBatch batch;
+  agg::AggregatorWorkspace workspace;
+  workspace.parallel_threads = std::max(1, config_.agg_threads);
+  Vector filtered;
+
   for (int t = 0; t < config_.iterations; ++t) {
     // Honest replies first (omniscient faults may read them).
     std::vector<Vector> honest_grads;
@@ -96,7 +104,8 @@ Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
     ABFT_REQUIRE(!active.empty(), "every agent was eliminated");
 
     const int usable_f = std::min(current_f, static_cast<int>(received.size()) - 1);
-    const Vector filtered = aggregator.aggregate(received, std::max(0, usable_f));
+    batch.pack(received);
+    aggregator.aggregate_into(filtered, batch, std::max(0, usable_f), workspace);
     if (observer_) observer_(t, x, filtered);
 
     x = config_.box.project(x - config_.schedule->step(t) * filtered);

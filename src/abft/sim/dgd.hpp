@@ -34,6 +34,9 @@ struct DgdConfig {
   /// Probability that any agent->server message is lost (crash injection).
   double drop_probability = 0.0;
   bool record_transcript = false;
+  /// Coordinate/pair-level parallelism inside the gradient filter (threaded
+  /// into AggregatorWorkspace::parallel_threads).  1 = single-threaded.
+  int agg_threads = 1;
 };
 
 class DgdSimulation {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "abft/agg/average.hpp"
 #include "abft/agg/bulyan.hpp"
@@ -383,5 +385,220 @@ INSTANTIATE_TEST_SUITE_P(AllRobustRules, RobustRuleTest,
                          ::testing::Values("cge", "cwtm", "cwmed", "krum", "multikrum",
                                            "geomed", "gmom", "bulyan", "normclip", "cclip"),
                          [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// GradientBatch / AggregatorWorkspace and the batched aggregate_into path.
+// ---------------------------------------------------------------------------
+
+TEST(GradientBatch, PackRoundTrips) {
+  const auto grads = make_gradients({Vector{1.0, 2.0}, Vector{3.0, 4.0}, Vector{5.0, 6.0}});
+  agg::GradientBatch batch;
+  batch.pack(grads);
+  EXPECT_EQ(batch.rows(), 3);
+  EXPECT_EQ(batch.cols(), 2);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(batch.unpack_row(i), grads[static_cast<std::size_t>(i)]);
+  const auto unpacked = batch.unpack();
+  EXPECT_EQ(unpacked, grads);
+}
+
+TEST(GradientBatch, ReshapeReusesStorageAndSetRowWrites) {
+  agg::GradientBatch batch(4, 8);
+  batch.reshape(2, 3);
+  EXPECT_EQ(batch.rows(), 2);
+  EXPECT_EQ(batch.cols(), 3);
+  batch.set_row(0, Vector{1.0, 2.0, 3.0});
+  batch.set_row(1, Vector{4.0, 5.0, 6.0});
+  EXPECT_EQ(batch.unpack_row(1), (Vector{4.0, 5.0, 6.0}));
+  EXPECT_THROW(batch.set_row(0, Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(batch.set_row(2, Vector{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(GradientBatch, PackRejectsBadInput) {
+  agg::GradientBatch batch;
+  EXPECT_THROW(batch.pack({}), std::invalid_argument);
+  const auto ragged = make_gradients({Vector{1.0}, Vector{1.0, 2.0}});
+  EXPECT_THROW(batch.pack(ragged), std::invalid_argument);
+}
+
+TEST(BatchedAdapter, DefaultRoutesThroughSpanPath) {
+  // A rule that only implements the span API still works batched via the
+  // base-class adapter.
+  class SpanOnlyMean final : public agg::GradientAggregator {
+   public:
+    [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override {
+      agg::validate_gradients(gradients, f);
+      return linalg::mean(gradients);
+    }
+    [[nodiscard]] std::string_view name() const noexcept override { return "span-only-mean"; }
+  };
+  const SpanOnlyMean rule;
+  const auto grads = make_gradients({Vector{2.0, 0.0}, Vector{0.0, 2.0}});
+  agg::GradientBatch batch;
+  batch.pack(grads);
+  agg::AggregatorWorkspace ws;
+  EXPECT_EQ(rule.aggregate_batched(batch, 0, ws), (Vector{1.0, 1.0}));
+}
+
+namespace parity {
+
+std::vector<Vector> random_gradients(util::Rng& rng, int n, int d, double scale = 1.0) {
+  std::vector<Vector> grads;
+  grads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Vector g(d);
+    for (int k = 0; k < d; ++k) g[k] = scale * rng.normal();
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+/// Asserts the batched path agrees with the span path to 1e-12 (relative to
+/// the output's own magnitude), or that both paths reject the shape.
+void expect_parity(const agg::GradientAggregator& rule, std::span<const Vector> grads, int f,
+                   agg::AggregatorWorkspace& ws, const std::string& label) {
+  agg::GradientBatch batch;
+  batch.pack(grads);
+  Vector legacy;
+  bool legacy_threw = false;
+  try {
+    legacy = rule.aggregate(grads, f);
+  } catch (const std::invalid_argument&) {
+    legacy_threw = true;
+  }
+  Vector batched;
+  bool batched_threw = false;
+  try {
+    rule.aggregate_into(batched, batch, f, ws);
+  } catch (const std::invalid_argument&) {
+    batched_threw = true;
+  }
+  ASSERT_EQ(legacy_threw, batched_threw) << label << ": one path rejected the shape";
+  if (legacy_threw) return;
+  ASSERT_EQ(legacy.dim(), batched.dim()) << label;
+  const double tol = 1e-12 * std::max(1.0, legacy.norm_inf());
+  for (int k = 0; k < legacy.dim(); ++k) {
+    ASSERT_NEAR(legacy[k], batched[k], tol) << label << " coordinate " << k;
+  }
+}
+
+}  // namespace parity
+
+TEST(BatchedParity, AllRegistryRulesAcrossShapes) {
+  struct Shape {
+    int n, d, f;
+  };
+  // Includes the edge shapes n = 2f + 1 and d = 1, plus f = 0.
+  const Shape shapes[] = {{3, 1, 1},  {5, 3, 1},   {7, 16, 1},  {11, 4, 2},
+                          {12, 8, 0}, {15, 9, 3},  {25, 33, 4}, {50, 17, 10},
+                          {9, 1, 2},  {20, 257, 3}};
+  util::Rng rng(7777);
+  agg::AggregatorWorkspace ws;  // shared across every rule and shape on purpose
+  for (const auto name : agg::aggregator_names()) {
+    const auto rule = agg::make_aggregator(name);
+    for (const auto& s : shapes) {
+      const auto grads = parity::random_gradients(rng, s.n, s.d);
+      parity::expect_parity(*rule, grads, s.f,  ws,
+                            std::string(name) + " n=" + std::to_string(s.n) +
+                                " d=" + std::to_string(s.d) + " f=" + std::to_string(s.f));
+    }
+  }
+}
+
+TEST(BatchedParity, DuplicateHeavyColumns) {
+  // Quantized gradients produce exact ties in every coordinate, driving the
+  // coordinate-wise rank kernels into their duplicate-detection fallback.
+  util::Rng rng(31337);
+  agg::AggregatorWorkspace ws;
+  for (const auto name : agg::aggregator_names()) {
+    const auto rule = agg::make_aggregator(name);
+    std::vector<Vector> grads;
+    const int n = 13, d = 24, f = 2;
+    for (int i = 0; i < n; ++i) {
+      Vector g(d);
+      for (int k = 0; k < d; ++k) {
+        g[k] = 0.5 * std::round(2.0 * rng.normal());  // heavy ties, incl. +-0
+      }
+      grads.push_back(std::move(g));
+    }
+    parity::expect_parity(*rule, grads, f, ws, std::string(name) + " duplicates");
+  }
+}
+
+TEST(BatchedParity, LargeNSelectionFallback) {
+  // n above the rank-kernel cutoff exercises the nth_element column path.
+  util::Rng rng(909);
+  agg::AggregatorWorkspace ws;
+  const auto grads = parity::random_gradients(rng, 300, 3, 2.0);
+  for (const auto name : {"cwtm", "cwmed", "normclip", "cge"}) {
+    const auto rule = agg::make_aggregator(name);
+    parity::expect_parity(*rule, grads, 60, ws, std::string(name) + " n=300");
+  }
+}
+
+TEST(BatchedParity, ParallelThreadsMatchSingleThread) {
+  util::Rng rng(4242);
+  const auto grads = parity::random_gradients(rng, 20, 103, 1.0);
+  agg::GradientBatch batch;
+  batch.pack(grads);
+  for (const auto name : agg::aggregator_names()) {
+    const auto rule = agg::make_aggregator(name);
+    agg::AggregatorWorkspace serial_ws;
+    agg::AggregatorWorkspace parallel_ws;
+    parallel_ws.parallel_threads = 4;
+    const Vector serial = rule->aggregate_batched(batch, 3, serial_ws);
+    const Vector parallel = rule->aggregate_batched(batch, 3, parallel_ws);
+    EXPECT_EQ(serial, parallel) << name << ": parallel partition changed the result";
+  }
+}
+
+TEST(BatchedParity, WorkspaceReuseAcrossCallsIsStable) {
+  // The same workspace reused across rules, shapes and repeated calls must
+  // keep producing identical outputs (buffers are recomputed, never stale).
+  util::Rng rng(555);
+  agg::AggregatorWorkspace ws;
+  const auto big = parity::random_gradients(rng, 30, 40, 1.0);
+  const auto small = parity::random_gradients(rng, 7, 5, 1.0);
+  agg::GradientBatch batch;
+  for (const auto name : agg::aggregator_names()) {
+    const auto rule = agg::make_aggregator(name);
+    batch.pack(big);
+    const Vector first = rule->aggregate_batched(batch, 5, ws);
+    batch.pack(small);
+    (void)rule->aggregate_batched(batch, 1, ws);
+    batch.pack(big);
+    const Vector again = rule->aggregate_batched(batch, 5, ws);
+    EXPECT_EQ(first, again) << name << ": workspace reuse changed the result";
+  }
+}
+
+TEST(BatchedParity, GramCancellationGuard) {
+  // Gradients sharing a huge common component while differing by tiny
+  // deltas: the naive Gram identity loses all digits of the pairwise
+  // distances here, so this locks in the guarded recompute.  The batched
+  // Krum family must still rank the outlier-adjacent scores like the span
+  // path's direct distances do.
+  util::Rng rng(86);
+  const int n = 9, d = 6, f = 1;
+  std::vector<Vector> grads;
+  for (int i = 0; i < n; ++i) {
+    Vector g(d);
+    for (int k = 0; k < d; ++k) g[k] = 1e8 + 1e-2 * rng.normal();
+    grads.push_back(std::move(g));
+  }
+  agg::AggregatorWorkspace ws;
+  for (const auto name : {"krum", "multikrum", "bulyan", "geomed", "cclip"}) {
+    const auto rule = agg::make_aggregator(name);
+    parity::expect_parity(*rule, grads, f, ws, std::string(name) + " gram-cancellation");
+  }
+}
+
+TEST(BatchedParity, ClippedInputAdapterMatches) {
+  util::Rng rng(2024);
+  const auto grads = parity::random_gradients(rng, 12, 19, 3.0);
+  const agg::CwtmAggregator inner;
+  const agg::ClippedInputAggregator rule(inner);
+  agg::AggregatorWorkspace ws;
+  parity::expect_parity(rule, grads, 2, ws, "clipped-input");
+}
 
 }  // namespace
