@@ -13,10 +13,15 @@
 // Flags:
 //   --quick       small shapes only (CI smoke)
 //   --out=FILE    JSON destination (default BENCH_agg.json)
+//   --threads=N   additionally measure a "pooled" path: the batched kernels
+//                 dispatching coordinate/pair work over a persistent
+//                 N-thread ThreadPool (worthwhile on multi-core hosts only;
+//                 the default 1 keeps the JSON shape diff-stable)
 //   --gbench ...  delegate to google-benchmark instead (when compiled in)
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "abft/agg/registry.hpp"
+#include "abft/agg/threads.hpp"
 #include "abft/util/rng.hpp"
 
 #if defined(ABFT_HAVE_GBENCH)
@@ -50,7 +56,7 @@ std::vector<Vector> make_gradients(int n, int d, std::uint64_t seed) {
 
 struct BenchResult {
   std::string rule;
-  std::string path;  // "legacy" | "batched"
+  std::string path;  // "legacy" | "batched" | "pooled"
   int n = 0;
   int d = 0;
   int f = 0;
@@ -91,7 +97,7 @@ struct Shape {
   int d;
 };
 
-int run_builtin(bool quick, const std::string& out_path) {
+int run_builtin(bool quick, const std::string& out_path, int threads) {
   const std::vector<Shape> shapes =
       quick ? std::vector<Shape>{{10, 10}, {10, 100}, {25, 200}}
             : std::vector<Shape>{{10, 10}, {10, 1000}, {50, 100}, {100, 1000}, {50, 10000}};
@@ -154,7 +160,25 @@ int run_builtin(bool quick, const std::string& out_path) {
       speedup_pairs[key] = {legacy.ns_per_op, batched.ns_per_op};
       std::cout << key << "  legacy " << static_cast<long>(legacy.ns_per_op)
                 << " ns/op  batched " << static_cast<long>(batched.ns_per_op)
-                << " ns/op  speedup " << legacy.ns_per_op / batched.ns_per_op << "x\n";
+                << " ns/op  speedup " << legacy.ns_per_op / batched.ns_per_op << "x";
+      if (threads > 1) {
+        agg::ThreadPool pool(threads);
+        agg::AggregatorWorkspace pooled_ws;
+        pooled_ws.parallel_threads = threads;
+        pooled_ws.pool = &pool;
+        BenchResult pooled{std::string(name), "pooled", n, d, f, 0.0, 0};
+        pooled.ns_per_op = time_ns_per_op(
+            [&] {
+              rule->aggregate_into(out, batch, f, pooled_ws);
+              volatile double sink = out[0];
+              (void)sink;
+            },
+            pooled.iters, min_seconds, min_iters, max_iters);
+        results.push_back(pooled);
+        std::cout << "  pooled(" << threads << ") " << static_cast<long>(pooled.ns_per_op)
+                  << " ns/op";
+      }
+      std::cout << "\n";
     }
   }
 
@@ -236,11 +260,13 @@ void register_all() {
 int main(int argc, char** argv) {
   bool quick = false;
   bool use_gbench = false;
+  int threads = 1;
   std::string out_path = "BENCH_agg.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--gbench") == 0) use_gbench = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) threads = std::atoi(argv[i] + 10);
   }
   if (use_gbench) {
 #if defined(ABFT_HAVE_GBENCH)
@@ -253,5 +279,5 @@ int main(int argc, char** argv) {
     std::cerr << "google-benchmark not compiled in; using the built-in harness\n";
 #endif
   }
-  return run_builtin(quick, out_path);
+  return run_builtin(quick, out_path, std::max(1, threads));
 }

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Warn-only diff of a fresh BENCH_agg.json against the committed baseline.
+
+Usage: bench_diff.py <baseline.json> <current.json> [--threshold PCT]
+
+Matches results on (rule, path, n, d, f) and reports ns/op deltas beyond the
+threshold (default 25%, generous because CI machines are noisy).  Always
+exits 0 unless an input is missing or malformed — this is a tripwire for the
+humans reading the log, not a gate; tighten it into a failure once numbers
+stabilize across runs (see ROADMAP).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    return {
+        (r["rule"], r["path"], r["n"], r["d"], r["f"]): r["ns_per_op"]
+        for r in doc["results"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="warn when |delta| exceeds this percentage")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    improvements = []
+    for key in sorted(baseline.keys() & current.keys()):
+        old, new = baseline[key], current[key]
+        if old <= 0:
+            continue
+        delta = 100.0 * (new - old) / old
+        if abs(delta) >= args.threshold:
+            (regressions if delta > 0 else improvements).append((key, old, new, delta))
+
+    def describe(key):
+        rule, path, n, d, f = key
+        return f"{rule}/{path} n={n} d={d} f={f}"
+
+    for key, old, new, delta in regressions:
+        print(f"WARNING: {describe(key)}: {old:.1f} -> {new:.1f} ns/op ({delta:+.1f}%)")
+    for key, old, new, delta in improvements:
+        print(f"improved: {describe(key)}: {old:.1f} -> {new:.1f} ns/op ({delta:+.1f}%)")
+
+    only_old = baseline.keys() - current.keys()
+    only_new = current.keys() - baseline.keys()
+    if only_old:
+        print(f"note: {len(only_old)} baseline entries missing from the current run")
+    if only_new:
+        print(f"note: {len(only_new)} new entries absent from the baseline")
+
+    matched = len(baseline.keys() & current.keys())
+    print(f"bench_diff: {matched} matched entries, {len(regressions)} above "
+          f"+{args.threshold:.0f}%, {len(improvements)} improved (warn-only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

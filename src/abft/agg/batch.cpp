@@ -101,6 +101,18 @@ void GradientBatch::set_row(int i, const Vector& v) {
               v.coefficients().data(), static_cast<std::size_t>(d_) * sizeof(double));
 }
 
+void GradientBatch::set_row(int i, std::span<const double> values) {
+  ABFT_REQUIRE(0 <= i && i < n_, "batch row index out of range");
+  ABFT_REQUIRE(static_cast<int>(values.size()) == d_, "row dimension mismatch");
+  std::memcpy(data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(d_),
+              values.data(), static_cast<std::size_t>(d_) * sizeof(double));
+}
+
+void GradientBatch::truncate_rows(int n) {
+  ABFT_REQUIRE(0 <= n && n <= n_, "cannot truncate to more rows than the batch holds");
+  n_ = n;
+}
+
 Vector GradientBatch::unpack_row(int i) const {
   ABFT_REQUIRE(0 <= i && i < n_, "batch row index out of range");
   const auto r = row(i);
@@ -121,7 +133,7 @@ void AggregatorWorkspace::fill_colmajor(const GradientBatch& batch) {
   // Cache-blocked transpose: both the row-major source and the column-major
   // destination are touched in tiles that fit in L1.
   constexpr int kBlock = 64;
-  parallel_for(0, d, parallel_threads, [&](int k_begin, int k_end) {
+  run_parallel(0, d, [&](int k_begin, int k_end) {
     for (int k0 = k_begin; k0 < k_end; k0 += kBlock) {
       const int k1 = std::min(k0 + kBlock, k_end);
       for (int i0 = 0; i0 < n; i0 += kBlock) {
@@ -177,7 +189,7 @@ void AggregatorWorkspace::fill_pairwise_sqdist(const GradientBatch& batch) {
   // team, not one per chunk); every (i, j > i) cell is written by exactly
   // one thread.  Each thread walks the d-chunks so its active row segments
   // stay cache-resident across its pair sweep.
-  parallel_for(0, n, parallel_threads, [&](int i_begin, int i_end) {
+  run_parallel(0, n, [&](int i_begin, int i_end) {
     accumulate_pair_dots(batch, pairdist.data(), n, d, i_begin, i_end);
   });
   // Convert the accumulated dots to squared distances and mirror.  The Gram

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "abft/agg/threads.hpp"
 #include "abft/linalg/vector.hpp"
 
 namespace abft::agg {
@@ -52,6 +53,16 @@ class GradientBatch {
   /// Copies a vector into row i (dimension must equal cols()).
   void set_row(int i, const Vector& v);
 
+  /// Row-writer ingest: copies a raw coefficient span into row i.  This is
+  /// how agents, fault injectors and the network hand gradients to the
+  /// filter without staging std::vector<Vector> messages.
+  void set_row(int i, std::span<const double> values);
+
+  /// Shrinks the logical row count to n (n <= rows()) without touching the
+  /// surviving rows — the compaction step after the network has written the
+  /// delivered messages into the leading rows.
+  void truncate_rows(int n);
+
   /// Copies row i out into a Vector (allocates; not for the hot path).
   [[nodiscard]] Vector unpack_row(int i) const;
 
@@ -75,6 +86,18 @@ struct AggregatorWorkspace {
   /// keeps every kernel single-threaded; drivers thread their config flag
   /// through here.
   int parallel_threads = 1;
+
+  /// Optional persistent thread pool.  When set, every kernel parallel-for
+  /// dispatches over the pool's sleeping workers instead of spawning a fresh
+  /// thread team per call; drivers share one pool between round-level
+  /// parallelism and the kernels (phases are sequential, so the pool is
+  /// never re-entered).  Non-owning: the driver owns the pool.
+  ThreadPool* pool = nullptr;
+
+  /// Kernel-side parallel dispatch: pool when available, the spawning
+  /// parallel_for otherwise (compatible with workspaces configured by hand).
+  template <typename Fn>
+  void run_parallel(int begin, int end, Fn&& fn);
 
   // --- scratch buffers -----------------------------------------------------
   std::vector<double> colmajor;  ///< d x n transposed copy of the batch
@@ -124,8 +147,9 @@ double median_inplace(double* first, double* last);
 /// to a direct call on the calling thread — that path is allocation-free
 /// (the callable is a template parameter, not a std::function).  With
 /// num_threads > 1 each call spawns and joins a fresh thread team (tens of
-/// microseconds), so callers should invoke it once per kernel, not per
-/// tile; a persistent pool is a ROADMAP follow-on.  fn must not throw.
+/// microseconds); hot paths should prefer a persistent ThreadPool (see
+/// threads.hpp) via AggregatorWorkspace::run_parallel — this spawning
+/// fallback remains for ad-hoc workspaces with no pool.  fn must not throw.
 template <typename Fn>
 void parallel_for(int begin, int end, int num_threads, Fn&& fn) {
   const int range = end - begin;
@@ -146,6 +170,15 @@ void parallel_for(int begin, int end, int num_threads, Fn&& fn) {
   }
   fn(begin, std::min(begin + chunk, end));
   for (auto& t : pool) t.join();
+}
+
+template <typename Fn>
+void AggregatorWorkspace::run_parallel(int begin, int end, Fn&& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(begin, end, parallel_threads, std::forward<Fn>(fn));
+  } else {
+    parallel_for(begin, end, parallel_threads, std::forward<Fn>(fn));
+  }
 }
 
 }  // namespace abft::agg

@@ -105,7 +105,7 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
   auto result = out.coefficients();
   const int take = std::min(beta, theta);
   if (ws.parallel_threads <= 1) ws.scratch.resize(static_cast<std::size_t>(theta));
-  parallel_for(0, d, ws.parallel_threads, [&](int k_begin, int k_end) {
+  ws.run_parallel(0, d, [&](int k_begin, int k_end) {
     // Single-threaded (the common case) stays allocation-free by borrowing
     // ws.scratch (free after stage 1); parallel chunks get a private buffer.
     std::vector<double> local_column;

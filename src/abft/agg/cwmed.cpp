@@ -52,7 +52,7 @@ void CwmedAggregator::aggregate_into(Vector& out, const GradientBatch& batch, in
   resize_output(out, d);
   auto result = out.coefficients();
   const bool use_rank_kernel = n > 1 && n <= detail::kRankKernelMaxN;
-  parallel_for(0, d, ws.parallel_threads, [&](int k_begin, int k_end) {
+  ws.run_parallel(0, d, [&](int k_begin, int k_end) {
     for (int k = k_begin; k < k_end; ++k) {
       double* col = ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
       if (use_rank_kernel) {

@@ -75,7 +75,7 @@ void CwtmAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int
     // (tile stays L1-resident, the batch itself is streamed exactly once),
     // so no full d x n transpose is materialized at all.
     constexpr int kTileCols = 16;
-    parallel_for(0, d, ws.parallel_threads, [&](int k_begin, int k_end) {
+    ws.run_parallel(0, d, [&](int k_begin, int k_end) {
       double tile[kTileCols * detail::kRankKernelMaxN];
       for (int k0 = k_begin; k0 < k_end; k0 += kTileCols) {
         const int cols = std::min(kTileCols, k_end - k0);
@@ -97,7 +97,7 @@ void CwtmAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int
 
   // Large-n (or f == 0) path: selection over the workspace transpose.
   ws.fill_colmajor(batch);
-  parallel_for(0, d, ws.parallel_threads, [&](int k_begin, int k_end) {
+  ws.run_parallel(0, d, [&](int k_begin, int k_end) {
     for (int k = k_begin; k < k_end; ++k) {
       double* col = ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
       if (f == 0) {

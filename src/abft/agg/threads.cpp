@@ -1,0 +1,77 @@
+#include "abft/agg/threads.hpp"
+
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+ThreadPool::ThreadPool(int width) : width_(std::max(1, width)) {
+  threads_.reserve(static_cast<std::size_t>(width_ - 1));
+  for (int slot = 0; slot < width_ - 1; ++slot) {
+    threads_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(int begin, int end, int workers, InvokeFn invoke, void* ctx) {
+  // Chunking matches the legacy spawn-per-call parallel_for exactly:
+  // ceil(range / workers), last chunk possibly short (or empty — workers is
+  // clamped to the range, so chunk 0 is never empty).
+  const int chunk = (end - begin + workers - 1) / workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_begin_ = begin;
+    job_end_ = end;
+    job_workers_ = workers;
+    job_chunk_ = chunk;
+    job_invoke_ = invoke;
+    job_ctx_ = ctx;
+    pending_ = workers - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  invoke(ctx, begin, std::min(begin + chunk, end));
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(int slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    InvokeFn invoke = nullptr;
+    void* ctx = nullptr;
+    int lo = 0;
+    int hi = 0;
+    bool participates = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      // Worker `slot` owns chunk slot + 1 (the caller runs chunk 0).
+      participates = slot + 1 < job_workers_;
+      if (participates) {
+        invoke = job_invoke_;
+        ctx = job_ctx_;
+        lo = job_begin_ + (slot + 1) * job_chunk_;
+        hi = std::min(lo + job_chunk_, job_end_);
+      }
+    }
+    if (!participates) continue;
+    if (lo < hi) invoke(ctx, lo, hi);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace abft::agg

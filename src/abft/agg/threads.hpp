@@ -1,0 +1,93 @@
+// Persistent worker-thread pool for round-level and kernel-level
+// parallelism.  The legacy parallel_for in batch.hpp spawns and joins a
+// fresh thread team on every call (tens of microseconds); a ThreadPool pays
+// that cost once and then dispatches static chunks over sleeping workers, so
+// drivers can parallelize per-round work (honest-gradient computation, the
+// p2p per-node filter loop) as well as the coordinate/pair loops inside the
+// aggregation kernels.
+//
+// Determinism contract: parallel_for partitions [begin, end) into at most
+// `width` contiguous chunks and runs fn(lo, hi) on each exactly once.  The
+// partition is a pure function of (begin, end, width) — never of timing — so
+// any computation whose per-index work is self-contained (each index reads
+// shared inputs and writes its own output slot) produces bit-identical
+// results at every thread count.  Every parallel site in this library is
+// written to that rule; the determinism tests in tests/test_determinism.cpp
+// enforce it end-to-end.
+//
+// The pool is NOT re-entrant: fn must not call parallel_for on the same
+// pool.  Drivers therefore use the pool at exactly one level per phase
+// (round-level phases hand the kernels a serial workspace, and vice versa).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace abft::agg {
+
+class ThreadPool {
+ public:
+  /// A pool of total width `width` (the calling thread participates, so
+  /// width - 1 workers are spawned; width <= 1 spawns none).
+  explicit ThreadPool(int width);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+
+  /// Runs fn(lo, hi) over a static partition of [begin, end) using up to
+  /// min(max_width, width()) threads including the caller.  Degenerates to a
+  /// direct fn(begin, end) call when one thread suffices — that path touches
+  /// no synchronization at all.  fn must not throw and must not re-enter the
+  /// pool.
+  template <typename Fn>
+  void parallel_for(int begin, int end, int max_width, Fn&& fn) {
+    const int range = end - begin;
+    if (range <= 0) return;
+    const int workers = std::min({max_width, width_, range});
+    if (workers <= 1) {
+      fn(begin, end);
+      return;
+    }
+    using Callable = std::remove_reference_t<Fn>;
+    run_chunks(begin, end, workers,
+               [](void* ctx, int lo, int hi) { (*static_cast<Callable*>(ctx))(lo, hi); },
+               const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
+
+ private:
+  using InvokeFn = void (*)(void* ctx, int lo, int hi);
+
+  /// Publishes one job (begin, end, workers, invoke, ctx), runs chunk 0 on
+  /// the calling thread and blocks until every participating worker is done.
+  void run_chunks(int begin, int end, int workers, InvokeFn invoke, void* ctx);
+  void worker_loop(int slot);
+
+  int width_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Job slot, written under mutex_ by run_chunks and read under mutex_ by
+  // the workers; stable for the duration of one generation.
+  std::uint64_t generation_ = 0;
+  int job_begin_ = 0;
+  int job_end_ = 0;
+  int job_workers_ = 0;
+  int job_chunk_ = 0;
+  InvokeFn job_invoke_ = nullptr;
+  void* job_ctx_ = nullptr;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace abft::agg

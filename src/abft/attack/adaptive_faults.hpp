@@ -16,6 +16,8 @@ class LittleIsEnoughFault final : public FaultModel {
   explicit LittleIsEnoughFault(double z);
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "little-is-enough"; }
 
  private:
@@ -29,6 +31,8 @@ class MeanReverseFault final : public FaultModel {
   explicit MeanReverseFault(double scale);
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "mean-reverse"; }
 
  private:
@@ -41,6 +45,8 @@ class MimicSmallestFault final : public FaultModel {
  public:
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "mimic-smallest"; }
 };
 

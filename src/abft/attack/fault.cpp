@@ -1,5 +1,34 @@
 #include "abft/attack/fault.hpp"
 
-// The interface is header-only; this translation unit anchors the vtable.
+#include <algorithm>
+#include <vector>
 
-namespace abft::attack {}  // namespace abft::attack
+#include "abft/util/check.hpp"
+
+namespace abft::attack {
+
+bool FaultModel::emit_into(std::span<double> out, const RowAttackContext& context,
+                           util::Rng& rng) const {
+  // Adapter for fault models that only implement emit(): materialize the
+  // legacy context (allocates — the built-in faults all override with
+  // allocation-free kernels).  The copies are taken before `out` is written,
+  // so the out-may-alias-true_gradient contract holds here too.
+  const Vector true_gradient(
+      std::vector<double>(context.true_gradient.begin(), context.true_gradient.end()));
+  std::vector<Vector> honest;
+  honest.reserve(static_cast<std::size_t>(context.honest.count()));
+  for (int k = 0; k < context.honest.count(); ++k) {
+    const auto r = context.honest.row(k);
+    honest.push_back(Vector(std::vector<double>(r.begin(), r.end())));
+  }
+  const AttackContext legacy{context.estimate, true_gradient, honest, context.round};
+  auto payload = emit(legacy, rng);
+  if (!payload.has_value()) return false;
+  ABFT_REQUIRE(payload->dim() == static_cast<int>(out.size()),
+               "fault emitted a payload of wrong dimension");
+  const auto src = payload->coefficients();
+  std::copy(src.begin(), src.end(), out.begin());
+  return true;
+}
+
+}  // namespace abft::attack

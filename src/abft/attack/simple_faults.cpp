@@ -1,14 +1,27 @@
 #include "abft/attack/simple_faults.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "abft/util/check.hpp"
+
+// Every emit_into below mirrors its emit() twin operation for operation so
+// the payloads (and the rng stream) are bit-identical — the attack-parity
+// tests compare the two paths exactly.  All of them honor the
+// out-may-alias-true_gradient contract by writing each index at most once
+// after its last read.
 
 namespace abft::attack {
 
 std::optional<Vector> GradientReverseFault::emit(const AttackContext& context,
                                                  util::Rng& /*rng*/) const {
   return -context.true_gradient;
+}
+
+bool GradientReverseFault::emit_into(std::span<double> out, const RowAttackContext& context,
+                                     util::Rng& /*rng*/) const {
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = context.true_gradient[k] * -1.0;
+  return true;
 }
 
 RandomGaussianFault::RandomGaussianFault(double stddev) : stddev_(stddev) {
@@ -22,8 +35,20 @@ std::optional<Vector> RandomGaussianFault::emit(const AttackContext& context,
   return out;
 }
 
+bool RandomGaussianFault::emit_into(std::span<double> out, const RowAttackContext& /*context*/,
+                                    util::Rng& rng) const {
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = rng.normal(0.0, stddev_);
+  return true;
+}
+
 std::optional<Vector> ZeroFault::emit(const AttackContext& context, util::Rng& /*rng*/) const {
   return Vector(context.true_gradient.dim());
+}
+
+bool ZeroFault::emit_into(std::span<double> out, const RowAttackContext& /*context*/,
+                          util::Rng& /*rng*/) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  return true;
 }
 
 SignFlipScaleFault::SignFlipScaleFault(double kappa) : kappa_(kappa) {
@@ -35,6 +60,13 @@ std::optional<Vector> SignFlipScaleFault::emit(const AttackContext& context,
   return -kappa_ * context.true_gradient;
 }
 
+bool SignFlipScaleFault::emit_into(std::span<double> out, const RowAttackContext& context,
+                                   util::Rng& /*rng*/) const {
+  const double scale = -kappa_;
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = context.true_gradient[k] * scale;
+  return true;
+}
+
 ConstantFault::ConstantFault(Vector payload) : payload_(std::move(payload)) {
   ABFT_REQUIRE(payload_.dim() > 0, "constant fault payload must be non-empty");
 }
@@ -44,6 +76,15 @@ std::optional<Vector> ConstantFault::emit(const AttackContext& context,
   ABFT_REQUIRE(payload_.dim() == context.true_gradient.dim(),
                "constant fault payload dimension mismatch");
   return payload_;
+}
+
+bool ConstantFault::emit_into(std::span<double> out, const RowAttackContext& /*context*/,
+                              util::Rng& /*rng*/) const {
+  ABFT_REQUIRE(payload_.dim() == static_cast<int>(out.size()),
+               "constant fault payload dimension mismatch");
+  const auto src = payload_.coefficients();
+  std::copy(src.begin(), src.end(), out.begin());
+  return true;
 }
 
 RotatingFault::RotatingFault(double magnitude, double omega)
@@ -60,9 +101,23 @@ std::optional<Vector> RotatingFault::emit(const AttackContext& context,
   return out;
 }
 
+bool RotatingFault::emit_into(std::span<double> out, const RowAttackContext& context,
+                              util::Rng& /*rng*/) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  const double angle = omega_ * static_cast<double>(context.round);
+  out[0] = magnitude_ * std::cos(angle);
+  if (out.size() > 1) out[1] = magnitude_ * std::sin(angle);
+  return true;
+}
+
 std::optional<Vector> SilentFault::emit(const AttackContext& /*context*/,
                                         util::Rng& /*rng*/) const {
   return std::nullopt;
+}
+
+bool SilentFault::emit_into(std::span<double> /*out*/, const RowAttackContext& /*context*/,
+                            util::Rng& /*rng*/) const {
+  return false;
 }
 
 }  // namespace abft::attack

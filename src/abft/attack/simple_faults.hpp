@@ -11,6 +11,8 @@ class GradientReverseFault final : public FaultModel {
  public:
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "gradient-reverse"; }
 };
 
@@ -21,6 +23,8 @@ class RandomGaussianFault final : public FaultModel {
   explicit RandomGaussianFault(double stddev);
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "random"; }
 
  private:
@@ -32,6 +36,8 @@ class ZeroFault final : public FaultModel {
  public:
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "zero"; }
 };
 
@@ -41,6 +47,8 @@ class SignFlipScaleFault final : public FaultModel {
   explicit SignFlipScaleFault(double kappa);
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "sign-flip-scale"; }
 
  private:
@@ -53,6 +61,8 @@ class ConstantFault final : public FaultModel {
   explicit ConstantFault(Vector payload);
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "constant"; }
 
  private:
@@ -67,6 +77,8 @@ class RotatingFault final : public FaultModel {
   RotatingFault(double magnitude, double omega);
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "rotating"; }
 
  private:
@@ -80,6 +92,8 @@ class SilentFault final : public FaultModel {
  public:
   [[nodiscard]] std::optional<Vector> emit(const AttackContext& context,
                                            util::Rng& rng) const override;
+  [[nodiscard]] bool emit_into(std::span<double> out, const RowAttackContext& context,
+                               util::Rng& rng) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "silent"; }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "abft/agg/threads.hpp"
 #include "abft/util/check.hpp"
 
 namespace abft::learn {
@@ -77,28 +78,40 @@ DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
 
   // Per-round messages land in one contiguous batch (row i = agent i) and
   // the filter reuses a persistent workspace — no per-iteration allocation
-  // in the aggregation path.
+  // in the aggregation path.  With agg_threads > 1 a persistent pool
+  // parallelizes the per-agent gradient phase: every agent owns its rng
+  // stream, gradient scratch, momentum buffer and batch row, so the series
+  // is bit-identical at every thread count.
+  const int threads = std::max(1, config.agg_threads);
+  // ThreadPool(1) spawns no workers and dispatches directly, so the pool is
+  // constructed unconditionally and every phase runs through it.
+  agg::ThreadPool pool(threads);
   agg::GradientBatch round_batch(static_cast<int>(shards.size()), model.param_dim());
   agg::AggregatorWorkspace workspace;
-  workspace.parallel_threads = std::max(1, config.agg_threads);
+  workspace.parallel_threads = threads;
+  workspace.pool = &pool;
   Vector filtered;
   std::vector<Vector> momenta(shards.size(), Vector(model.param_dim()));
-  Vector grad(model.param_dim());
+  std::vector<Vector> grads(shards.size(), Vector(model.param_dim()));
   for (int t = 1; t <= config.iterations; ++t) {
-    for (std::size_t i = 0; i < shards.size(); ++i) {
-      const auto batch =
-          sample_batch(agent_rng[i], effective[i].num_examples(), config.batch_size);
-      model.loss(params, effective[i], batch, &grad);
-      if (config.momentum > 0.0) {
-        // Worker momentum: the message is the agent's running average, which
-        // shrinks the honest variance the filter must tolerate.
-        momenta[i] *= config.momentum;
-        momenta[i].add_scaled(1.0 - config.momentum, grad);
-        grad = momenta[i];
+    pool.parallel_for(0, static_cast<int>(shards.size()), threads, [&](int begin, int end) {
+      for (int a = begin; a < end; ++a) {
+        const auto i = static_cast<std::size_t>(a);
+        Vector& grad = grads[i];
+        const auto batch =
+            sample_batch(agent_rng[i], effective[i].num_examples(), config.batch_size);
+        model.loss(params, effective[i], batch, &grad);
+        if (config.momentum > 0.0) {
+          // Worker momentum: the message is the agent's running average,
+          // which shrinks the honest variance the filter must tolerate.
+          momenta[i] *= config.momentum;
+          momenta[i].add_scaled(1.0 - config.momentum, grad);
+          grad = momenta[i];
+        }
+        if (faults[i] == AgentFault::kGradientReverse) grad *= -1.0;
+        round_batch.set_row(a, grad);
       }
-      if (faults[i] == AgentFault::kGradientReverse) grad *= -1.0;
-      round_batch.set_row(static_cast<int>(i), grad);
-    }
+    });
     aggregator.aggregate_into(filtered, round_batch, config.f, workspace);
     params.add_scaled(-config.step_size, filtered);
     if (t % config.eval_interval == 0 || t == config.iterations) evaluate(t);

@@ -33,8 +33,11 @@ struct DsgdConfig {
   /// 0 disables momentum (the paper's own setting).
   double momentum = 0.0;
   std::uint64_t seed = 0;
-  /// Coordinate/pair-level parallelism inside the gradient filter (threaded
-  /// into AggregatorWorkspace::parallel_threads).  1 = single-threaded.
+  /// Round-level parallelism: width of the persistent thread pool that
+  /// parallelizes the per-agent mini-batch gradient computation (each agent
+  /// owns its rng stream, momentum buffer and batch row, so the series is
+  /// bit-identical at every thread count) and the coordinate/pair loops
+  /// inside the gradient filter.  1 = fully single-threaded.
   int agg_threads = 1;
 };
 

@@ -1,8 +1,18 @@
 #include "abft/opt/cost.hpp"
 
+#include <algorithm>
+
 #include "abft/util/check.hpp"
 
 namespace abft::opt {
+
+void CostFunction::gradient_into(const Vector& x, std::span<double> out) const {
+  const Vector grad = gradient(x);
+  ABFT_REQUIRE(grad.dim() == static_cast<int>(out.size()),
+               "gradient_into output size must match the cost dimension");
+  const auto src = grad.coefficients();
+  std::copy(src.begin(), src.end(), out.begin());
+}
 
 AggregateCost::AggregateCost(std::vector<const CostFunction*> costs)
     : AggregateCost(std::move(costs), {}) {}

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "abft/linalg/vector.hpp"
@@ -19,6 +20,14 @@ class CostFunction {
   [[nodiscard]] virtual int dim() const noexcept = 0;
   [[nodiscard]] virtual double value(const Vector& x) const = 0;
   [[nodiscard]] virtual Vector gradient(const Vector& x) const = 0;
+
+  /// Row-writer gradient: writes grad Q(x) straight into `out` (size dim()),
+  /// which is how the batched drivers let agents fill GradientBatch rows
+  /// without staging Vectors.  The default adapts through gradient()
+  /// (allocates); hot-path costs override with an in-place computation that
+  /// performs the exact same floating-point operations.  Must be safe to
+  /// call concurrently on distinct outputs (all built-in costs are pure).
+  virtual void gradient_into(const Vector& x, std::span<double> out) const;
 };
 
 /// Weighted sum of costs: sum_i w_i Q_i(x).  Non-owning by design: the agents

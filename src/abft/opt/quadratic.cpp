@@ -23,6 +23,12 @@ Vector ResidualSquaredCost::gradient(const Vector& x) const {
   return grad;
 }
 
+void ResidualSquaredCost::gradient_into(const Vector& x, std::span<double> out) const {
+  ABFT_REQUIRE(static_cast<int>(out.size()) == dim(), "gradient_into size mismatch");
+  const double scale = -2.0 * (observation_ - linalg::dot(row_, x));
+  for (int k = 0; k < dim(); ++k) out[static_cast<std::size_t>(k)] = row_[k] * scale;
+}
+
 double ResidualSquaredCost::gradient_lipschitz() const noexcept {
   return 2.0 * row_.squared_norm();
 }
@@ -39,6 +45,12 @@ double SquaredDistanceCost::value(const Vector& x) const {
 Vector SquaredDistanceCost::gradient(const Vector& x) const {
   ABFT_REQUIRE(x.dim() == dim(), "dimension mismatch");
   return 2.0 * (x - center_);
+}
+
+void SquaredDistanceCost::gradient_into(const Vector& x, std::span<double> out) const {
+  ABFT_REQUIRE(x.dim() == dim(), "dimension mismatch");
+  ABFT_REQUIRE(static_cast<int>(out.size()) == dim(), "gradient_into size mismatch");
+  for (int k = 0; k < dim(); ++k) out[static_cast<std::size_t>(k)] = (x[k] - center_[k]) * 2.0;
 }
 
 LeastSquaresCost::LeastSquaresCost(linalg::Matrix h, Vector y)

@@ -19,6 +19,7 @@ class ResidualSquaredCost final : public CostFunction {
   [[nodiscard]] int dim() const noexcept override { return row_.dim(); }
   [[nodiscard]] double value(const Vector& x) const override;
   [[nodiscard]] Vector gradient(const Vector& x) const override;
+  void gradient_into(const Vector& x, std::span<double> out) const override;
 
   [[nodiscard]] const Vector& row() const noexcept { return row_; }
   [[nodiscard]] double observation() const noexcept { return observation_; }
@@ -39,6 +40,7 @@ class SquaredDistanceCost final : public CostFunction {
   [[nodiscard]] int dim() const noexcept override { return center_.dim(); }
   [[nodiscard]] double value(const Vector& x) const override;
   [[nodiscard]] Vector gradient(const Vector& x) const override;
+  void gradient_into(const Vector& x, std::span<double> out) const override;
 
   [[nodiscard]] const Vector& center() const noexcept { return center_; }
 

@@ -153,4 +153,11 @@ DsOutcome DolevStrongBroadcast::broadcast(int source, const DsPayload& value,
   return outcome;
 }
 
+DsOutcome DolevStrongBroadcast::broadcast(int source, std::span<const double> value,
+                                          const std::vector<const DsStrategy*>& strategies,
+                                          std::uint64_t seed) const {
+  return broadcast(source, DsPayload(std::vector<double>(value.begin(), value.end())), strategies,
+                   seed);
+}
+
 }  // namespace abft::p2p

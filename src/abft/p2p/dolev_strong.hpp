@@ -19,6 +19,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "abft/linalg/vector.hpp"
@@ -28,7 +29,10 @@ namespace abft::p2p {
 
 using DsPayload = linalg::Vector;
 
-/// What a faulty node does in the Dolev-Strong protocol.
+/// What a faulty node does in the Dolev-Strong protocol.  The p2p driver
+/// runs broadcasts from distinct sources concurrently when agg_threads > 1,
+/// so implementations must be safe to call concurrently (each call gets its
+/// own rng; the built-in strategies are stateless).
 class DsStrategy {
  public:
   virtual ~DsStrategy() = default;
@@ -79,6 +83,12 @@ class DolevStrongBroadcast {
   DolevStrongBroadcast(int n, int f);
 
   [[nodiscard]] DsOutcome broadcast(int source, const DsPayload& value,
+                                    const std::vector<const DsStrategy*>& strategies,
+                                    std::uint64_t seed) const;
+
+  /// Row-writer entry point: the source value arrives as a raw batch-row
+  /// span; copied into a DsPayload exactly once at protocol entry.
+  [[nodiscard]] DsOutcome broadcast(int source, std::span<const double> value,
                                     const std::vector<const DsStrategy*>& strategies,
                                     std::uint64_t seed) const;
 

@@ -150,4 +150,11 @@ BroadcastOutcome OralMessagesBroadcast::broadcast(
   return outcome;
 }
 
+BroadcastOutcome OralMessagesBroadcast::broadcast(
+    int source, std::span<const double> value, const std::vector<const RelayStrategy*>& strategies,
+    std::uint64_t seed) const {
+  return broadcast(source, Payload(std::vector<double>(value.begin(), value.end())), strategies,
+                   seed);
+}
+
 }  // namespace abft::p2p

@@ -31,7 +31,10 @@ class RelayStrategy {
   /// The value this faulty node forwards to `receiver`, given the value it
   /// actually `held` (what an honest node would forward) and the commander
   /// chain `path` so far.  Return std::nullopt to stay silent (the receiver
-  /// substitutes the protocol default).
+  /// substitutes the protocol default).  The p2p driver runs broadcasts
+  /// from distinct sources concurrently when agg_threads > 1, so
+  /// implementations must be safe to call concurrently (each call gets its
+  /// own rng; the built-in strategies are stateless).
   [[nodiscard]] virtual std::optional<Payload> relay(int receiver, std::span<const int> path,
                                                      const Payload& held,
                                                      util::Rng& rng) const = 0;
@@ -81,6 +84,13 @@ class OralMessagesBroadcast {
   /// marks node i as faulty with that relay behaviour (honest relays copy
   /// faithfully).  The protocol default value is the zero vector.
   [[nodiscard]] BroadcastOutcome broadcast(int source, const Payload& value,
+                                           const std::vector<const RelayStrategy*>& strategies,
+                                           std::uint64_t seed) const;
+
+  /// Row-writer entry point: the source value arrives as a raw batch-row
+  /// span (how the batched p2p driver stores per-source values).  The span
+  /// is copied into a Payload exactly once at protocol entry.
+  [[nodiscard]] BroadcastOutcome broadcast(int source, std::span<const double> value,
                                            const std::vector<const RelayStrategy*>& strategies,
                                            std::uint64_t seed) const;
 

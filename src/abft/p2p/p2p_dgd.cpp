@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "abft/agg/threads.hpp"
 #include "abft/p2p/dolev_strong.hpp"
 #include "abft/util/check.hpp"
 
@@ -10,14 +11,15 @@ namespace abft::p2p {
 
 namespace {
 
-/// The transport-independent round structure: a broadcast function maps
-/// (source, value, round) to the per-node decisions plus a message count.
-struct BroadcastResultView {
-  std::vector<linalg::Vector> decisions;
-  long messages = 0;
-};
-using BroadcastFn =
-    std::function<BroadcastResultView(int source, const linalg::Vector& value, int round)>;
+/// The transport-independent round structure: a broadcast function runs one
+/// Byzantine broadcast from `source` holding `value` and hands node i's
+/// decided value to sink(i, source, decided); it returns the message count.
+/// The sink writes straight into the receiving node's decision-batch row
+/// (row = source), so the round loop never stages messages in vectors.
+using DecisionSink =
+    std::function<void(int node, int source, std::span<const double> decided)>;
+using BroadcastFn = std::function<long(int source, std::span<const double> value, int round,
+                                       const DecisionSink& sink)>;
 
 P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDgdConfig& config,
                           const agg::GradientAggregator& aggregator,
@@ -34,77 +36,146 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   for (std::size_t i = 0; i < roster.size(); ++i) agent_rng.push_back(master.split());
 
   P2pDgdResult result;
+  std::vector<int> honest_slot(roster.size(), -1);
   for (int i = 0; i < n; ++i) {
-    if (roster[static_cast<std::size_t>(i)].is_honest()) result.honest_nodes.push_back(i);
+    if (roster[static_cast<std::size_t>(i)].is_honest()) {
+      honest_slot[static_cast<std::size_t>(i)] = static_cast<int>(result.honest_nodes.size());
+      result.honest_nodes.push_back(i);
+    }
   }
-  ABFT_REQUIRE(!result.honest_nodes.empty(), "p2p run needs at least one honest agent");
+  const int h = static_cast<int>(result.honest_nodes.size());
+  ABFT_REQUIRE(h > 0, "p2p run needs at least one honest agent");
 
   // Per-honest-node estimates (they stay in lockstep; keeping them separate
   // is the point — the tests verify agreement rather than assume it).
-  std::vector<linalg::Vector> estimates(result.honest_nodes.size(),
+  std::vector<linalg::Vector> estimates(static_cast<std::size_t>(h),
                                         config.box.project(config.x0));
-  result.traces.resize(result.honest_nodes.size());
+  result.traces.resize(static_cast<std::size_t>(h));
   for (std::size_t k = 0; k < result.traces.size(); ++k) {
     result.traces[k].estimates.push_back(estimates[k]);
   }
 
   const int dim = config.box.dim();
-  // Each honest node runs its own GradFilter every round; one batch and one
-  // workspace are reused across all nodes and all rounds so the per-call
-  // cost is pack + filter with no allocation.
-  agg::GradientBatch batch;
-  agg::AggregatorWorkspace workspace;
-  workspace.parallel_threads = std::max(1, config.agg_threads);
-  linalg::Vector filtered;
+  const int threads = std::max(1, config.agg_threads);
+  // ThreadPool(1) spawns no workers and dispatches directly, so the pool is
+  // constructed unconditionally and every phase runs through it.
+  agg::ThreadPool pool(threads);
+
+  // Persistent double-buffered round state.  honest_batch holds the honest
+  // gradients of the round (row k = honest node k) — the source values for
+  // honest broadcasters and the omniscient adversary's view.  source_batch
+  // holds the values faulty sources inject.  Each honest node owns a
+  // decision batch (row s = the value the broadcast from source s decided on
+  // that node) plus its own filter workspace and output, so the per-node
+  // filter loop parallelizes with zero sharing; the per-node aggregation
+  // itself is a pure function of the decided multiset, so traces are
+  // bit-identical at every thread count.
+  agg::GradientBatch honest_batch(h, dim);
+  // Faulty sources stage their injected value in a row of their own; honest
+  // sources broadcast straight from their honest_batch row, so the staging
+  // batch only needs one row per faulty node.
+  std::vector<int> faulty_slot(roster.size(), -1);
+  int num_faulty = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!roster[static_cast<std::size_t>(i)].is_honest()) {
+      faulty_slot[static_cast<std::size_t>(i)] = num_faulty++;
+    }
+  }
+  agg::GradientBatch source_batch(std::max(1, num_faulty), dim);
+  // Identity row indices: HonestRowsView is always index-based (see
+  // fault.hpp on why a dense fast path would break bit parity).
+  std::vector<int> honest_row_ids(static_cast<std::size_t>(h));
+  for (int k = 0; k < h; ++k) honest_row_ids[static_cast<std::size_t>(k)] = k;
+  std::vector<agg::GradientBatch> node_batches(static_cast<std::size_t>(h));
+  std::vector<agg::AggregatorWorkspace> node_workspaces(static_cast<std::size_t>(h));
+  std::vector<linalg::Vector> node_filtered(static_cast<std::size_t>(h));
+  for (auto& batch : node_batches) batch.reshape(n, dim);
+  std::vector<long> source_messages(static_cast<std::size_t>(n), 0);
+
+  const attack::HonestRowsView honest_view(honest_batch.data(), dim, honest_row_ids);
+  const DecisionSink sink = [&honest_slot, &node_batches](int node, int source,
+                                                          std::span<const double> decided) {
+    const int slot = honest_slot[static_cast<std::size_t>(node)];
+    if (slot >= 0) node_batches[static_cast<std::size_t>(slot)].set_row(source, decided);
+  };
+
   for (int t = 0; t < config.iterations; ++t) {
-    // Honest gradients, computed on each honest node's own estimate.
-    std::vector<linalg::Vector> honest_grads;
-    honest_grads.reserve(result.honest_nodes.size());
-    for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
-      const auto& spec = roster[static_cast<std::size_t>(result.honest_nodes[k])];
-      honest_grads.push_back(spec.cost->gradient(estimates[k]));
-    }
+    // Phase 1: honest gradients, computed on each honest node's own estimate
+    // and written straight into the honest batch rows (parallel over nodes).
+    pool.parallel_for(0, h, threads, [&](int begin, int end) {
+      for (int k = begin; k < end; ++k) {
+        const auto& spec =
+            roster[static_cast<std::size_t>(result.honest_nodes[static_cast<std::size_t>(k)])];
+        spec.cost->gradient_into(estimates[static_cast<std::size_t>(k)], honest_batch.row(k));
+      }
+    });
 
-    // Every agent broadcasts one value; honest nodes collect the decided
-    // multiset.  decided[receiver_slot][source].
-    std::vector<std::vector<linalg::Vector>> decided(
-        result.honest_nodes.size(), std::vector<linalg::Vector>(static_cast<std::size_t>(n)));
-    std::size_t honest_cursor = 0;
+    // Phase 2: every agent broadcasts one value; the broadcast writes each
+    // honest node's decision straight into that node's batch row for this
+    // source.  Sources are independent (own rng stream, own source row, own
+    // decision rows, protocol rng derived from the per-source seed), so the
+    // phase parallelizes over sources without reordering any stream.
+    pool.parallel_for(0, n, threads, [&](int begin, int end) {
+      for (int source = begin; source < end; ++source) {
+        const auto& spec = roster[static_cast<std::size_t>(source)];
+        std::span<const double> value;
+        if (spec.is_honest()) {
+          value = honest_batch.row(honest_slot[static_cast<std::size_t>(source)]);
+        } else {
+          auto row = source_batch.row(faulty_slot[static_cast<std::size_t>(source)]);
+          if (spec.cost != nullptr) {
+            spec.cost->gradient_into(estimates.front(), row);
+          } else {
+            std::fill(row.begin(), row.end(), 0.0);
+          }
+          const attack::RowAttackContext context{estimates.front(), row, honest_view, t};
+          const bool sent =
+              spec.fault->emit_into(row, context, agent_rng[static_cast<std::size_t>(source)]);
+          if (!sent) std::fill(row.begin(), row.end(), 0.0);
+          value = row;
+        }
+        source_messages[static_cast<std::size_t>(source)] = broadcast(source, value, t, sink);
+      }
+    });
     for (int source = 0; source < n; ++source) {
-      const auto& spec = roster[static_cast<std::size_t>(source)];
-      linalg::Vector value(dim);
-      if (spec.is_honest()) {
-        value = honest_grads[honest_cursor++];
-      } else {
-        const linalg::Vector reference = estimates.front();
-        const linalg::Vector true_grad =
-            spec.cost != nullptr ? spec.cost->gradient(reference) : linalg::Vector(dim);
-        const attack::AttackContext context{reference, true_grad, honest_grads, t};
-        auto payload = spec.fault->emit(context, agent_rng[static_cast<std::size_t>(source)]);
-        value = payload.value_or(linalg::Vector(dim));
-      }
-      const auto outcome = broadcast(source, value, t);
-      result.broadcast_messages += outcome.messages;
-      for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
-        decided[k][static_cast<std::size_t>(source)] =
-            outcome.decisions[static_cast<std::size_t>(result.honest_nodes[k])];
-      }
+      result.broadcast_messages += source_messages[static_cast<std::size_t>(source)];
     }
 
-    // Local filter + update on every honest node.
-    for (std::size_t k = 0; k < result.honest_nodes.size(); ++k) {
-      batch.pack(decided[k]);
-      aggregator.aggregate_into(filtered, batch, config.f, workspace);
-      estimates[k] =
-          config.box.project(estimates[k] - config.schedule->step(t) * filtered);
-      result.traces[k].estimates.push_back(estimates[k]);
-    }
+    // Phase 3: local filter + update on every honest node (parallel; each
+    // node owns its batch, workspace, filtered vector, estimate and trace).
+    pool.parallel_for(0, h, threads, [&](int begin, int end) {
+      for (int k = begin; k < end; ++k) {
+        const auto idx = static_cast<std::size_t>(k);
+        aggregator.aggregate_into(node_filtered[idx], node_batches[idx], config.f,
+                                  node_workspaces[idx]);
+        estimates[idx] = config.box.project(estimates[idx] -
+                                            config.schedule->step(t) * node_filtered[idx]);
+        result.traces[idx].estimates.push_back(estimates[idx]);
+      }
+    });
   }
   return result;
 }
 
 std::uint64_t round_seed(std::uint64_t base, int round, int source) {
   return base ^ (static_cast<std::uint64_t>(round) << 20) ^ static_cast<std::uint64_t>(source);
+}
+
+/// Adapts either broadcast protocol (Oral Messages / Dolev-Strong) to the
+/// core's BroadcastFn: run the protocol, then fan the decided values out to
+/// the sink.  One definition so the two transports cannot drift.
+template <typename Broadcast, typename Strategies>
+BroadcastFn make_broadcast_fn(const Broadcast& broadcast, const Strategies& strategies,
+                              std::uint64_t seed) {
+  return [&broadcast, &strategies, seed](int source, std::span<const double> value, int round,
+                                         const DecisionSink& sink) {
+    const auto outcome = broadcast.broadcast(source, value, strategies,
+                                             round_seed(seed, round, source));
+    for (std::size_t i = 0; i < outcome.decisions.size(); ++i) {
+      sink(static_cast<int>(i), source, outcome.decisions[i].coefficients());
+    }
+    return outcome.messages_sent;
+  };
 }
 
 }  // namespace
@@ -126,13 +197,7 @@ P2pDgdResult run_p2p_dgd(const std::vector<sim::AgentSpec>& roster, const P2pDgd
   }
 
   return run_p2p_core(roster, config, aggregator,
-                      [&broadcast, &strategies, &config](int source, const linalg::Vector& value,
-                                                         int round) {
-                        auto outcome = broadcast.broadcast(
-                            source, value, strategies, round_seed(config.seed, round, source));
-                        return BroadcastResultView{std::move(outcome.decisions),
-                                                   outcome.messages_sent};
-                      });
+                      make_broadcast_fn(broadcast, strategies, config.seed));
 }
 
 P2pDgdResult run_p2p_dgd_authenticated(const std::vector<sim::AgentSpec>& roster,
@@ -152,13 +217,7 @@ P2pDgdResult run_p2p_dgd_authenticated(const std::vector<sim::AgentSpec>& roster
   }
 
   return run_p2p_core(roster, config, aggregator,
-                      [&broadcast, &strategies, &config](int source, const linalg::Vector& value,
-                                                         int round) {
-                        auto outcome = broadcast.broadcast(
-                            source, value, strategies, round_seed(config.seed, round, source));
-                        return BroadcastResultView{std::move(outcome.decisions),
-                                                   outcome.messages_sent};
-                      });
+                      make_broadcast_fn(broadcast, strategies, config.seed));
 }
 
 }  // namespace abft::p2p

@@ -22,8 +22,11 @@ struct P2pDgdConfig {
   /// Declared fault bound; the broadcast layer requires n > 3f.
   int f = 0;
   std::uint64_t seed = 0;
-  /// Coordinate/pair-level parallelism inside each node's gradient filter
-  /// (threaded into AggregatorWorkspace::parallel_threads).
+  /// Round-level parallelism: width of the persistent thread pool that
+  /// parallelizes honest-gradient computation, the per-source broadcasts and
+  /// the per-node filter loop (each node owns its decision batch, workspace
+  /// and estimate, so traces are bit-identical at every thread count).
+  /// 1 = fully single-threaded.
   int agg_threads = 1;
 };
 

@@ -24,14 +24,34 @@ DgdSimulation::DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config)
     }
   }
   network_.record_transcript(config_.record_transcript);
-  honest_gradient_ = [this](int agent, const Vector& estimate, int /*round*/) {
-    return roster_[static_cast<std::size_t>(agent)].cost->gradient(estimate);
+  honest_writer_ = [this](int agent, const Vector& estimate, int /*round*/,
+                          std::span<double> out) {
+    roster_[static_cast<std::size_t>(agent)].cost->gradient_into(estimate, out);
   };
+  // ThreadPool(1) spawns no workers and parallel_for degenerates to a
+  // direct call, so the pool is constructed unconditionally and every phase
+  // dispatches through it without a serial/parallel branch.
+  const int threads = std::max(1, config_.agg_threads);
+  pool_ = std::make_unique<agg::ThreadPool>(threads);
+  workspace_.parallel_threads = threads;
+  workspace_.pool = pool_.get();
 }
 
 void DgdSimulation::set_honest_gradient_fn(HonestGradientFn fn) {
   ABFT_REQUIRE(static_cast<bool>(fn), "honest gradient function must be callable");
-  honest_gradient_ = std::move(fn);
+  honest_writer_ = [fn = std::move(fn)](int agent, const Vector& estimate, int round,
+                                        std::span<double> out) {
+    const Vector grad = fn(agent, estimate, round);
+    ABFT_REQUIRE(grad.dim() == static_cast<int>(out.size()),
+                 "honest gradient has the wrong dimension");
+    const auto src = grad.coefficients();
+    std::copy(src.begin(), src.end(), out.begin());
+  };
+}
+
+void DgdSimulation::set_honest_gradient_writer(HonestGradientWriter writer) {
+  ABFT_REQUIRE(static_cast<bool>(writer), "honest gradient writer must be callable");
+  honest_writer_ = std::move(writer);
 }
 
 void DgdSimulation::set_observer(Observer observer) { observer_ = std::move(observer); }
@@ -39,13 +59,16 @@ void DgdSimulation::set_observer(Observer observer) { observer_ = std::move(obse
 Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
   const int dim = config_.box.dim();
   util::Rng master(config_.seed);
-  // Independent stream per agent so behaviour is invariant to roster order.
+  // Independent stream per agent so behaviour is invariant to roster order
+  // (and to the thread count: each agent owns its stream outright).
   std::vector<util::Rng> agent_rng;
   agent_rng.reserve(roster_.size());
   for (std::size_t i = 0; i < roster_.size(); ++i) agent_rng.push_back(master.split());
 
   std::vector<int> active(roster_.size());
   for (std::size_t i = 0; i < roster_.size(); ++i) active[i] = static_cast<int>(i);
+  std::vector<int> still_active;
+  still_active.reserve(roster_.size());
   int current_f = config_.f;
 
   Trace trace;
@@ -53,45 +76,65 @@ Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
   Vector x = config_.box.project(config_.x0);
   trace.estimates.push_back(x);
 
-  // Hot-path state reused across rounds: the received gradients are packed
-  // into one contiguous batch per round, and the aggregator draws all its
-  // scratch from a workspace that stops allocating after the first round.
-  agg::GradientBatch batch;
-  agg::AggregatorWorkspace workspace;
-  workspace.parallel_threads = std::max(1, config_.agg_threads);
-  Vector filtered;
-
+  const int threads = std::max(1, config_.agg_threads);
   for (int t = 0; t < config_.iterations; ++t) {
-    // Honest replies first (omniscient faults may read them).
-    std::vector<Vector> honest_grads;
-    honest_grads.reserve(active.size());
-    for (int agent : active) {
-      if (roster_[static_cast<std::size_t>(agent)].is_honest()) {
-        honest_grads.push_back(honest_gradient_(agent, x, t));
-      }
+    const int n_active = static_cast<int>(active.size());
+    payload_batch_.reshape(n_active, dim);
+    honest_rows_.clear();
+    faulty_rows_.clear();
+    for (int a = 0; a < n_active; ++a) {
+      const auto& spec = roster_[static_cast<std::size_t>(active[static_cast<std::size_t>(a)])];
+      (spec.is_honest() ? honest_rows_ : faulty_rows_).push_back(a);
     }
+    silent_.assign(static_cast<std::size_t>(n_active), 0);
 
-    // Collect what the server receives, in agent order.
-    std::vector<Vector> received;
-    received.reserve(active.size());
-    std::vector<int> still_active;
-    still_active.reserve(active.size());
-    std::size_t honest_cursor = 0;
-    for (int agent : active) {
-      const auto& spec = roster_[static_cast<std::size_t>(agent)];
-      std::optional<Vector> payload;
-      if (spec.is_honest()) {
-        payload = honest_grads[honest_cursor++];
-      } else {
-        const Vector true_grad =
-            spec.cost != nullptr ? spec.cost->gradient(x) : Vector(dim);
-        const attack::AttackContext context{x, true_grad, honest_grads, t};
-        payload = spec.fault->emit(context, agent_rng[static_cast<std::size_t>(agent)]);
-      }
-      payload = network_.transmit(agent, t, std::move(payload));
-      if (payload.has_value()) {
-        ABFT_REQUIRE(payload->dim() == dim, "agent sent a gradient of wrong dimension");
-        received.push_back(std::move(*payload));
+    // Phase 1: honest replies, written straight into their payload rows
+    // (parallel over agents; omniscient faults read these rows in phase 2).
+    pool_->parallel_for(0, static_cast<int>(honest_rows_.size()), threads,
+                        [&](int begin, int end) {
+                          for (int h = begin; h < end; ++h) {
+                            const int a = honest_rows_[static_cast<std::size_t>(h)];
+                            honest_writer_(active[static_cast<std::size_t>(a)], x, t,
+                                           payload_batch_.row(a));
+                          }
+                        });
+
+    // Phase 2: Byzantine replies, mutated in place on their own rows.  The
+    // true gradient is materialized into the fault's row first, so emit_into
+    // sees it without any scratch allocation (the row may alias the output —
+    // part of the emit_into contract).
+    const attack::HonestRowsView honest_view(payload_batch_.data(), dim, honest_rows_);
+    pool_->parallel_for(
+        0, static_cast<int>(faulty_rows_.size()), threads, [&](int begin, int end) {
+          for (int b = begin; b < end; ++b) {
+            const int a = faulty_rows_[static_cast<std::size_t>(b)];
+            const int agent = active[static_cast<std::size_t>(a)];
+            const auto& spec = roster_[static_cast<std::size_t>(agent)];
+            auto row = payload_batch_.row(a);
+            if (spec.cost != nullptr) {
+              spec.cost->gradient_into(x, row);
+            } else {
+              std::fill(row.begin(), row.end(), 0.0);
+            }
+            const attack::RowAttackContext context{x, row, honest_view, t};
+            const bool sent =
+                spec.fault->emit_into(row, context, agent_rng[static_cast<std::size_t>(agent)]);
+            silent_[static_cast<std::size_t>(a)] = sent ? 0 : 1;
+          }
+        });
+
+    // Phase 3 (serial: the drop stream is ordered by agent): the network
+    // writes each delivered message into the next ingest row, compacting
+    // silent and dropped agents away by construction.
+    ingest_batch_.reshape(n_active, dim);
+    still_active.clear();
+    int kept = 0;
+    for (int a = 0; a < n_active; ++a) {
+      const int agent = active[static_cast<std::size_t>(a)];
+      std::span<const double> payload;
+      if (silent_[static_cast<std::size_t>(a)] == 0) payload = payload_batch_.row(a);
+      if (network_.transmit_row(agent, t, payload, ingest_batch_.row(kept))) {
+        ++kept;
         still_active.push_back(agent);
       } else {
         // Step S1: a silent agent is necessarily faulty in a synchronous
@@ -100,15 +143,15 @@ Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
         current_f = std::max(0, current_f - 1);
       }
     }
-    active = std::move(still_active);
+    ingest_batch_.truncate_rows(kept);
+    std::swap(active, still_active);
     ABFT_REQUIRE(!active.empty(), "every agent was eliminated");
 
-    const int usable_f = std::min(current_f, static_cast<int>(received.size()) - 1);
-    batch.pack(received);
-    aggregator.aggregate_into(filtered, batch, std::max(0, usable_f), workspace);
-    if (observer_) observer_(t, x, filtered);
+    const int usable_f = std::min(current_f, kept - 1);
+    aggregator.aggregate_into(filtered_, ingest_batch_, std::max(0, usable_f), workspace_);
+    if (observer_) observer_(t, x, filtered_);
 
-    x = config_.box.project(x - config_.schedule->step(t) * filtered);
+    x = config_.box.project(x - config_.schedule->step(t) * filtered_);
     trace.estimates.push_back(x);
   }
   return trace;

@@ -9,11 +9,25 @@
 // Byzantine replies are generated *after* the honest replies of the round so
 // that omniscient fault models can observe them (the strongest adversary the
 // model admits).
+//
+// The round is fully batched and double-buffered: agents and fault injectors
+// write their messages straight into rows of a persistent payload batch (one
+// row per active agent; the honest rows double as the omniscient adversary's
+// view), and the network writes each delivered message into the next row of
+// a persistent ingest batch — silent and dropped messages are compacted away
+// by construction, and no std::vector<Vector> staging exists anywhere in the
+// loop.  With agg_threads > 1 a persistent thread pool parallelizes the
+// honest-gradient and fault-emission phases over agents (each agent owns its
+// row and its rng stream, so traces are bit-identical at every thread count)
+// and the coordinate/pair loops inside the filter kernels.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <span>
 
 #include "abft/agg/aggregator.hpp"
+#include "abft/agg/threads.hpp"
 #include "abft/opt/box.hpp"
 #include "abft/opt/schedule.hpp"
 #include "abft/sim/agent.hpp"
@@ -34,8 +48,10 @@ struct DgdConfig {
   /// Probability that any agent->server message is lost (crash injection).
   double drop_probability = 0.0;
   bool record_transcript = false;
-  /// Coordinate/pair-level parallelism inside the gradient filter (threaded
-  /// into AggregatorWorkspace::parallel_threads).  1 = single-threaded.
+  /// Round-level parallelism: width of the persistent thread pool that
+  /// parallelizes honest-gradient computation and fault emission over agents
+  /// as well as the coordinate/pair loops inside the gradient filter.
+  /// 1 = fully single-threaded.  Results are bit-identical for every value.
   int agg_threads = 1;
 };
 
@@ -47,11 +63,21 @@ class DgdSimulation {
 
   /// Computes an honest agent's reply; the default sends cost->gradient(x).
   /// The learning workload substitutes stochastic mini-batch gradients.
+  /// Called concurrently (on distinct agents) when agg_threads > 1, so a
+  /// custom fn must be thread-safe.
   using HonestGradientFn = std::function<Vector(int agent, const Vector& estimate, int round)>;
+
+  /// Row-writer variant: computes the reply straight into a payload-batch
+  /// row of dimension box.dim().  Same thread-safety contract.
+  using HonestGradientWriter =
+      std::function<void(int agent, const Vector& estimate, int round, std::span<double> out)>;
 
   DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config);
 
+  /// Adapter for the legacy allocating fn (copies the returned Vector into
+  /// the batch row); prefer set_honest_gradient_writer on hot paths.
   void set_honest_gradient_fn(HonestGradientFn fn);
+  void set_honest_gradient_writer(HonestGradientWriter writer);
   void set_observer(Observer observer);
 
   /// Runs the full DGD loop and returns the estimate trace.
@@ -63,8 +89,20 @@ class DgdSimulation {
   std::vector<AgentSpec> roster_;
   DgdConfig config_;
   SyncNetwork network_;
-  HonestGradientFn honest_gradient_;
+  HonestGradientWriter honest_writer_;
   Observer observer_;
+
+  // Persistent double-buffered round state: payload_batch_ is written by the
+  // agents and fault injectors, ingest_batch_ by the network; both reshape
+  // (never reallocate after the first round) as agents are eliminated.
+  std::unique_ptr<agg::ThreadPool> pool_;
+  agg::AggregatorWorkspace workspace_;
+  agg::GradientBatch payload_batch_;
+  agg::GradientBatch ingest_batch_;
+  Vector filtered_;
+  std::vector<int> honest_rows_;
+  std::vector<int> faulty_rows_;
+  std::vector<unsigned char> silent_;
 };
 
 }  // namespace abft::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "abft/linalg/vector.hpp"
@@ -30,6 +31,16 @@ class SyncNetwork {
 
   /// Applies drop injection; returns what the server receives.
   std::optional<Vector> transmit(int agent, int round, std::optional<Vector> payload);
+
+  /// Row-writer ingest for the batched round loop: one agent->server message
+  /// per call, in agent order.  An empty `payload` means the agent stayed
+  /// silent (no drop draw — identical rng consumption to transmit with an
+  /// empty optional).  Otherwise the drop coin is tossed and, when the
+  /// message survives, the payload is copied into `dst` — the network writes
+  /// the gradient straight into the server's ingest-batch row.  Returns true
+  /// iff the server received the message.  Bit-compatible with transmit().
+  bool transmit_row(int agent, int round, std::span<const double> payload,
+                    std::span<double> dst);
 
   /// Enables transcript recording (off by default: long learning runs would
   /// otherwise retain every gradient).

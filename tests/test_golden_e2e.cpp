@@ -1,0 +1,133 @@
+// Golden end-to-end regression tests: short CWTM / Krum / GeoMed runs on the
+// quadratic and linear-regression workloads with checked-in final-cost
+// goldens.  The tolerances are tight enough that a driver or kernel refactor
+// that silently changes convergence (a dropped gradient, a reordered filter
+// input, a mis-threaded rng stream) fails loudly, yet loose enough to absorb
+// ISA-level floating-point noise (-march=native fma contraction differs
+// across hosts).  Regenerate goldens only for an *intentional* semantic
+// change, by printing honest_cost(final_estimate) from the fixtures below.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abft/agg/registry.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/opt/quadratic.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/regress/problem.hpp"
+#include "abft/sim/dgd.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Vector;
+
+struct GoldenCase {
+  std::string_view rule;
+  double final_cost;
+  double tolerance;
+};
+
+// --------------------------- quadratic workload -----------------------------
+
+/// 7 squared-distance agents with deliberately irregular centers (evenly
+/// spaced centers create exact pairwise-distance ties, and a selection rule
+/// like Krum then flips on ISA-level fp noise), gradient-reverse on the
+/// last, f = 1; cost measured over the 6 honest agents.
+double quadratic_final_cost(std::string_view rule, int agg_threads) {
+  const opt::HarmonicSchedule schedule(0.4);
+  std::vector<opt::SquaredDistanceCost> costs;
+  for (int i = 0; i < 7; ++i) {
+    const double a = 1.37 * i - 3.1 + 0.211 * i * i;
+    const double b = 0.53 * i - 1.45 - 0.097 * i * i;
+    costs.emplace_back(Vector{a, b});
+  }
+  std::vector<const opt::CostFunction*> ptrs;
+  for (auto& c : costs) ptrs.push_back(&c);
+  const attack::GradientReverseFault fault;
+  auto roster = sim::honest_roster(ptrs);
+  sim::assign_fault(roster, 6, fault);
+  sim::DgdConfig config{Vector{8.0, -8.0}, opt::Box::centered_cube(2, 20.0), &schedule,
+                        300,               1,
+                        77,                0.0,
+                        false,             agg_threads};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const auto aggregator = agg::make_aggregator(rule);
+  const auto trace = simulation.run(*aggregator);
+  const opt::AggregateCost honest_cost(
+      std::vector<const opt::CostFunction*>(ptrs.begin(), ptrs.end() - 1));
+  return honest_cost.value(trace.final_estimate());
+}
+
+TEST(GoldenE2e, QuadraticFinalCosts) {
+  const GoldenCase cases[] = {
+      {"cwtm", 115.525689080964, 1e-3},
+      {"krum", 123.794918833372, 1e-3},
+      {"geomed", 123.492099419682, 1e-3},
+  };
+  for (const auto& c : cases) {
+    EXPECT_NEAR(quadratic_final_cost(c.rule, 1), c.final_cost, c.tolerance) << c.rule;
+  }
+}
+
+TEST(GoldenE2e, QuadraticFinalCostsThreaded) {
+  // The goldens hold verbatim under round-level parallelism.
+  const GoldenCase cases[] = {
+      {"cwtm", 115.525689080964, 1e-3},
+      {"geomed", 123.492099419682, 1e-3},
+  };
+  for (const auto& c : cases) {
+    EXPECT_NEAR(quadratic_final_cost(c.rule, 4), c.final_cost, c.tolerance) << c.rule;
+  }
+}
+
+// --------------------------- regression workload ----------------------------
+
+/// The Appendix-J linear-regression instance (n = 6, d = 2), with
+/// gradient-reverse on agent 0 and f = 1; cost measured over agents 1..5.
+double regression_final_cost(std::string_view rule, double* distance_to_xh = nullptr) {
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const opt::HarmonicSchedule schedule(1.5);
+  const attack::GradientReverseFault fault;
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{0.0, 0.0}, opt::Box::centered_cube(2, 1000.0), &schedule,
+                        400,              1,
+                        11,               0.0,
+                        false,            1};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const auto aggregator = agg::make_aggregator(rule);
+  const auto trace = simulation.run(*aggregator);
+  const std::vector<int> honest_agents{1, 2, 3, 4, 5};
+  const opt::AggregateCost honest_cost(problem.costs(honest_agents));
+  if (distance_to_xh != nullptr) {
+    *distance_to_xh =
+        linalg::distance(trace.final_estimate(), problem.subset_minimizer(honest_agents));
+  }
+  return honest_cost.value(trace.final_estimate());
+}
+
+TEST(GoldenE2e, RegressionFinalCosts) {
+  const GoldenCase cases[] = {
+      {"cwtm", 0.00241259789444486, 1e-5},
+      {"krum", 1.82829150050707, 1e-3},
+      {"geomed", 0.00243838127920856, 1e-5},
+  };
+  for (const auto& c : cases) {
+    EXPECT_NEAR(regression_final_cost(c.rule), c.final_cost, c.tolerance) << c.rule;
+  }
+}
+
+TEST(GoldenE2e, RegressionTrimmedRulesApproachHonestMinimizer) {
+  // Convergence sanity on top of the goldens: CWTM and GeoMed land close to
+  // the honest minimizer x_H (the (2f, eps)-resilience behaviour the paper
+  // proves); the honest optimum cost is ~0.00211.
+  for (const auto rule : {"cwtm", "geomed"}) {
+    double dist = 0.0;
+    const double cost = regression_final_cost(rule, &dist);
+    EXPECT_LT(dist, 0.02) << rule;
+    EXPECT_LT(cost, 0.0025) << rule;
+  }
+}
+
+}  // namespace
