@@ -8,7 +8,13 @@
 // machine-readable BENCH_agg.json:
 //
 //   {"results": [{"rule", "path", "n", "d", "f", "ns_per_op", "iters"}, ...],
-//    "speedups": {"<rule>/<n>x<d>": {"legacy_ns", "batched_ns", "speedup"}}}
+//    "speedups": {"<rule>/<n>x<d>": {"legacy_ns", "batched_ns", "speedup",
+//                                    "fast_ns", "fast_speedup"}}}
+//
+// Paths: "legacy" (span API), "batched" (aggregate_into, AggMode::exact),
+// "fast" (aggregate_into, AggMode::fast — relaxed parity), and optionally
+// "pooled" (see --threads).  fast_speedup is batched_ns / fast_ns: what the
+// relaxed-parity mode buys over the exact batched kernels.
 //
 // Flags:
 //   --quick       small shapes only (CI smoke)
@@ -56,12 +62,18 @@ std::vector<Vector> make_gradients(int n, int d, std::uint64_t seed) {
 
 struct BenchResult {
   std::string rule;
-  std::string path;  // "legacy" | "batched" | "pooled"
+  std::string path;  // "legacy" | "batched" | "fast" | "pooled"
   int n = 0;
   int d = 0;
   int f = 0;
   double ns_per_op = 0.0;
   long iters = 0;
+};
+
+struct SpeedupEntry {
+  double legacy_ns = 0.0;
+  double batched_ns = 0.0;
+  double fast_ns = 0.0;
 };
 
 /// Times fn() with adaptive iteration count: warm up once, then repeat until
@@ -110,7 +122,7 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
   const long max_iters = quick ? 1000000 : 10000000;
 
   std::vector<BenchResult> results;
-  std::map<std::string, std::pair<double, double>> speedup_pairs;  // key -> (legacy, batched)
+  std::map<std::string, SpeedupEntry> speedup_pairs;
 
   for (const auto name : agg::aggregator_names()) {
     const auto rule = agg::make_aggregator(name);
@@ -157,10 +169,24 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
           batched.iters, min_seconds, min_iters, max_iters);
       results.push_back(batched);
 
-      speedup_pairs[key] = {legacy.ns_per_op, batched.ns_per_op};
+      agg::AggregatorWorkspace fast_ws;
+      fast_ws.mode = agg::AggMode::fast;
+      BenchResult fast{std::string(name), "fast", n, d, f, 0.0, 0};
+      fast.ns_per_op = time_ns_per_op(
+          [&] {
+            rule->aggregate_into(out, batch, f, fast_ws);
+            volatile double sink = out[0];
+            (void)sink;
+          },
+          fast.iters, min_seconds, min_iters, max_iters);
+      results.push_back(fast);
+
+      speedup_pairs[key] = {legacy.ns_per_op, batched.ns_per_op, fast.ns_per_op};
       std::cout << key << "  legacy " << static_cast<long>(legacy.ns_per_op)
                 << " ns/op  batched " << static_cast<long>(batched.ns_per_op)
-                << " ns/op  speedup " << legacy.ns_per_op / batched.ns_per_op << "x";
+                << " ns/op  speedup " << legacy.ns_per_op / batched.ns_per_op << "x"
+                << "  fast " << static_cast<long>(fast.ns_per_op) << " ns/op ("
+                << batched.ns_per_op / fast.ns_per_op << "x vs exact)";
       if (threads > 1) {
         agg::ThreadPool pool(threads);
         agg::AggregatorWorkspace pooled_ws;
@@ -193,10 +219,12 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
   }
   json << "  ],\n  \"speedups\": {\n";
   std::size_t written = 0;
-  for (const auto& [key, pair] : speedup_pairs) {
-    json << "    \"" << key << "\": {\"legacy_ns\": " << pair.first
-         << ", \"batched_ns\": " << pair.second
-         << ", \"speedup\": " << pair.first / pair.second << "}"
+  for (const auto& [key, entry] : speedup_pairs) {
+    json << "    \"" << key << "\": {\"legacy_ns\": " << entry.legacy_ns
+         << ", \"batched_ns\": " << entry.batched_ns
+         << ", \"speedup\": " << entry.legacy_ns / entry.batched_ns
+         << ", \"fast_ns\": " << entry.fast_ns
+         << ", \"fast_speedup\": " << entry.batched_ns / entry.fast_ns << "}"
          << (++written < speedup_pairs.size() ? "," : "") << "\n";
   }
   json << "  }\n}\n";

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstring>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
 #include "abft/util/check.hpp"
 
 namespace abft::agg {
@@ -62,12 +66,65 @@ void accumulate_pair_dots_tail(const GradientBatch& batch, double* pairdist, int
   }
 }
 
+#if defined(__AVX512F__)
+/// Relaxed-parity (AggMode::fast) AVX-512 variant of the full-chunk kernel:
+/// four independent zmm FMA accumulators (32 partial sums) cover the FMA
+/// latency chain, roughly doubling throughput over the auto-vectorized
+/// 8-lane scalar kernel.  The horizontal reduction order differs from the
+/// exact kernel's sequential lane sum, so this path is fast-mode only.
+void accumulate_pair_dots_chunk_avx512(const GradientBatch& batch, double* pairdist, int n,
+                                       int i_begin, int i_end, int k0) {
+  static_assert(kChunk % 32 == 0, "avx512 gram kernel consumes 32 doubles per step");
+  for (int i = i_begin; i < i_end; ++i) {
+    const double* ri = batch.row(i).data();
+    for (int j = i + 1; j < n; ++j) {
+      const double* rj = batch.row(j).data();
+      __m512d acc0 = _mm512_setzero_pd();
+      __m512d acc1 = _mm512_setzero_pd();
+      __m512d acc2 = _mm512_setzero_pd();
+      __m512d acc3 = _mm512_setzero_pd();
+      for (int k = k0; k < k0 + kChunk; k += 32) {
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(ri + k), _mm512_loadu_pd(rj + k), acc0);
+        acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(ri + k + 8), _mm512_loadu_pd(rj + k + 8), acc1);
+        acc2 = _mm512_fmadd_pd(_mm512_loadu_pd(ri + k + 16), _mm512_loadu_pd(rj + k + 16), acc2);
+        acc3 = _mm512_fmadd_pd(_mm512_loadu_pd(ri + k + 24), _mm512_loadu_pd(rj + k + 24), acc3);
+      }
+      const double dot = _mm512_reduce_add_pd(
+          _mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3)));
+      pairdist[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(j)] += dot;
+    }
+  }
+}
+#endif  // __AVX512F__
+
+/// True when the fast-mode Gram kernel may use AVX-512: compile-time ISA
+/// support AND a runtime CPU check (one cpuid probe, cached), so a binary
+/// built with -march=native on an AVX-512 host degrades safely elsewhere.
+bool gram_avx512_available() {
+#if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool available = __builtin_cpu_supports("avx512f") != 0;
+  return available;
+#else
+  return false;
+#endif
+}
+
 /// Walks all d-chunks for rows [i_begin, i_end): full chunks through the
-/// fixed-extent kernel, the remainder through the tail kernel.
+/// fixed-extent kernel (the AVX-512 variant in fast mode, when the CPU has
+/// it), the remainder through the tail kernel.
 void accumulate_pair_dots(const GradientBatch& batch, double* pairdist, int n, int d,
-                          int i_begin, int i_end) {
+                          int i_begin, int i_end, AggMode mode) {
+  const bool use_avx512 = mode == AggMode::fast && gram_avx512_available();
+  (void)use_avx512;
   int k0 = 0;
   for (; k0 + kChunk <= d; k0 += kChunk) {
+#if defined(__AVX512F__)
+    if (use_avx512) {
+      accumulate_pair_dots_chunk_avx512(batch, pairdist, n, i_begin, i_end, k0);
+      continue;
+    }
+#endif
     accumulate_pair_dots_chunk(batch, pairdist, n, i_begin, i_end, k0);
   }
   if (k0 < d) accumulate_pair_dots_tail(batch, pairdist, n, i_begin, i_end, k0, d);
@@ -190,7 +247,7 @@ void AggregatorWorkspace::fill_pairwise_sqdist(const GradientBatch& batch) {
   // one thread.  Each thread walks the d-chunks so its active row segments
   // stay cache-resident across its pair sweep.
   run_parallel(0, n, [&](int i_begin, int i_end) {
-    accumulate_pair_dots(batch, pairdist.data(), n, d, i_begin, i_end);
+    accumulate_pair_dots(batch, pairdist.data(), n, d, i_begin, i_end, mode);
   });
   // Convert the accumulated dots to squared distances and mirror.  The Gram
   // identity cancels catastrophically when gradients share a large common

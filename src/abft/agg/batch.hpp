@@ -22,6 +22,24 @@ namespace abft::agg {
 
 using linalg::Vector;
 
+/// Numerical contract of the batched kernels.
+///
+/// `exact` (the default) keeps every kernel bit-compatible with the legacy
+/// span path: same selection tie-breaking, same floating-point summation
+/// order, same convergence schedule.  `fast` relaxes that to *tolerance*
+/// parity — kernels may vectorize reductions (independent partial sums),
+/// replace full sorts with nth_element-style partial selection, and take
+/// runtime-dispatched AVX-512 paths.  The (f, eps)-resilience guarantees of
+/// the paper only constrain the aggregate, not the arithmetic, so fast mode
+/// is semantically safe; its drift is bounded per rule by the
+/// tolerance-parity suite in tests/test_agg_fast.cpp (||fast - exact||_inf
+/// <= tol(rule, n, d)) and end-to-end by the fast-mode goldens in
+/// tests/test_golden_e2e.cpp.
+enum class AggMode {
+  exact,  ///< bit-compatible with the span path (the default)
+  fast,   ///< relaxed parity: vectorized/partial-selection kernels
+};
+
 /// Contiguous row-major n x d matrix of gradients.  Row i is gradient i.
 /// reshape() never shrinks capacity, so a batch reused across rounds stops
 /// allocating once it has seen the largest (n, d) shape.
@@ -82,6 +100,11 @@ class GradientBatch {
 /// monotonically; fill_* helpers recompute derived quantities from a batch.
 struct AggregatorWorkspace {
   // --- configuration -------------------------------------------------------
+  /// Numerical mode of every kernel drawing scratch from this workspace (see
+  /// AggMode).  Drivers thread their config flag through here; the default
+  /// keeps the bit-exact legacy behaviour.
+  AggMode mode = AggMode::exact;
+
   /// Coordinate/pair-level parallel-for width for large d.  1 (the default)
   /// keeps every kernel single-threaded; drivers thread their config flag
   /// through here.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "abft/agg/krum.hpp"
+#include "abft/agg/simd_util.hpp"
 #include "abft/util/check.hpp"
 
 namespace abft::agg {
@@ -98,12 +99,20 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
 
   // Stage 2: per coordinate, average the beta selected entries closest to
   // the selected median.  Columns come from the contiguous workspace
-  // transpose.  The selection replicates the span path's two sorts verbatim
-  // so tie-breaking among equidistant entries is bit-identical.
+  // transpose.  In exact mode the selection replicates the span path's two
+  // sorts verbatim so tie-breaking among equidistant entries is
+  // bit-identical; fast mode drops the second O(theta log theta) sort — in
+  // a sorted column the beta entries closest to the median form a
+  // contiguous window, found by an O(beta) two-pointer sweep and summed
+  // with laned partial sums.  The selected multiset is identical for
+  // tie-free columns; only the winner among exactly-equidistant entries
+  // (which the exact path's unstable second sort also picks arbitrarily)
+  // and the summation order may differ.
   ws.fill_colmajor(batch);
   resize_output(out, d);
   auto result = out.coefficients();
   const int take = std::min(beta, theta);
+  const bool fast = ws.mode == AggMode::fast;
   if (ws.parallel_threads <= 1) ws.scratch.resize(static_cast<std::size_t>(theta));
   ws.run_parallel(0, d, [&](int k_begin, int k_end) {
     // Single-threaded (the common case) stays allocation-free by borrowing
@@ -120,15 +129,39 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
       for (int s = 0; s < theta; ++s) {
         column[s] = col[ws.order[static_cast<std::size_t>(s)]];
       }
-      std::sort(column, column + theta);
-      const double med = (theta % 2 == 1)
-                             ? column[theta / 2]
-                             : 0.5 * (column[theta / 2 - 1] + column[theta / 2]);
-      std::sort(column, column + theta, [med](double a, double b) {
-        return std::abs(a - med) < std::abs(b - med);
-      });
       double sum = 0.0;
-      for (int s = 0; s < take; ++s) sum += column[s];
+      if (fast) {
+        std::sort(column, column + theta);
+        const double med = (theta % 2 == 1)
+                               ? column[theta / 2]
+                               : 0.5 * (column[theta / 2 - 1] + column[theta / 2]);
+        // Greedy window growth from the median outwards: distances increase
+        // monotonically in each direction of a sorted column, so the take
+        // closest entries are exactly the window this sweep ends on.
+        int lo = theta / 2 - 1;  // last index at or below the median
+        int hi = theta / 2;      // first index at or above the median
+        for (int picked = 0; picked < take; ++picked) {
+          if (lo < 0) {
+            ++hi;
+          } else if (hi >= theta) {
+            --lo;
+          } else if (med - column[lo] <= column[hi] - med) {
+            --lo;
+          } else {
+            ++hi;
+          }
+        }
+        sum = detail::laned_sum(column + (lo + 1), hi - (lo + 1));
+      } else {
+        std::sort(column, column + theta);
+        const double med = (theta % 2 == 1)
+                               ? column[theta / 2]
+                               : 0.5 * (column[theta / 2 - 1] + column[theta / 2]);
+        std::sort(column, column + theta, [med](double a, double b) {
+          return std::abs(a - med) < std::abs(b - med);
+        });
+        for (int s = 0; s < take; ++s) sum += column[s];
+      }
       result[static_cast<std::size_t>(k)] = sum / static_cast<double>(take);
     }
   });

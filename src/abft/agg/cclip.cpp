@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "abft/agg/cwmed.hpp"
+#include "abft/agg/simd_util.hpp"
 #include "abft/util/check.hpp"
 
 namespace abft::agg {
@@ -54,6 +55,11 @@ void CenteredClipAggregator::aggregate_into(Vector& out, const GradientBatch& ba
   median_rule.aggregate_into(out, batch, f, ws);
   auto pivot = out.coefficients();
 
+  // Fast mode swaps the scalar distance reductions (loop-carried FP
+  // dependency, never vectorized at -O2) for laned partial sums; iteration
+  // structure, clipping rule and pivot updates are unchanged.  Tiny rows
+  // stay on the exact path — the lane setup costs more than it saves there.
+  const bool fast = ws.mode == AggMode::fast && d >= 2 * detail::kReduceLanes;
   ws.vecbuf.resize(static_cast<std::size_t>(d));
   double* correction = ws.vecbuf.data();
   for (int iter = 0; iter < iterations_; ++iter) {
@@ -64,9 +70,13 @@ void CenteredClipAggregator::aggregate_into(Vector& out, const GradientBatch& ba
       for (int i = 0; i < n; ++i) {
         const double* row = batch.row(i).data();
         double dist_sq = 0.0;
-        for (int k = 0; k < d; ++k) {
-          const double diff = row[k] - pivot[static_cast<std::size_t>(k)];
-          dist_sq += diff * diff;
+        if (fast) {
+          dist_sq = detail::laned_sqdist(row, pivot.data(), d);
+        } else {
+          for (int k = 0; k < d; ++k) {
+            const double diff = row[k] - pivot[static_cast<std::size_t>(k)];
+            dist_sq += diff * diff;
+          }
         }
         ws.scratch[static_cast<std::size_t>(i)] = std::sqrt(dist_sq);
       }
@@ -77,9 +87,13 @@ void CenteredClipAggregator::aggregate_into(Vector& out, const GradientBatch& ba
     for (int i = 0; i < n; ++i) {
       const double* row = batch.row(i).data();
       double norm_sq = 0.0;
-      for (int k = 0; k < d; ++k) {
-        const double diff = row[k] - pivot[static_cast<std::size_t>(k)];
-        norm_sq += diff * diff;
+      if (fast) {
+        norm_sq = detail::laned_sqdist(row, pivot.data(), d);
+      } else {
+        for (int k = 0; k < d; ++k) {
+          const double diff = row[k] - pivot[static_cast<std::size_t>(k)];
+          norm_sq += diff * diff;
+        }
       }
       const double norm = std::sqrt(norm_sq);
       const double s = norm > tau ? tau / norm : 1.0;

@@ -27,7 +27,7 @@ namespace {
 /// is even).  Duplicates (rank sum short of n(n-1)/2) report ok = false;
 /// the caller falls back to exact selection.
 double median_rank(const double* col, int n, bool& ok) {
-  std::int64_t lt[detail::kRankKernelMaxN];
+  std::int64_t lt[detail::kRankKernelCapacity];
   detail::rank_counts(col, n, lt);
   const std::int64_t hi_rank = n / 2;
   const std::int64_t lo_rank = n / 2 - 1;
@@ -51,7 +51,13 @@ void CwmedAggregator::aggregate_into(Vector& out, const GradientBatch& batch, in
   ws.fill_colmajor(batch);
   resize_output(out, d);
   auto result = out.coefficients();
-  const bool use_rank_kernel = n > 1 && n <= detail::kRankKernelMaxN;
+  // The rank-classified median picks the same element(s) as nth_element, so
+  // unlike CWTM the routing truly never changes output here; exact mode
+  // still pins the constant crossover so its code path (and therefore its
+  // performance profile) is reproducible, while fast mode calibrates.
+  const int rank_cutoff = ws.mode == AggMode::fast ? detail::rank_kernel_cutoff()
+                                                   : detail::kRankKernelExactCutoff;
+  const bool use_rank_kernel = n > 1 && n <= rank_cutoff;
   ws.run_parallel(0, d, [&](int k_begin, int k_end) {
     for (int k = k_begin; k < k_end; ++k) {
       double* col = ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "abft/agg/rank_kernel.hpp"
+#include "abft/agg/simd_util.hpp"
 #include "abft/util/check.hpp"
 
 namespace abft::agg {
@@ -26,14 +27,18 @@ Vector CwtmAggregator::aggregate(std::span<const Vector> gradients, int f) const
 
 namespace {
 
-/// Sorted-position trimmed sum of a column via two nth_element partitions
-/// (mutates the column, which is workspace scratch).  Fallback for large n
-/// and for columns with duplicate entries.
+/// Two nth_element partitions placing the f smallest entries in [0, f) and
+/// the f largest in [n - f, n): the kept middle is exactly the sorted
+/// column's positions [f, n - f).  Mutates the column (workspace scratch).
+void trim_partition(double* col, int n, int f) {
+  std::nth_element(col, col + f, col + n);
+  std::nth_element(col + f, col + (n - f - 1), col + n);
+}
+
+/// Sorted-position trimmed sum of a column via trim_partition.  Fallback
+/// for large n and for columns with duplicate entries.
 double trimmed_sum_select(double* col, int n, int f) {
-  if (f > 0) {
-    std::nth_element(col, col + f, col + n);
-    std::nth_element(col + f, col + (n - f - 1), col + n);
-  }
+  if (f > 0) trim_partition(col, n, f);
   double sum = 0.0;
   for (int j = f; j < n - f; ++j) sum += col[j];
   return sum;
@@ -43,9 +48,9 @@ double trimmed_sum_select(double* col, int n, int f) {
 /// its rank lies in [f, n - f), which for duplicate-free columns equals
 /// positional trimming of the sorted column.  Duplicates make the rank sum
 /// fall short of n(n-1)/2; those columns report ok = false and take the
-/// exact selection fallback.  Requires n <= detail::kRankKernelMaxN.
+/// exact selection fallback.  Requires n <= detail::kRankKernelCapacity.
 double trimmed_sum_rank(const double* col, int n, int f, bool& ok) {
-  std::int64_t lt[detail::kRankKernelMaxN];
+  std::int64_t lt[detail::kRankKernelCapacity];
   detail::rank_counts(col, n, lt);
   double sum = 0.0;
   std::int64_t ranksum = 0;
@@ -70,13 +75,18 @@ void CwtmAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int
   auto result = out.coefficients();
   const double inv = 1.0 / static_cast<double>(n - 2 * f);
 
-  if (f > 0 && n <= detail::kRankKernelMaxN) {
+  // Exact mode pins the historical crossover (its summation order must be
+  // reproducible run-to-run); fast mode routes by the per-process
+  // calibration, whose host-dependence its tolerance contract permits.
+  const int rank_cutoff = ws.mode == AggMode::fast ? detail::rank_kernel_cutoff()
+                                                   : detail::kRankKernelExactCutoff;
+  if (f > 0 && n <= rank_cutoff) {
     // Fused gather + rank-select: columns are staged a small tile at a time
     // (tile stays L1-resident, the batch itself is streamed exactly once),
     // so no full d x n transpose is materialized at all.
     constexpr int kTileCols = 16;
     ws.run_parallel(0, d, [&](int k_begin, int k_end) {
-      double tile[kTileCols * detail::kRankKernelMaxN];
+      double tile[kTileCols * detail::kRankKernelCapacity];
       for (int k0 = k_begin; k0 < k_end; k0 += kTileCols) {
         const int cols = std::min(kTileCols, k_end - k0);
         for (int i = 0; i < n; ++i) {
@@ -95,16 +105,27 @@ void CwtmAggregator::aggregate_into(Vector& out, const GradientBatch& batch, int
     return;
   }
 
-  // Large-n (or f == 0) path: selection over the workspace transpose.
+  // Large-n (or f == 0) path: selection over the workspace transpose.  Fast
+  // mode keeps the same nth_element partitions but sums the kept range with
+  // laned partial sums (the exact path's sequential sum is a loop-carried
+  // dependency the compiler cannot vectorize).
   ws.fill_colmajor(batch);
+  const bool fast = ws.mode == AggMode::fast;
   ws.run_parallel(0, d, [&](int k_begin, int k_end) {
     for (int k = k_begin; k < k_end; ++k) {
       double* col = ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
       if (f == 0) {
-        // f == 0 keeps everything: a plain (vectorizable) column sum.
+        // f == 0 keeps everything: a plain column sum.
         double sum = 0.0;
-        for (int j = 0; j < n; ++j) sum += col[j];
+        if (fast) {
+          sum = detail::laned_sum(col, n);
+        } else {
+          for (int j = 0; j < n; ++j) sum += col[j];
+        }
         result[static_cast<std::size_t>(k)] = sum * inv;
+      } else if (fast) {
+        trim_partition(col, n, f);  // f > 0 here: the f == 0 branch ran above
+        result[static_cast<std::size_t>(k)] = detail::laned_sum(col + f, n - 2 * f) * inv;
       } else {
         result[static_cast<std::size_t>(k)] = trimmed_sum_select(col, n, f) * inv;
       }

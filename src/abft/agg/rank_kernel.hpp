@@ -22,9 +22,32 @@
 
 namespace abft::agg::detail {
 
-/// Above this the O(n^2) rank kernel loses to O(n log n) selection; callers
-/// must route larger batches to their nth_element fallback.
-constexpr int kRankKernelMaxN = 256;
+/// Hard ceiling on the rank-kernel n: sizes the callers' stack buffers
+/// (count array + column tiles), so the calibrated cutoff can never exceed
+/// it.  512 keeps the largest tile (16 columns x 512 rows) at 64 KiB.
+constexpr int kRankKernelCapacity = 512;
+
+/// The crossover AggMode::exact pins: the historical hard-coded value.
+/// Exact mode promises bit-reproducible output run-to-run, and CWTM's
+/// rank-classified trimmed sum adds kept entries in original column order
+/// while the nth_element fallback adds them in partition order — same
+/// multiset, different rounding — so exact mode must route by a constant,
+/// never by the timing-based calibration below.
+constexpr int kRankKernelExactCutoff = 256;
+
+/// Adaptive crossover for AggMode::fast: the largest n routed to the O(n^2)
+/// rank kernel before fast-mode callers fall back to O(n log n) nth_element
+/// selection.  Calibrated once per process by racing the two kernels at a
+/// few candidate sizes (see rank_kernel.cpp) — the crossover depends on the
+/// host's SIMD width, which is exactly the host-dependence fast mode's
+/// relaxed-parity contract permits.  kRankKernelExactCutoff is the fallback
+/// when calibration is inconclusive.  Override with the
+/// ABFT_RANK_KERNEL_CUTOFF environment variable (clamped to
+/// [0, kRankKernelCapacity]).  Both routes reproduce sorted-position
+/// selection exactly for duplicate-free columns (duplicates take the
+/// fallback regardless); only the floating-point summation order of the
+/// kept entries differs, inside the fast tolerance contract.
+int rank_kernel_cutoff();
 
 inline void rank_counts(const double* col, int n, std::int64_t* lt) {
 #if defined(__AVX512F__)

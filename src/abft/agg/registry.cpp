@@ -35,4 +35,14 @@ std::vector<std::string_view> aggregator_names() {
           "geomed",  "gmom",   "bulyan", "normclip", "cclip"};
 }
 
+AggMode agg_mode_from_string(std::string_view name) {
+  if (name == "exact") return AggMode::exact;
+  if (name == "fast") return AggMode::fast;
+  ABFT_REQUIRE(false, "unknown aggregation mode: " + std::string(name));
+}
+
+std::string_view to_string(AggMode mode) noexcept {
+  return mode == AggMode::fast ? "fast" : "exact";
+}
+
 }  // namespace abft::agg

@@ -19,4 +19,11 @@ std::unique_ptr<GradientAggregator> make_aggregator(std::string_view name);
 /// All registry names, in a stable order.
 std::vector<std::string_view> aggregator_names();
 
+/// Parses "exact" / "fast" (the command-line spelling used by benches and
+/// examples) into an AggMode.  Throws std::invalid_argument otherwise.
+AggMode agg_mode_from_string(std::string_view name);
+
+/// Stable spelling of an AggMode ("exact" / "fast").
+std::string_view to_string(AggMode mode) noexcept;
+
 }  // namespace abft::agg

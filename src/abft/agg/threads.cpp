@@ -1,8 +1,30 @@
 #include "abft/agg/threads.hpp"
 
+#include <utility>
+
 #include "abft/util/check.hpp"
 
 namespace abft::agg {
+
+namespace detail {
+
+bool& this_thread_in_pool_job() noexcept {
+  static thread_local bool in_job = false;
+  return in_job;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// RAII guard for the thread-local nesting flag: chunks set it for their
+/// duration (including when they unwind with an exception).
+struct InJobScope {
+  InJobScope() { detail::this_thread_in_pool_job() = true; }
+  ~InJobScope() { detail::this_thread_in_pool_job() = false; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int width) : width_(std::max(1, width)) {
   threads_.reserve(static_cast<std::size_t>(width_ - 1));
@@ -34,12 +56,27 @@ void ThreadPool::run_chunks(int begin, int end, int workers, InvokeFn invoke, vo
     job_invoke_ = invoke;
     job_ctx_ = ctx;
     pending_ = workers - 1;
+    worker_error_ = nullptr;
     ++generation_;
   }
   work_cv_.notify_all();
-  invoke(ctx, begin, std::min(begin + chunk, end));
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  std::exception_ptr caller_error;
+  {
+    InJobScope scope;
+    try {
+      invoke(ctx, begin, std::min(begin + chunk, end));
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+  }
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    worker_error = std::exchange(worker_error_, nullptr);
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
 }
 
 void ThreadPool::worker_loop(int slot) {
@@ -65,9 +102,18 @@ void ThreadPool::worker_loop(int slot) {
       }
     }
     if (!participates) continue;
-    if (lo < hi) invoke(ctx, lo, hi);
+    std::exception_ptr error;
+    if (lo < hi) {
+      InJobScope scope;
+      try {
+        invoke(ctx, lo, hi);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && worker_error_ == nullptr) worker_error_ = error;
       --pending_;
     }
     done_cv_.notify_one();

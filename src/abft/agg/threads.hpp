@@ -15,14 +15,24 @@
 // written to that rule; the determinism tests in tests/test_determinism.cpp
 // enforce it end-to-end.
 //
-// The pool is NOT re-entrant: fn must not call parallel_for on the same
-// pool.  Drivers therefore use the pool at exactly one level per phase
-// (round-level phases hand the kernels a serial workspace, and vice versa).
+// The pool is not re-entrant, but nested dispatch is safe: a parallel_for
+// issued from inside a running chunk (any pool) detects the nesting through
+// a thread-local flag and degenerates to a direct serial call instead of
+// deadlocking on the job slot.  Drivers still use the pool at exactly one
+// level per phase — the fallback is a guard rail, not a scheduling feature.
+//
+// Exceptions: a chunk may throw.  The first exception raised (the calling
+// thread's own chunk wins over workers') is captured and rethrown from
+// parallel_for after every participating chunk has finished — remaining
+// chunks are not cancelled, so partial side effects follow the same
+// disjoint-writes rule as normal completion.  The pool stays usable after
+// a throwing job.
 #pragma once
 
 #include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -30,6 +40,12 @@
 #include <vector>
 
 namespace abft::agg {
+
+namespace detail {
+/// True while the current thread is executing a ThreadPool chunk (caller or
+/// worker, any pool).  parallel_for consults it for the nested fallback.
+bool& this_thread_in_pool_job() noexcept;
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -45,15 +61,16 @@ class ThreadPool {
 
   /// Runs fn(lo, hi) over a static partition of [begin, end) using up to
   /// min(max_width, width()) threads including the caller.  Degenerates to a
-  /// direct fn(begin, end) call when one thread suffices — that path touches
-  /// no synchronization at all.  fn must not throw and must not re-enter the
-  /// pool.
+  /// direct fn(begin, end) call when one thread suffices or when the caller
+  /// is itself inside a pool chunk (nested dispatch) — those paths touch no
+  /// synchronization at all.  If any chunk throws, the first exception is
+  /// rethrown here after all chunks finish.
   template <typename Fn>
   void parallel_for(int begin, int end, int max_width, Fn&& fn) {
     const int range = end - begin;
     if (range <= 0) return;
     const int workers = std::min({max_width, width_, range});
-    if (workers <= 1) {
+    if (workers <= 1 || detail::this_thread_in_pool_job()) {
       fn(begin, end);
       return;
     }
@@ -67,7 +84,8 @@ class ThreadPool {
   using InvokeFn = void (*)(void* ctx, int lo, int hi);
 
   /// Publishes one job (begin, end, workers, invoke, ctx), runs chunk 0 on
-  /// the calling thread and blocks until every participating worker is done.
+  /// the calling thread, blocks until every participating worker is done,
+  /// and rethrows the job's first exception (caller's chunk preferred).
   void run_chunks(int begin, int end, int workers, InvokeFn invoke, void* ctx);
   void worker_loop(int slot);
 
@@ -88,6 +106,7 @@ class ThreadPool {
   void* job_ctx_ = nullptr;
   int pending_ = 0;
   bool stop_ = false;
+  std::exception_ptr worker_error_;  ///< first worker exception of the job
 };
 
 }  // namespace abft::agg

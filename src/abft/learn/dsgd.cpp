@@ -90,6 +90,7 @@ DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
   agg::AggregatorWorkspace workspace;
   workspace.parallel_threads = threads;
   workspace.pool = &pool;
+  workspace.mode = config.agg_mode;
   Vector filtered;
   std::vector<Vector> momenta(shards.size(), Vector(model.param_dim()));
   std::vector<Vector> grads(shards.size(), Vector(model.param_dim()));

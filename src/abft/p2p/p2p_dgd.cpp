@@ -89,6 +89,7 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   std::vector<agg::GradientBatch> node_batches(static_cast<std::size_t>(h));
   std::vector<agg::AggregatorWorkspace> node_workspaces(static_cast<std::size_t>(h));
   std::vector<linalg::Vector> node_filtered(static_cast<std::size_t>(h));
+  for (auto& node_ws : node_workspaces) node_ws.mode = config.agg_mode;
   for (auto& batch : node_batches) batch.reshape(n, dim);
   std::vector<long> source_messages(static_cast<std::size_t>(n), 0);
 

@@ -28,6 +28,10 @@ struct P2pDgdConfig {
   /// and estimate, so traces are bit-identical at every thread count).
   /// 1 = fully single-threaded.
   int agg_threads = 1;
+  /// Numerical mode of every honest node's gradient filter (see
+  /// agg/batch.hpp).  All honest nodes share one mode, so agreement among
+  /// honest estimates is preserved in either mode.
+  agg::AggMode agg_mode = agg::AggMode::exact;
 };
 
 struct P2pDgdResult {

@@ -35,6 +35,7 @@ DgdSimulation::DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config)
   pool_ = std::make_unique<agg::ThreadPool>(threads);
   workspace_.parallel_threads = threads;
   workspace_.pool = pool_.get();
+  workspace_.mode = config_.agg_mode;
 }
 
 void DgdSimulation::set_honest_gradient_fn(HonestGradientFn fn) {
