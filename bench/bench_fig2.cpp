@@ -3,7 +3,9 @@
 // plotted algorithms (fault-free, CWTM, CGE, plain GD) under the
 // gradient-reverse and random fault behaviours.  Final errors are annotated
 // below each table, as on the paper's plots.
-#include <cstring>
+//
+// --mode=fast runs every curve on the relaxed-parity fast kernels;
+// --csv / --csv-random emit the full-resolution series for re-plotting.
 #include <iostream>
 
 #include "fig_common.hpp"
@@ -11,27 +13,29 @@
 int main(int argc, char** argv) {
   constexpr int kIterations = 1500;
   constexpr int kStride = 100;
-  const bool random_panel = argc > 1 && std::strcmp(argv[1], "--csv-random") == 0;
-  const bool csv = random_panel || (argc > 1 && std::strcmp(argv[1], "--csv") == 0);
+  const auto options = fig::parse_bench_options(argc, argv, /*allow_csv=*/true);
 
-  const abft::attack::GradientReverseFault reverse;
-  const abft::attack::RandomGaussianFault random(200.0);
-  if (csv) {
+  if (options.csv) {
     // Full-resolution series for re-plotting: --csv emits the
     // gradient-reverse panel, --csv-random the random panel.
-    fig::print_figure_csv(
-        fig::run_figure(random_panel ? static_cast<const abft::attack::FaultModel&>(random)
-                                     : reverse,
-                        kIterations),
-        std::cout);
+    if (options.csv_random) {
+      fig::print_figure_csv(fig::run_figure("random", 200.0, kIterations, options.mode),
+                            std::cout);
+    } else {
+      fig::print_figure_csv(
+          fig::run_figure("gradient-reverse", 0.0, kIterations, options.mode), std::cout);
+    }
     return 0;
   }
 
   std::cout << "Figure 2 — loss and distance vs iteration (t in [0, " << kIterations << "])\n"
+            << "mode: " << abft::agg::to_string(options.mode) << "\n"
             << "Paper shape to reproduce: fault-free / CWTM / CGE all converge (distance\n"
             << "within eps = 0.0890 of x_H); plain GD stays biased (gradient-reverse) or\n"
             << "noisy-divergent (random).\n\n";
-  fig::print_figure(fig::run_figure(reverse, kIterations), kStride, std::cout);
-  fig::print_figure(fig::run_figure(random, kIterations), kStride, std::cout);
+  fig::print_figure(fig::run_figure("gradient-reverse", 0.0, kIterations, options.mode),
+                    kStride, std::cout);
+  fig::print_figure(fig::run_figure("random", 200.0, kIterations, options.mode), kStride,
+                    std::cout);
   return 0;
 }

@@ -1,20 +1,22 @@
 // Reproduces Figure 3: the magnified view of Figure 2 over the first 80
 // iterations, where the transient behaviour of the four algorithms separates
 // (plain GD's excursions under attack vs the filters' steady descent).
+// --mode=fast runs every curve on the relaxed-parity fast kernels.
 #include <iostream>
 
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kIterations = 80;
   constexpr int kStride = 4;
+  const auto options = fig::parse_bench_options(argc, argv);
 
-  std::cout << "Figure 3 — first " << kIterations << " iterations (magnified view of Fig. 2)\n\n";
+  std::cout << "Figure 3 — first " << kIterations << " iterations (magnified view of Fig. 2)\n"
+            << "mode: " << abft::agg::to_string(options.mode) << "\n\n";
 
-  const abft::attack::GradientReverseFault reverse;
-  fig::print_figure(fig::run_figure(reverse, kIterations), kStride, std::cout);
-
-  const abft::attack::RandomGaussianFault random(200.0);
-  fig::print_figure(fig::run_figure(random, kIterations), kStride, std::cout);
+  fig::print_figure(fig::run_figure("gradient-reverse", 0.0, kIterations, options.mode),
+                    kStride, std::cout);
+  fig::print_figure(fig::run_figure("random", 200.0, kIterations, options.mode), kStride,
+                    std::cout);
   return 0;
 }

@@ -11,7 +11,7 @@
 
 #include "learn_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   learnfig::Options options;
   options.dataset = abft::learn::synth_digits_options();
   // The paper plots 1000 iterations of LeNet/MNIST; our substitute needs a
@@ -20,8 +20,10 @@ int main() {
   options.iterations = 2500;
   options.eval_interval = 125;
   options.seed = 42;
+  learnfig::parse_mode_flag(argc, argv, &options);
 
-  std::cout << "Figure 4 — D-SGD on SynthDigits (MNIST substitute), n = 10, f = 3\n\n";
+  std::cout << "Figure 4 — D-SGD on SynthDigits (MNIST substitute), n = 10, f = 3\n"
+            << "mode: " << abft::agg::to_string(options.mode) << "\n\n";
   const auto curves = learnfig::run_learning_figure(options);
   learnfig::print_learning_figure(curves, std::cout);
   return 0;

@@ -9,15 +9,17 @@
 
 #include "learn_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   learnfig::Options options;
   options.dataset = abft::learn::synth_fashion_options();
   // Same horizon note as bench_fig4.
   options.iterations = 2500;
   options.eval_interval = 125;
   options.seed = 43;
+  learnfig::parse_mode_flag(argc, argv, &options);
 
-  std::cout << "Figure 5 — D-SGD on SynthFashion (Fashion-MNIST substitute), n = 10, f = 3\n\n";
+  std::cout << "Figure 5 — D-SGD on SynthFashion (Fashion-MNIST substitute), n = 10, f = 3\n"
+            << "mode: " << abft::agg::to_string(options.mode) << "\n\n";
   const auto curves = learnfig::run_learning_figure(options);
   learnfig::print_learning_figure(curves, std::cout);
   return 0;

@@ -3,17 +3,17 @@
 // W = [-1000, 1000]^2, 500 iterations.  Prints x_out and dist(x_H, x_out)
 // for the CGE and CWTM gradient-filters under the gradient-reverse and
 // random fault behaviours, next to the paper's reported values.
+//
+// Every run is one declarative ScenarioSpec executed through the scenario
+// layer (the same path as abft_run specs/table1_cwtm_reverse.json);
+// --mode=fast switches them to the relaxed-parity fast kernels.
 #include <iostream>
 #include <sstream>
 
-#include "abft/agg/registry.hpp"
-#include "abft/attack/simple_faults.hpp"
 #include "abft/core/bounds.hpp"
 #include "abft/core/redundancy.hpp"
-#include "abft/opt/schedule.hpp"
-#include "abft/regress/problem.hpp"
-#include "abft/sim/dgd.hpp"
 #include "abft/util/table.hpp"
+#include "fig_common.hpp"
 
 using namespace abft;
 using linalg::Vector;
@@ -28,7 +28,8 @@ std::string format_point(const Vector& x) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = fig::parse_bench_options(argc, argv);
   const auto problem = regress::RegressionProblem::paper_instance();
   const std::vector<int> honest{1, 2, 3, 4, 5};
   const Vector x_h = problem.subset_minimizer(honest);
@@ -39,6 +40,7 @@ int main() {
 
   std::cout << "Table 1 — fault-tolerant distributed linear regression (paper instance)\n";
   std::cout << "n = 6, d = 2, f = 1 (agent 1 Byzantine), eta_t = 1.5/(t+1), 500 iterations\n";
+  std::cout << "mode: " << agg::to_string(options.mode) << "\n";
   std::cout << "x_H = " << format_point(x_h) << "  (paper: (1.0780, 0.9825))\n";
   std::cout << "(2f, eps)-redundancy eps = " << util::format_double(redundancy.epsilon, 4)
             << "  (paper: 0.0890)\n";
@@ -48,37 +50,27 @@ int main() {
   std::cout << "Theorem-5 CGE bound: alpha = " << util::format_double(t5.alpha, 4)
             << ", D*eps = " << util::format_double(t5.factor * redundancy.epsilon, 4) << "\n\n";
 
-  const attack::GradientReverseFault reverse;
-  const attack::RandomGaussianFault random(200.0);
-  const opt::HarmonicSchedule schedule(1.5);
-
   struct PaperRow {
     const char* filter;
     const char* fault;
+    double param;
     const char* paper_dist;
   };
   const PaperRow paper_rows[] = {
-      {"cge", "gradient-reverse", "2.39e-02"},
-      {"cge", "random", "4.72e-05"},
-      {"cwtm", "gradient-reverse", "1.67e-02"},
-      {"cwtm", "random", "1.51e-03"},
+      {"cge", "gradient-reverse", 0.0, "2.39e-02"},
+      {"cge", "random", 200.0, "4.72e-05"},
+      {"cwtm", "gradient-reverse", 0.0, "1.67e-02"},
+      {"cwtm", "random", 200.0, "1.51e-03"},
   };
 
   util::Table table({"filter", "fault", "x_out", "dist(x_H, x_out)", "paper dist", "< eps"});
   for (const auto& row : paper_rows) {
-    const attack::FaultModel& fault =
-        std::string_view(row.fault) == "random"
-            ? static_cast<const attack::FaultModel&>(random)
-            : static_cast<const attack::FaultModel&>(reverse);
-    auto roster = sim::honest_roster(problem.costs());
-    sim::assign_fault(roster, 0, fault);
-    sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0),
-                          &schedule, 500, 1, 2021};
-    sim::DgdSimulation simulation(std::move(roster), std::move(config));
-    const auto aggregator = agg::make_aggregator(row.filter);
-    const auto trace = simulation.run(*aggregator);
-    const double dist = linalg::distance(trace.final_estimate(), x_h);
-    table.add_row({row.filter, row.fault, format_point(trace.final_estimate()),
+    const auto spec = fig::figure_spec(row.fault, row.param, row.filter,
+                                       /*include_faulty_agent=*/true, 500, options.mode);
+    const auto result = scenario::run_scenario(spec);
+    const auto& x_out = result.traces.front().final_estimate();
+    const double dist = linalg::distance(x_out, x_h);
+    table.add_row({row.filter, row.fault, format_point(x_out),
                    util::format_scientific(dist, 2), row.paper_dist,
                    dist < redundancy.epsilon ? "yes" : "NO"});
   }

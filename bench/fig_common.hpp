@@ -4,18 +4,22 @@
 // paper — fault-free DGD (faulty agent omitted, plain averaging), DGD+CWTM,
 // DGD+CGE, and plain DGD with the faulty agent included — and emits the
 // loss / distance series.
+//
+// Every run goes through the declarative scenario layer (scenario.hpp): one
+// ScenarioSpec per curve instead of hand-built rosters/configs, the same
+// specs the abft_run CLI executes from specs/*.json.  --mode=fast switches
+// every curve to the relaxed-parity fast kernels.
 #pragma once
 
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "abft/agg/registry.hpp"
-#include "abft/attack/simple_faults.hpp"
-#include "abft/opt/schedule.hpp"
 #include "abft/regress/problem.hpp"
-#include "abft/sim/dgd.hpp"
+#include "abft/scenario/scenario.hpp"
 #include "abft/util/csv.hpp"
 #include "abft/util/table.hpp"
 
@@ -36,30 +40,82 @@ struct FigureData {
   Vector x_h;
 };
 
-inline sim::Trace run_one(const regress::RegressionProblem& problem,
-                          const attack::FaultModel* fault, std::string_view aggregator_name,
-                          bool include_faulty_agent, int iterations) {
-  const opt::HarmonicSchedule schedule(1.5);
-  const auto aggregator = agg::make_aggregator(aggregator_name);
-  std::vector<int> agents;
-  for (int i = include_faulty_agent ? 0 : 1; i < problem.num_agents(); ++i) agents.push_back(i);
-  auto roster = sim::honest_roster(problem.costs(agents));
-  if (include_faulty_agent && fault != nullptr) sim::assign_fault(roster, 0, *fault);
-  sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0), &schedule,
-                        iterations, include_faulty_agent ? 1 : 0, 2021};
-  sim::DgdSimulation simulation(std::move(roster), std::move(config));
-  return simulation.run(*aggregator);
+/// Command-line switches shared by the fig/table benches.
+struct BenchOptions {
+  agg::AggMode mode = agg::AggMode::exact;
+  bool csv = false;
+  bool csv_random = false;
+};
+
+/// `allow_csv` = whether the calling binary implements the CSV exports;
+/// binaries that do not must reject the flags rather than silently print
+/// their table format.
+inline BenchOptions parse_bench_options(int argc, char** argv, bool allow_csv = false) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--mode=fast") {
+      options.mode = agg::AggMode::fast;
+    } else if (arg == "--mode=exact") {
+      options.mode = agg::AggMode::exact;
+    } else if (allow_csv && arg == "--csv") {
+      options.csv = true;
+    } else if (allow_csv && arg == "--csv-random") {
+      options.csv = true;
+      options.csv_random = true;
+    } else {
+      std::cerr << "unknown option " << arg << " (known: --mode=exact|fast"
+                << (allow_csv ? ", --csv, --csv-random" : "") << ")\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// The ScenarioSpec behind one Figure-2/3 curve: the Appendix-J regression
+/// instance with the given rule, under `fault_kind` on agent 0 when the
+/// faulty agent is included, or restricted to the honest five when not.
+inline scenario::ScenarioSpec figure_spec(std::string_view fault_kind, double fault_param,
+                                          std::string_view aggregator_name,
+                                          bool include_faulty_agent, int iterations,
+                                          agg::AggMode mode) {
+  scenario::ScenarioSpec spec;
+  spec.driver = "dgd";
+  spec.problem = "paper_regression";
+  spec.aggregator = std::string(aggregator_name);
+  spec.mode = mode;
+  spec.iterations = iterations;
+  spec.f = include_faulty_agent ? 1 : 0;
+  spec.seed = 2021;
+  spec.x0 = {-0.0085, -0.5643};
+  spec.schedule = {"harmonic", 1.5, 1.0};
+  if (include_faulty_agent) {
+    spec.faults.push_back(
+        scenario::FaultSpec{0, std::string(fault_kind), fault_param});
+  } else {
+    spec.agents = {1, 2, 3, 4, 5};
+  }
+  return spec;
+}
+
+inline sim::Trace run_one(std::string_view fault_kind, double fault_param,
+                          std::string_view aggregator_name, bool include_faulty_agent,
+                          int iterations, agg::AggMode mode) {
+  return scenario::run_scenario(figure_spec(fault_kind, fault_param, aggregator_name,
+                                            include_faulty_agent, iterations, mode))
+      .traces.front();
 }
 
 /// Runs the four algorithms of Figures 2-3 under one attack.
-inline FigureData run_figure(const attack::FaultModel& fault, int iterations) {
+inline FigureData run_figure(std::string_view fault_kind, double fault_param, int iterations,
+                             agg::AggMode mode = agg::AggMode::exact) {
   const auto problem = regress::RegressionProblem::paper_instance();
   const std::vector<int> honest{1, 2, 3, 4, 5};
   const auto honest_costs = problem.costs(honest);
   const opt::AggregateCost honest_aggregate(honest_costs);
 
   FigureData data;
-  data.attack = fault.name();
+  data.attack = fault_kind;
   data.x_h = problem.subset_minimizer(honest);
 
   const struct {
@@ -73,8 +129,8 @@ inline FigureData run_figure(const attack::FaultModel& fault, int iterations) {
       {"plain GD", "average", true},
   };
   for (const auto& algorithm : algorithms) {
-    const auto trace =
-        run_one(problem, &fault, algorithm.aggregator, algorithm.include_faulty, iterations);
+    const auto trace = run_one(fault_kind, fault_param, algorithm.aggregator,
+                               algorithm.include_faulty, iterations, mode);
     data.series.push_back(Series{algorithm.label, trace.loss_series(honest_aggregate),
                                  trace.distance_series(data.x_h)});
   }

@@ -6,8 +6,10 @@
 // substitution argument).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "abft/agg/registry.hpp"
@@ -32,7 +34,25 @@ struct Options {
   int eval_interval = 50;
   int hidden_dim = 24;
   std::uint64_t seed = 42;
+  /// Numerical mode of the gradient filter (--mode=fast on the fig4/5
+  /// command line switches every curve to the relaxed-parity kernels).
+  agg::AggMode mode = agg::AggMode::exact;
 };
+
+/// Parses the fig4/5 command line (--mode=exact|fast) into `options`.
+inline void parse_mode_flag(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--mode=fast") {
+      options->mode = agg::AggMode::fast;
+    } else if (arg == "--mode=exact") {
+      options->mode = agg::AggMode::exact;
+    } else {
+      std::cerr << "unknown option " << arg << " (known: --mode=exact|fast)\n";
+      std::exit(2);
+    }
+  }
+}
 
 inline std::vector<Curve> run_learning_figure(const Options& options) {
   util::Rng data_rng(options.seed);
@@ -52,6 +72,7 @@ inline std::vector<Curve> run_learning_figure(const Options& options) {
   config.step_size = 0.01;
   config.eval_interval = options.eval_interval;
   config.seed = options.seed + 4;
+  config.agg_mode = options.mode;
 
   auto faults_of = [](learn::AgentFault kind, int count) {
     std::vector<learn::AgentFault> faults(10, learn::AgentFault::kHonest);

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare an abft_run --out result against a committed golden.
+
+Usage: compare_scenario.py GOLDEN.json CURRENT.json [--rtol 1e-4] [--atol 1e-9]
+
+Every key in the golden must be present in the current result with the same
+type; numbers must agree within the tolerance (relative OR absolute),
+strings and integers exactly, arrays elementwise.  Extra keys in the current
+result are allowed (the summary may grow), so adding fields never breaks old
+goldens.  Exit code 0 on match, 1 on mismatch, 2 on usage/IO errors.
+
+The tolerance exists for cross-host libm differences (the random streams use
+log/cos, whose last-ulp behaviour is implementation-defined); a genuine
+regression — a dropped round, a reordered filter input, a changed
+elimination — moves these numbers by orders of magnitude more.
+"""
+
+import argparse
+import json
+import sys
+
+
+def compare(golden, current, rtol, atol, path="$"):
+    """Returns a list of human-readable mismatch strings."""
+    errors = []
+    if isinstance(golden, dict):
+        if not isinstance(current, dict):
+            return [f"{path}: expected an object, found {type(current).__name__}"]
+        for key, value in golden.items():
+            if key not in current:
+                errors.append(f"{path}.{key}: missing from current result")
+                continue
+            errors.extend(compare(value, current[key], rtol, atol, f"{path}.{key}"))
+        return errors
+    if isinstance(golden, list):
+        if not isinstance(current, list):
+            return [f"{path}: expected an array, found {type(current).__name__}"]
+        if len(golden) != len(current):
+            return [f"{path}: length {len(current)}, expected {len(golden)}"]
+        for index, (g, c) in enumerate(zip(golden, current)):
+            errors.extend(compare(g, c, rtol, atol, f"{path}[{index}]"))
+        return errors
+    if isinstance(golden, bool) or isinstance(current, bool):
+        if golden is not current:
+            errors.append(f"{path}: {current!r}, expected {golden!r}")
+        return errors
+    if isinstance(golden, (int, float)) and isinstance(current, (int, float)):
+        if isinstance(golden, int) and isinstance(current, int):
+            if golden != current:
+                errors.append(f"{path}: {current}, expected exactly {golden}")
+            return errors
+        tolerance = max(atol, rtol * max(abs(golden), abs(current)))
+        if abs(golden - current) > tolerance:
+            errors.append(
+                f"{path}: {current!r} differs from golden {golden!r} "
+                f"by {abs(golden - current):.3e} (> {tolerance:.3e})"
+            )
+        return errors
+    if golden != current:
+        errors.append(f"{path}: {current!r}, expected {golden!r}")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("golden")
+    parser.add_argument("current")
+    parser.add_argument("--rtol", type=float, default=1e-4)
+    parser.add_argument("--atol", type=float, default=1e-9)
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.golden) as handle:
+            golden = json.load(handle)
+        with open(args.current) as handle:
+            current = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"compare_scenario: {error}", file=sys.stderr)
+        return 2
+
+    errors = compare(golden, current, args.rtol, args.atol)
+    if errors:
+        print(f"compare_scenario: {args.current} does not match {args.golden}:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"compare_scenario: {args.current} matches {args.golden} (rtol {args.rtol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

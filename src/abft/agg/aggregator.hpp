@@ -42,6 +42,21 @@ class GradientAggregator {
   [[nodiscard]] Vector aggregate_batched(const GradientBatch& batch, int f,
                                          AggregatorWorkspace& workspace) const;
 
+  /// The largest f this rule accepts for n gradients (the rule's own
+  /// precondition, e.g. n > 2f for CWTM), or -1 when the rule cannot run on
+  /// n gradients at any f.  Round engines clamp the declared fault bound to
+  /// min(f, max_usable_f(n)) so a round in which delivery shrinks n
+  /// (elimination, partial participation, stragglers, churn) still
+  /// aggregates with the strongest f the rule tolerates instead of throwing
+  /// — and hold position on a -1 round.  The default is the generic batch
+  /// precondition f < n.
+  [[nodiscard]] virtual int max_usable_f(int n) const noexcept { return n - 1; }
+
+  /// The smallest f this rule can run with at all (Bulyan's selection
+  /// schedule requires f >= 1); engines hold position when the shrunk bound
+  /// falls below it.  The default is the generic f >= 0.
+  [[nodiscard]] virtual int min_usable_f() const noexcept { return 0; }
+
   /// Stable identifier, e.g. "cge"; used by the registry and bench labels.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };

@@ -132,6 +132,13 @@ struct AggregatorWorkspace {
   std::vector<double> vecbuf;    ///< misc d-sized scratch (Weiszfeld, cclip)
   std::vector<int> order;        ///< index permutation (n)
   std::vector<unsigned char> active;  ///< selection mask (n), Bulyan stage 1
+  // Bulyan fast-mode stage 1 (incremental iterated-Krum scores): per-row
+  // distance-sorted neighbour ids, their inverse permutation, and the
+  // per-row selection-prefix cursor / selected count.
+  std::vector<int> sorted_ids;   ///< n x n neighbour ids, ascending distance
+  std::vector<int> ranks;        ///< rank of j in i's sorted order (n x n)
+  std::vector<int> heads;        ///< one past the selection prefix (n)
+  std::vector<int> counts;       ///< selected neighbours in the prefix (n)
   GradientBatch aux_batch;       ///< secondary batch (GMoM buckets, Bulyan)
   GradientBatch clip_batch;      ///< clipped copy for ClippedInputAggregator
 

@@ -10,6 +10,138 @@
 
 namespace abft::agg {
 
+namespace {
+
+/// Fast-mode stage 1: the iterated Krum selection with incremental score
+/// maintenance instead of the exact path's per-round O(n^2) rescan of the
+/// active mask.
+///
+/// Each row's Krum score is the sum of its `neighbors` smallest distances to
+/// *active* other rows, and in each row's fixed distance-sorted neighbour
+/// order that set is exactly a prefix (skipping inactive entries).  So every
+/// row keeps a cursor one past its selection prefix plus a running score:
+/// when the round's winner is deactivated, rows whose prefix contained it
+/// subtract one term and advance their cursor to the next active neighbour,
+/// and when the neighbour count shrinks with the pool, every row retreats
+/// its cursor by one active entry.  Cursor movement is monotone per
+/// direction, so the whole selection costs O(n^2 log n) for the initial
+/// sorts plus O(n^2) maintenance — replacing the O(theta * n^2) rescan
+/// (effectively O(n^3) since theta ~ n).
+///
+/// Relaxed parity: the running add/subtract accumulates fp error of order
+/// n ulps relative to the freshly-summed exact score, so near-exact ties
+/// may pick a different (equally valid) winner — the same class of
+/// deviation the fast stage 2 already admits, bounded by the Bulyan
+/// tolerance suite.
+///
+/// Preconditions match aggregate_into (caller validated); fills ws.order
+/// with the theta picks and leaves ws.active marking the unselected rows.
+void select_stage1_incremental(AggregatorWorkspace& ws, int n, int f, int theta) {
+  const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  ws.sorted_ids.resize(nn);
+  ws.ranks.resize(nn);
+  ws.heads.resize(static_cast<std::size_t>(n));
+  ws.counts.resize(static_cast<std::size_t>(n));
+  ws.scores.resize(static_cast<std::size_t>(n));
+
+  // Per-row neighbour order (ascending distance, ties by id so the order is
+  // deterministic), plus its inverse for O(1) "is j inside i's prefix?".
+  ws.run_parallel(0, n, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+      int* ids = ws.sorted_ids.data() + base;
+      const double* dist = ws.pairdist.data() + base;
+      int m = 0;
+      for (int j = 0; j < n; ++j) {
+        if (j != i) ids[m++] = j;
+      }
+      std::sort(ids, ids + m, [dist](int a, int b) {
+        return dist[a] < dist[b] || (dist[a] == dist[b] && a < b);
+      });
+      int* rank = ws.ranks.data() + base;
+      rank[i] = n;  // never inside any prefix
+      for (int s = 0; s < m; ++s) rank[ids[s]] = s;
+    }
+  });
+
+  int pool = n;
+  {
+    // Initial selection: the first k0 entries of every sorted order (all
+    // rows are active).
+    const int k0 = std::max(1, pool - f - 2);  // == round 0's neighbour count
+    for (int i = 0; i < n; ++i) {
+      const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+      const int* ids = ws.sorted_ids.data() + base;
+      const double* dist = ws.pairdist.data() + base;
+      double sum = 0.0;
+      for (int s = 0; s < k0; ++s) sum += dist[ids[s]];
+      ws.scores[static_cast<std::size_t>(i)] = sum;
+      ws.heads[static_cast<std::size_t>(i)] = k0;
+      ws.counts[static_cast<std::size_t>(i)] = k0;
+    }
+  }
+
+  int removed = -1;
+  for (int round = 0; round < theta; ++round) {
+    // The span path's relaxed_scores rejects a pool of fewer than two
+    // gradients (which f = 0 reaches on the final round); mirror it.
+    ABFT_REQUIRE(pool >= 2, "relaxed krum scores need at least two gradients");
+    const int neighbors = std::max(1, pool - f - 2);
+    int best = -1;
+    double best_score = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (!ws.active[static_cast<std::size_t>(i)]) continue;
+      const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+      const int* ids = ws.sorted_ids.data() + base;
+      const double* dist = ws.pairdist.data() + base;
+      const int* rank = ws.ranks.data() + base;
+      int& head = ws.heads[static_cast<std::size_t>(i)];
+      int& count = ws.counts[static_cast<std::size_t>(i)];
+      double& score = ws.scores[static_cast<std::size_t>(i)];
+      if (removed >= 0 && rank[removed] < head) {
+        score -= dist[removed];
+        --count;
+      }
+      while (count < neighbors) {
+        // Enough active neighbours always remain (neighbors <= pool - 1),
+        // so the cursor cannot run off the end.
+        while (!ws.active[static_cast<std::size_t>(ids[head])]) ++head;
+        score += dist[ids[head]];
+        ++head;
+        ++count;
+      }
+      while (count > neighbors) {
+        do {
+          --head;
+        } while (!ws.active[static_cast<std::size_t>(ids[head])]);
+        score -= dist[ids[head]];
+        --count;
+      }
+      if (neighbors == 1) {
+        // Endgame rounds score each row by its single nearest active
+        // neighbour, and the two mutually-nearest rows then tie EXACTLY —
+        // a structural tie the exact path breaks by index.  The running
+        // sum's accumulated roundoff would break it arbitrarily instead,
+        // so assign the one-term score directly (the selected entry is the
+        // first active one in sorted order).
+        int s = 0;
+        while (!ws.active[static_cast<std::size_t>(ids[s])]) ++s;
+        score = dist[ids[s]];
+      }
+      if (best < 0 || score < best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    ws.order[static_cast<std::size_t>(round)] = best;
+    ws.active[static_cast<std::size_t>(best)] = 0;
+    removed = best;
+    --pool;
+  }
+}
+
+}  // namespace
+
 Vector BulyanAggregator::aggregate(std::span<const Vector> gradients, int f) const {
   const int dim = validate_gradients(gradients, f);
   const int n = static_cast<int>(gradients.size());
@@ -64,37 +196,41 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
   ws.fill_pairwise_sqdist(batch);
   ws.active.assign(static_cast<std::size_t>(n), 1);
   ws.order.resize(static_cast<std::size_t>(theta));  // selected rows, in pick order
-  ws.scratch.resize(static_cast<std::size_t>(n));
-  int pool = n;
-  for (int round = 0; round < theta; ++round) {
-    // The span path's relaxed_scores rejects a pool of fewer than two
-    // gradients (which f = 0 reaches on the final round); mirror it.
-    ABFT_REQUIRE(pool >= 2, "relaxed krum scores need at least two gradients");
-    const int neighbors = std::max(1, pool - f - 2);
-    int best = -1;
-    double best_score = 0.0;
-    for (int i = 0; i < n; ++i) {
-      if (!ws.active[static_cast<std::size_t>(i)]) continue;
-      const double* row =
-          ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
-      int m = 0;
-      for (int j = 0; j < n; ++j) {
-        if (j != i && ws.active[static_cast<std::size_t>(j)]) {
-          ws.scratch[static_cast<std::size_t>(m++)] = row[j];
+  if (ws.mode == AggMode::fast) {
+    select_stage1_incremental(ws, n, f, theta);
+  } else {
+    ws.scratch.resize(static_cast<std::size_t>(n));
+    int pool = n;
+    for (int round = 0; round < theta; ++round) {
+      // The span path's relaxed_scores rejects a pool of fewer than two
+      // gradients (which f = 0 reaches on the final round); mirror it.
+      ABFT_REQUIRE(pool >= 2, "relaxed krum scores need at least two gradients");
+      const int neighbors = std::max(1, pool - f - 2);
+      int best = -1;
+      double best_score = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (!ws.active[static_cast<std::size_t>(i)]) continue;
+        const double* row =
+            ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+        int m = 0;
+        for (int j = 0; j < n; ++j) {
+          if (j != i && ws.active[static_cast<std::size_t>(j)]) {
+            ws.scratch[static_cast<std::size_t>(m++)] = row[j];
+          }
+        }
+        std::nth_element(ws.scratch.begin(), ws.scratch.begin() + (neighbors - 1),
+                         ws.scratch.begin() + m);
+        double score = 0.0;
+        for (int s = 0; s < neighbors; ++s) score += ws.scratch[static_cast<std::size_t>(s)];
+        if (best < 0 || score < best_score) {
+          best = i;
+          best_score = score;
         }
       }
-      std::nth_element(ws.scratch.begin(), ws.scratch.begin() + (neighbors - 1),
-                       ws.scratch.begin() + m);
-      double score = 0.0;
-      for (int s = 0; s < neighbors; ++s) score += ws.scratch[static_cast<std::size_t>(s)];
-      if (best < 0 || score < best_score) {
-        best = i;
-        best_score = score;
-      }
+      ws.order[static_cast<std::size_t>(round)] = best;
+      ws.active[static_cast<std::size_t>(best)] = 0;
+      --pool;
     }
-    ws.order[static_cast<std::size_t>(round)] = best;
-    ws.active[static_cast<std::size_t>(best)] = 0;
-    --pool;
   }
 
   // Stage 2: per coordinate, average the beta selected entries closest to

@@ -41,6 +41,12 @@ class ClippedInputAggregator final : public GradientAggregator {
   void aggregate_into(Vector& out, const GradientBatch& batch, int f,
                       AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "clipped-input"; }
+  /// The preprocessing changes no preconditions: forward the inner rule's
+  /// f capacity so the engine's thin-round clamp sees the real constraint.
+  [[nodiscard]] int max_usable_f(int n) const noexcept override {
+    return inner_.max_usable_f(n);
+  }
+  [[nodiscard]] int min_usable_f() const noexcept override { return inner_.min_usable_f(); }
 
  private:
   const GradientAggregator& inner_;

@@ -13,6 +13,8 @@ class CwtmAggregator final : public GradientAggregator {
   void aggregate_into(Vector& out, const GradientBatch& batch, int f,
                       AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "cwtm"; }
+  /// n > 2f.
+  [[nodiscard]] int max_usable_f(int n) const noexcept override { return (n - 1) / 2; }
 };
 
 }  // namespace abft::agg

@@ -18,6 +18,10 @@ class KrumAggregator final : public GradientAggregator {
   void aggregate_into(Vector& out, const GradientBatch& batch, int f,
                       AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "krum"; }
+  /// n > 2f + 2; below n = 3 the rule cannot run at all (-1).
+  [[nodiscard]] int max_usable_f(int n) const noexcept override {
+    return n < 3 ? -1 : (n - 3) / 2;
+  }
 
   /// Krum scores for all gradients (exposed for tests and Bulyan).
   [[nodiscard]] static std::vector<double> scores(std::span<const Vector> gradients, int f);
@@ -46,6 +50,10 @@ class MultiKrumAggregator final : public GradientAggregator {
   void aggregate_into(Vector& out, const GradientBatch& batch, int f,
                       AggregatorWorkspace& workspace) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "multikrum"; }
+  /// n > 2f + 2 (same scoring precondition as Krum); -1 below n = 3.
+  [[nodiscard]] int max_usable_f(int n) const noexcept override {
+    return n < 3 ? -1 : (n - 3) / 2;
+  }
 
  private:
   int m_;

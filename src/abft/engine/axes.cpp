@@ -1,0 +1,67 @@
+#include "abft/engine/axes.hpp"
+
+#include <algorithm>
+
+#include "abft/util/check.hpp"
+
+namespace abft::engine {
+
+RoundPlanner::RoundPlanner(ScenarioAxes axes, int roster_size)
+    : axes_(std::move(axes)), roster_size_(roster_size), rng_(axes_.perturbation_seed) {
+  ABFT_REQUIRE(roster_size_ > 0, "planner needs a non-empty roster");
+  ABFT_REQUIRE(0.0 < axes_.participation && axes_.participation <= 1.0,
+               "participation must be in (0, 1]");
+  ABFT_REQUIRE(0.0 <= axes_.straggler_probability && axes_.straggler_probability < 1.0,
+               "straggler probability must be in [0, 1)");
+  for (const auto& event : axes_.churn) {
+    ABFT_REQUIRE(event.round >= 0, "churn round must be non-negative");
+    ABFT_REQUIRE(0 <= event.agent && event.agent < roster_size_,
+                 "churn agent out of roster range");
+  }
+  // Fire events in round order regardless of spec order.
+  std::stable_sort(axes_.churn.begin(), axes_.churn.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.round < b.round; });
+  reset();
+}
+
+void RoundPlanner::reset() {
+  rng_ = util::Rng(axes_.perturbation_seed);
+  churn_cursor_ = 0;
+  churned_now_.clear();
+  out_this_round_.assign(static_cast<std::size_t>(roster_size_), 0);
+  straggle_this_round_.assign(static_cast<std::size_t>(roster_size_), 0);
+}
+
+void RoundPlanner::begin_round(int round) {
+  churned_now_.clear();
+  while (churn_cursor_ < axes_.churn.size() &&
+         axes_.churn[churn_cursor_].round <= round) {
+    churned_now_.push_back(axes_.churn[churn_cursor_].agent);
+    ++churn_cursor_;
+  }
+  // One coin per roster agent, in roster order, every round the axis is
+  // enabled — including churned or eliminated agents — so membership changes
+  // can never shift the stream under later agents' feet.
+  if (axes_.participation < 1.0) {
+    for (int i = 0; i < roster_size_; ++i) {
+      out_this_round_[static_cast<std::size_t>(i)] =
+          rng_.uniform() >= axes_.participation ? 1 : 0;
+    }
+  }
+  if (axes_.straggler_probability > 0.0) {
+    for (int i = 0; i < roster_size_; ++i) {
+      straggle_this_round_[static_cast<std::size_t>(i)] =
+          rng_.uniform() < axes_.straggler_probability ? 1 : 0;
+    }
+  }
+}
+
+bool RoundPlanner::participates(int agent) const noexcept {
+  return out_this_round_[static_cast<std::size_t>(agent)] == 0;
+}
+
+bool RoundPlanner::straggles(int agent) const noexcept {
+  return straggle_this_round_[static_cast<std::size_t>(agent)] != 0;
+}
+
+}  // namespace abft::engine

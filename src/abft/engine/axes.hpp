@@ -1,0 +1,106 @@
+// Declarative round-perturbation axes shared by every driver.
+//
+// A ScenarioSpec (see scenario.hpp) composes a roster, fault model and
+// aggregation rule with the axes here: per-round partial participation,
+// seedable straggler schedules, and mid-run churn.  The RoundPlanner turns
+// the axes into a per-round plan, drawing all of its randomness from a
+// dedicated perturbation stream so that enabling an axis never perturbs the
+// agent / fault / network streams — and, crucially, so that the default
+// (all axes off) consumes no randomness at all and every driver behaves
+// bit-identically to a plain run.
+//
+// Axis semantics (identical across the three drivers):
+//   participation p < 1   — each round, each agent independently sits the
+//                           round out with probability 1 - p: it computes no
+//                           gradient, sends nothing, and is NOT eliminated.
+//   straggler q > 0       — each round, each participating agent's message
+//                           independently misses the round's close with
+//                           probability q: the gradient IS computed (an
+//                           omniscient adversary observes it) but never
+//                           reaches the transport, and the agent is NOT
+//                           eliminated (step S1 does not apply — the message
+//                           was late, not missing).
+//   churn                 — at the start of round r, the listed agent leaves
+//                           the system permanently.  A faulty departure
+//                           shrinks the declared fault bound f (one fewer
+//                           adversary to tolerate); an honest departure only
+//                           shrinks n.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "abft/util/rng.hpp"
+
+namespace abft::engine {
+
+/// Agent `agent` leaves the system permanently at the start of round
+/// `round` (the driver's own round counter: 0-based for DGD / p2p, 1-based
+/// for D-SGD).
+struct ChurnEvent {
+  int round = 0;
+  int agent = 0;
+};
+
+struct ScenarioAxes {
+  /// Per-round probability that an agent participates.  1.0 = every agent,
+  /// every round (the default; draws no randomness).
+  double participation = 1.0;
+  /// Per-round probability that a participating agent's message straggles
+  /// past the round's close.  0.0 = never (the default; draws no randomness).
+  double straggler_probability = 0.0;
+  /// Seed of the dedicated perturbation stream (independent of the driver
+  /// seed, so the same scenario randomness can be replayed under any roster
+  /// seed and vice versa).
+  std::uint64_t perturbation_seed = 0;
+  /// Mid-run departures, applied in round order.
+  std::vector<ChurnEvent> churn;
+
+  /// True when any axis deviates from the no-op default.
+  [[nodiscard]] bool enabled() const noexcept {
+    return participation < 1.0 || straggler_probability > 0.0 || !churn.empty();
+  }
+};
+
+/// Per-round realization of the axes.  begin_round(t) must be called once
+/// per round with the driver's monotonically increasing round counter; it
+/// draws this round's participation/straggler coins (in agent order, so the
+/// stream is invariant to membership changes) and surfaces the churn events
+/// that fall due.  When the axes are all at their defaults every query is
+/// constant and the perturbation stream is never advanced.
+class RoundPlanner {
+ public:
+  RoundPlanner() = default;
+  RoundPlanner(ScenarioAxes axes, int roster_size);
+
+  /// Restarts the perturbation stream and the churn cursor (drivers call
+  /// this at the top of a run so repeated runs replay identically).
+  void reset();
+
+  /// Draws the plan for round `round`.  Rounds must be passed in increasing
+  /// order; churn events with event.round <= round that have not fired yet
+  /// fire now (so a 1-based driver still honours a round-0 event).
+  void begin_round(int round);
+
+  [[nodiscard]] bool participates(int agent) const noexcept;
+  [[nodiscard]] bool straggles(int agent) const noexcept;
+
+  /// Agents leaving at the start of the current round, in spec order.
+  [[nodiscard]] std::span<const int> churned_this_round() const noexcept {
+    return churned_now_;
+  }
+
+  [[nodiscard]] const ScenarioAxes& axes() const noexcept { return axes_; }
+
+ private:
+  ScenarioAxes axes_;
+  int roster_size_ = 0;
+  util::Rng rng_{0};
+  std::size_t churn_cursor_ = 0;
+  std::vector<int> churned_now_;
+  std::vector<unsigned char> out_this_round_;       // participation coin
+  std::vector<unsigned char> straggle_this_round_;  // straggler coin
+};
+
+}  // namespace abft::engine

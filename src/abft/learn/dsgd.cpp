@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "abft/agg/threads.hpp"
 #include "abft/util/check.hpp"
 
 namespace abft::learn {
@@ -39,6 +38,14 @@ std::vector<int> sample_batch(util::Rng& rng, int shard_size, int batch_size) {
   return batch;
 }
 
+std::vector<unsigned char> faulty_mask(const std::vector<AgentFault>& faults) {
+  std::vector<unsigned char> mask(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    mask[i] = faults[i] == AgentFault::kHonest ? 0 : 1;
+  }
+  return mask;
+}
+
 }  // namespace
 
 DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
@@ -62,10 +69,15 @@ DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
   }
   const Dataset honest_data = merge_honest(shards, faults);
 
-  util::Rng master(config.seed);
-  std::vector<util::Rng> agent_rng;
-  agent_rng.reserve(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i) agent_rng.push_back(master.split());
+  // The engine owns the round machinery: per-agent rng streams, the pool,
+  // the payload/ingest double-buffer and the scenario plan.  Every agent
+  // owns its stream, gradient scratch, momentum buffer and batch row, so
+  // the series is bit-identical at every thread count.
+  engine::RoundEngine eng(faulty_mask(faults), model.param_dim(),
+                          engine::RoundEngineConfig{config.seed, config.agg_threads,
+                                                    config.agg_mode, config.axes});
+  eng.reset(config.f);
+  if (config.observer) eng.set_observer(config.observer);
 
   DsgdSeries series;
   Vector params = initial_params;
@@ -76,47 +88,40 @@ DsgdSeries run_dsgd(const Model& model, const Vector& initial_params,
   };
   evaluate(0);
 
-  // Per-round messages land in one contiguous batch (row i = agent i) and
-  // the filter reuses a persistent workspace — no per-iteration allocation
-  // in the aggregation path.  With agg_threads > 1 a persistent pool
-  // parallelizes the per-agent gradient phase: every agent owns its rng
-  // stream, gradient scratch, momentum buffer and batch row, so the series
-  // is bit-identical at every thread count.
-  const int threads = std::max(1, config.agg_threads);
-  // ThreadPool(1) spawns no workers and dispatches directly, so the pool is
-  // constructed unconditionally and every phase runs through it.
-  agg::ThreadPool pool(threads);
-  agg::GradientBatch round_batch(static_cast<int>(shards.size()), model.param_dim());
-  agg::AggregatorWorkspace workspace;
-  workspace.parallel_threads = threads;
-  workspace.pool = &pool;
-  workspace.mode = config.agg_mode;
   Vector filtered;
   std::vector<Vector> momenta(shards.size(), Vector(model.param_dim()));
   std::vector<Vector> grads(shards.size(), Vector(model.param_dim()));
   for (int t = 1; t <= config.iterations; ++t) {
-    pool.parallel_for(0, static_cast<int>(shards.size()), threads, [&](int begin, int end) {
-      for (int a = begin; a < end; ++a) {
-        const auto i = static_cast<std::size_t>(a);
-        Vector& grad = grads[i];
-        const auto batch =
-            sample_batch(agent_rng[i], effective[i].num_examples(), config.batch_size);
-        model.loss(params, effective[i], batch, &grad);
-        if (config.momentum > 0.0) {
-          // Worker momentum: the message is the agent's running average,
-          // which shrinks the honest variance the filter must tolerate.
-          momenta[i] *= config.momentum;
-          momenta[i].add_scaled(1.0 - config.momentum, grad);
-          grad = momenta[i];
-        }
-        if (faults[i] == AgentFault::kGradientReverse) grad *= -1.0;
-        round_batch.set_row(a, grad);
+    eng.begin_round(t);
+    eng.emit_present([&](int agent, std::span<double> out) {
+      const auto i = static_cast<std::size_t>(agent);
+      Vector& grad = grads[i];
+      const auto batch =
+          sample_batch(eng.agent_rng(agent), effective[i].num_examples(), config.batch_size);
+      model.loss(params, effective[i], batch, &grad);
+      if (config.momentum > 0.0) {
+        // Worker momentum: the message is the agent's running average,
+        // which shrinks the honest variance the filter must tolerate.
+        momenta[i] *= config.momentum;
+        momenta[i].add_scaled(1.0 - config.momentum, grad);
+        grad = momenta[i];
       }
+      if (faults[i] == AgentFault::kGradientReverse) grad *= -1.0;
+      const auto src = grad.coefficients();
+      std::copy(src.begin(), src.end(), out.begin());
     });
-    aggregator.aggregate_into(filtered, round_batch, config.f, workspace);
-    params.add_scaled(-config.step_size, filtered);
+    // No transport layer: every non-straggled message reaches the server.
+    eng.deliver([](int /*agent*/, std::span<const double> payload, std::span<double> dst) {
+      std::copy(payload.begin(), payload.end(), dst.begin());
+      return true;
+    });
+    if (eng.aggregate(aggregator, filtered)) {
+      eng.notify(t, params, filtered);
+      params.add_scaled(-config.step_size, filtered);
+    }
     if (t % config.eval_interval == 0 || t == config.iterations) evaluate(t);
   }
+  series.departed_agents = eng.departed_count();
   series.final_params = std::move(params);
   return series;
 }

@@ -3,12 +3,23 @@
 // shard per iteration; faulty agents either train on label-flipped data
 // (data-level fault) or corrupt their gradient through a FaultModel
 // (message-level fault, e.g. gradient-reverse).
+//
+// The round machinery (per-agent rng streams, thread pool, batch
+// double-buffer, scenario axes) is the shared engine::RoundEngine; this
+// driver supplies the mini-batch gradient producer and the constant-step
+// update rule.  Under the axes: a non-participating agent skips the round
+// entirely (its batch-sampling stream does not advance); a straggler samples
+// and computes (stream advances, momentum updates) but its message misses
+// the round; churned agents leave for good (a faulty departure shrinks the
+// usable f).
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "abft/agg/aggregator.hpp"
 #include "abft/attack/fault.hpp"
+#include "abft/engine/round_engine.hpp"
 #include "abft/learn/model.hpp"
 
 namespace abft::learn {
@@ -43,6 +54,13 @@ struct DsgdConfig {
   /// bit-parity with the span path, fast enables the relaxed-parity
   /// vectorized kernels.
   agg::AggMode agg_mode = agg::AggMode::exact;
+  /// Round-perturbation axes (engine/axes.hpp).  The driver's round counter
+  /// is 1-based (t = 1..iterations), so churn at round r <= 1 fires before
+  /// the first update.  Defaults are a no-op (bit-identical run).
+  engine::ScenarioAxes axes;
+  /// Optional per-round hook (t, params, filtered gradient), invoked before
+  /// the update — the engine's observer, exposed for scenario tooling.
+  engine::RoundObserver observer;
 };
 
 struct DsgdSeries {
@@ -50,6 +68,8 @@ struct DsgdSeries {
   std::vector<double> train_loss;     // honest-shard cross-entropy
   std::vector<double> test_accuracy;  // on the held-out test set
   Vector final_params;
+  /// Agents that left mid-run via the churn axis.
+  int departed_agents = 0;
 };
 
 /// Runs D-SGD.  `shards[i]` is agent i's local data; `faults[i]` its

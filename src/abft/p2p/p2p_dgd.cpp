@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <functional>
 
-#include "abft/agg/threads.hpp"
+#include "abft/engine/round_engine.hpp"
 #include "abft/p2p/dolev_strong.hpp"
 #include "abft/util/check.hpp"
 
@@ -15,7 +15,8 @@ namespace {
 /// Byzantine broadcast from `source` holding `value` and hands node i's
 /// decided value to sink(i, source, decided); it returns the message count.
 /// The sink writes straight into the receiving node's decision-batch row
-/// (row = source), so the round loop never stages messages in vectors.
+/// (row = the source's delivery slot of the round), so the round loop never
+/// stages messages in vectors.
 using DecisionSink =
     std::function<void(int node, int source, std::span<const double> decided)>;
 using BroadcastFn = std::function<long(int source, std::span<const double> value, int round,
@@ -30,10 +31,14 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   ABFT_REQUIRE(config.iterations >= 0, "iterations must be non-negative");
   ABFT_REQUIRE(config.x0.dim() == config.box.dim(), "x0/box dimension mismatch");
 
-  util::Rng master(config.seed);
-  std::vector<util::Rng> agent_rng;
-  agent_rng.reserve(roster.size());
-  for (std::size_t i = 0; i < roster.size(); ++i) agent_rng.push_back(master.split());
+  const int dim = config.box.dim();
+  // Shared round machinery: per-agent rng streams, the pool, membership /
+  // fault-bound bookkeeping and the scenario plan.  The p2p-specific
+  // broadcast fan-out and per-node filter state stay in this driver.
+  engine::RoundEngine eng(sim::faulty_mask(roster), dim,
+                          engine::RoundEngineConfig{config.seed, config.agg_threads,
+                                                    config.agg_mode, config.axes});
+  eng.reset(config.f);
 
   P2pDgdResult result;
   std::vector<int> honest_slot(roster.size(), -1);
@@ -55,21 +60,15 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
     result.traces[k].estimates.push_back(estimates[k]);
   }
 
-  const int dim = config.box.dim();
-  const int threads = std::max(1, config.agg_threads);
-  // ThreadPool(1) spawns no workers and dispatches directly, so the pool is
-  // constructed unconditionally and every phase runs through it.
-  agg::ThreadPool pool(threads);
-
   // Persistent double-buffered round state.  honest_batch holds the honest
   // gradients of the round (row k = honest node k) — the source values for
   // honest broadcasters and the omniscient adversary's view.  source_batch
   // holds the values faulty sources inject.  Each honest node owns a
-  // decision batch (row s = the value the broadcast from source s decided on
-  // that node) plus its own filter workspace and output, so the per-node
-  // filter loop parallelizes with zero sharing; the per-node aggregation
-  // itself is a pure function of the decided multiset, so traces are
-  // bit-identical at every thread count.
+  // decision batch (row s = the value the round's s-th delivered source
+  // decided on that node) plus its own filter workspace and output, so the
+  // per-node filter loop parallelizes with zero sharing; the per-node
+  // aggregation itself is a pure function of the decided multiset, so
+  // traces are bit-identical at every thread count.
   agg::GradientBatch honest_batch(h, dim);
   // Faulty sources stage their injected value in a row of their own; honest
   // sources broadcast straight from their honest_batch row, so the staging
@@ -82,10 +81,6 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
     }
   }
   agg::GradientBatch source_batch(std::max(1, num_faulty), dim);
-  // Identity row indices: HonestRowsView is always index-based (see
-  // fault.hpp on why a dense fast path would break bit parity).
-  std::vector<int> honest_row_ids(static_cast<std::size_t>(h));
-  for (int k = 0; k < h; ++k) honest_row_ids[static_cast<std::size_t>(k)] = k;
   std::vector<agg::GradientBatch> node_batches(static_cast<std::size_t>(h));
   std::vector<agg::AggregatorWorkspace> node_workspaces(static_cast<std::size_t>(h));
   std::vector<linalg::Vector> node_filtered(static_cast<std::size_t>(h));
@@ -93,68 +88,146 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   for (auto& batch : node_batches) batch.reshape(n, dim);
   std::vector<long> source_messages(static_cast<std::size_t>(n), 0);
 
-  const attack::HonestRowsView honest_view(honest_batch.data(), dim, honest_row_ids);
-  const DecisionSink sink = [&honest_slot, &node_batches](int node, int source,
-                                                          std::span<const double> decided) {
-    const int slot = honest_slot[static_cast<std::size_t>(node)];
-    if (slot >= 0) node_batches[static_cast<std::size_t>(slot)].set_row(source, decided);
-  };
+  // Per-round rosters.  round_honest holds the honest slots computing this
+  // round (the omniscient adversary's view indexes honest_batch by these
+  // rows — identity when every axis is off); round_faulty the present
+  // faulty sources (they pick their message whether or not it straggles);
+  // sources holds the delivered broadcasters of the round, and source_slot
+  // their decision-batch rows.
+  std::vector<int> round_honest;
+  round_honest.reserve(static_cast<std::size_t>(h));
+  std::vector<int> round_faulty;
+  round_faulty.reserve(roster.size());
+  std::vector<int> sources;
+  sources.reserve(roster.size());
+  std::vector<int> source_slot(roster.size(), -1);
 
   for (int t = 0; t < config.iterations; ++t) {
-    // Phase 1: honest gradients, computed on each honest node's own estimate
-    // and written straight into the honest batch rows (parallel over nodes).
-    pool.parallel_for(0, h, threads, [&](int begin, int end) {
-      for (int k = begin; k < end; ++k) {
+    eng.begin_round(t);
+
+    // Phase 1: honest gradients, computed on each present honest node's own
+    // estimate and written straight into the honest batch rows (parallel
+    // over nodes).  A straggling node still computes (its message is late,
+    // not missing); a non-participating node skips the round entirely.
+    round_honest.clear();
+    for (int k = 0; k < h; ++k) {
+      if (eng.is_present(result.honest_nodes[static_cast<std::size_t>(k)])) {
+        round_honest.push_back(k);
+      }
+    }
+    eng.parallel(static_cast<int>(round_honest.size()), [&](int begin, int end) {
+      for (int u = begin; u < end; ++u) {
+        const int k = round_honest[static_cast<std::size_t>(u)];
         const auto& spec =
             roster[static_cast<std::size_t>(result.honest_nodes[static_cast<std::size_t>(k)])];
         spec.cost->gradient_into(estimates[static_cast<std::size_t>(k)], honest_batch.row(k));
       }
     });
+    // Identity row indices when all axes are off: HonestRowsView is always
+    // index-based (see fault.hpp on why a dense fast path would break bit
+    // parity between drivers).
+    const attack::HonestRowsView honest_view(honest_batch.data(), dim, round_honest);
 
-    // Phase 2: every agent broadcasts one value; the broadcast writes each
-    // honest node's decision straight into that node's batch row for this
-    // source.  Sources are independent (own rng stream, own source row, own
-    // decision rows, protocol rng derived from the per-source seed), so the
-    // phase parallelizes over sources without reordering any stream.
-    pool.parallel_for(0, n, threads, [&](int begin, int end) {
-      for (int source = begin; source < end; ++source) {
+    // Delivered broadcasters of the round: present members whose message
+    // makes the round's close.  Slot s of every node's decision batch holds
+    // the broadcast of sources[s].
+    sources.clear();
+    std::fill(source_slot.begin(), source_slot.end(), -1);
+    for (const int agent : eng.members()) {
+      if (!eng.is_present(agent) || eng.straggles(agent)) continue;
+      source_slot[static_cast<std::size_t>(agent)] = static_cast<int>(sources.size());
+      sources.push_back(agent);
+    }
+    const int kept = static_cast<int>(sources.size());
+    for (auto& batch : node_batches) batch.reshape(kept, dim);
+
+    const DecisionSink sink = [&honest_slot, &node_batches, &source_slot](
+                                  int node, int source, std::span<const double> decided) {
+      const int slot = honest_slot[static_cast<std::size_t>(node)];
+      if (slot >= 0) {
+        node_batches[static_cast<std::size_t>(slot)].set_row(
+            source_slot[static_cast<std::size_t>(source)], decided);
+      }
+    };
+
+    // Phase 2a: every PRESENT faulty source picks its message — a straggler
+    // computes and sends too, its message is merely late, so its rng stream
+    // advances exactly as in the server-based driver (the axis semantics
+    // are identical across drivers by contract).
+    round_faulty.clear();
+    for (const int agent : eng.members()) {
+      if (eng.is_present(agent) && !roster[static_cast<std::size_t>(agent)].is_honest()) {
+        round_faulty.push_back(agent);
+      }
+    }
+    eng.parallel(static_cast<int>(round_faulty.size()), [&](int begin, int end) {
+      for (int b = begin; b < end; ++b) {
+        const int source = round_faulty[static_cast<std::size_t>(b)];
         const auto& spec = roster[static_cast<std::size_t>(source)];
-        std::span<const double> value;
-        if (spec.is_honest()) {
-          value = honest_batch.row(honest_slot[static_cast<std::size_t>(source)]);
+        auto row = source_batch.row(faulty_slot[static_cast<std::size_t>(source)]);
+        if (spec.cost != nullptr) {
+          spec.cost->gradient_into(estimates.front(), row);
         } else {
-          auto row = source_batch.row(faulty_slot[static_cast<std::size_t>(source)]);
-          if (spec.cost != nullptr) {
-            spec.cost->gradient_into(estimates.front(), row);
-          } else {
-            std::fill(row.begin(), row.end(), 0.0);
-          }
-          const attack::RowAttackContext context{estimates.front(), row, honest_view, t};
-          const bool sent =
-              spec.fault->emit_into(row, context, agent_rng[static_cast<std::size_t>(source)]);
-          if (!sent) std::fill(row.begin(), row.end(), 0.0);
-          value = row;
+          std::fill(row.begin(), row.end(), 0.0);
         }
+        const attack::RowAttackContext context{estimates.front(), row, honest_view, t};
+        const bool sent = spec.fault->emit_into(row, context, eng.agent_rng(source));
+        if (!sent) std::fill(row.begin(), row.end(), 0.0);
+      }
+    });
+
+    // Phase 2b: every delivered source broadcasts its value; the broadcast
+    // writes each honest node's decision straight into that node's batch
+    // row for this source.  Sources are independent (own rng stream, own
+    // source row, own decision rows, protocol rng derived from the
+    // per-source seed), so the phase parallelizes over sources without
+    // reordering any stream.
+    eng.parallel(kept, [&](int begin, int end) {
+      for (int s = begin; s < end; ++s) {
+        const int source = sources[static_cast<std::size_t>(s)];
+        const auto& spec = roster[static_cast<std::size_t>(source)];
+        const std::span<const double> value =
+            spec.is_honest()
+                ? honest_batch.row(honest_slot[static_cast<std::size_t>(source)])
+                : source_batch.row(faulty_slot[static_cast<std::size_t>(source)]);
         source_messages[static_cast<std::size_t>(source)] = broadcast(source, value, t, sink);
       }
     });
-    for (int source = 0; source < n; ++source) {
-      result.broadcast_messages += source_messages[static_cast<std::size_t>(source)];
+    for (int s = 0; s < kept; ++s) {
+      result.broadcast_messages += source_messages[static_cast<std::size_t>(sources[static_cast<std::size_t>(s)])];
     }
 
-    // Phase 3: local filter + update on every honest node (parallel; each
-    // node owns its batch, workspace, filtered vector, estimate and trace).
-    pool.parallel_for(0, h, threads, [&](int begin, int end) {
-      for (int k = begin; k < end; ++k) {
-        const auto idx = static_cast<std::size_t>(k);
-        aggregator.aggregate_into(node_filtered[idx], node_batches[idx], config.f,
-                                  node_workspaces[idx]);
-        estimates[idx] = config.box.project(estimates[idx] -
-                                            config.schedule->step(t) * node_filtered[idx]);
+    // Phase 3: local filter + update on every present honest node
+    // (parallel; each node owns its batch, workspace, filtered vector,
+    // estimate and trace).  Straggling nodes still update — their outbound
+    // message lagged, not their inbound.  A churned node's trace stops
+    // growing; a round in which nobody broadcast holds position.
+    const int usable_f =
+        engine::usable_fault_bound(aggregator, config.f, eng.current_f(), kept, n);
+    eng.parallel(static_cast<int>(round_honest.size()), [&](int begin, int end) {
+      for (int u = begin; u < end; ++u) {
+        const auto idx = static_cast<std::size_t>(round_honest[static_cast<std::size_t>(u)]);
+        if (usable_f >= 0) {
+          aggregator.aggregate_into(node_filtered[idx], node_batches[idx], usable_f,
+                                    node_workspaces[idx]);
+          estimates[idx] = config.box.project(estimates[idx] -
+                                              config.schedule->step(t) * node_filtered[idx]);
+        }
         result.traces[idx].estimates.push_back(estimates[idx]);
       }
     });
+    // A sitting-out node holds position but still records, so traces stay
+    // time-aligned; only a churned node's trace stops growing.
+    for (int k = 0; k < h; ++k) {
+      const int node = result.honest_nodes[static_cast<std::size_t>(k)];
+      if (eng.is_member(node) && !eng.is_present(node)) {
+        const auto idx = static_cast<std::size_t>(k);
+        result.traces[idx].estimates.push_back(estimates[idx]);
+      }
+    }
   }
+  result.eliminated_agents = eng.eliminated_count();
+  result.departed_agents = eng.departed_count();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "abft/agg/aggregator.hpp"
+#include "abft/engine/axes.hpp"
 #include "abft/p2p/eig.hpp"
 #include "abft/sim/agent.hpp"
 #include "abft/sim/dgd.hpp"
@@ -32,13 +33,25 @@ struct P2pDgdConfig {
   /// agg/batch.hpp).  All honest nodes share one mode, so agreement among
   /// honest estimates is preserved in either mode.
   agg::AggMode agg_mode = agg::AggMode::exact;
+  /// Round-perturbation axes (engine/axes.hpp): a non-participating node
+  /// skips the round (no gradient, no broadcast, no update); a straggling
+  /// source's broadcast misses the round's close for every receiver (it
+  /// still computes and updates — its outbound message lagged, not its
+  /// inbound); churned agents leave for good and a churned honest node's
+  /// trace stops growing.  Defaults are a no-op (bit-identical run).
+  engine::ScenarioAxes axes;
 };
 
 struct P2pDgdResult {
   std::vector<int> honest_nodes;
-  /// traces[k] belongs to honest_nodes[k]; identical across k by agreement.
+  /// traces[k] belongs to honest_nodes[k]; identical across k by agreement
+  /// when every axis is off (partial participation breaks lockstep by
+  /// design).
   std::vector<sim::Trace> traces;
   long broadcast_messages = 0;
+  /// Agents eliminated by step S1 / departed via the churn axis.
+  int eliminated_agents = 0;
+  int departed_agents = 0;
 };
 
 /// Runs peer-to-peer DGD.  Faulty agents pick their gradient message with

@@ -1,0 +1,569 @@
+#include "abft/scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/attack/adaptive_faults.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/learn/softmax.hpp"
+#include "abft/opt/quadratic.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/p2p/p2p_dgd.hpp"
+#include "abft/regress/problem.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/check.hpp"
+
+namespace abft::scenario {
+
+namespace {
+
+using linalg::Vector;
+
+// ------------------------------- parsing ------------------------------------
+
+void require_known_keys(const util::JsonValue& object, std::string_view where,
+                        std::initializer_list<std::string_view> allowed) {
+  for (const auto& key : object.keys()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::ostringstream os;
+      os << "scenario: unknown key \"" << key << "\" in " << where;
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+int int_or(const util::JsonValue& object, std::string_view key, int fallback) {
+  return static_cast<int>(object.number_or(key, fallback));
+}
+
+/// JSON numbers are doubles: a seed above 2^53 would silently round, so a
+/// spec that needs one must fail loudly instead of running off a different
+/// seed than it states.
+std::uint64_t parse_seed(const util::JsonValue& json, std::string_view key, double fallback) {
+  const double value = json.number_or(key, fallback);
+  ABFT_REQUIRE(value >= 0.0 && value <= 9007199254740992.0 && value == std::floor(value),
+               "seeds in JSON must be integers in [0, 2^53] (doubles cannot carry more)");
+  return static_cast<std::uint64_t>(value);
+}
+
+engine::ScenarioAxes parse_axes(const util::JsonValue& json) {
+  require_known_keys(json, "axes",
+                     {"participation", "straggler_probability", "perturbation_seed", "churn"});
+  engine::ScenarioAxes axes;
+  axes.participation = json.number_or("participation", axes.participation);
+  axes.straggler_probability =
+      json.number_or("straggler_probability", axes.straggler_probability);
+  axes.perturbation_seed = parse_seed(json, "perturbation_seed", 0.0);
+  if (const auto* churn = json.find("churn")) {
+    for (const auto& event : churn->as_array()) {
+      require_known_keys(event, "churn event", {"round", "agent"});
+      axes.churn.push_back(engine::ChurnEvent{static_cast<int>(event.at("round").as_number()),
+                                              static_cast<int>(event.at("agent").as_number())});
+    }
+  }
+  return axes;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const util::JsonValue& json) {
+  require_known_keys(
+      json, "scenario",
+      {"name",       "driver",   "problem",          "aggregator",    "mode",
+       "iterations", "f",        "seed",             "threads",       "schedule",
+       "box_halfwidth", "x0",    "agents",           "num_agents",    "dim",
+       "faults",     "drop_probability",             "axes",          "batch_size",
+       "step_size",  "momentum", "eval_interval",    "dataset"});
+  ScenarioSpec spec;
+  spec.specified_keys = json.keys();
+  spec.name = json.string_or("name", "");
+  spec.driver = json.string_or("driver", spec.driver);
+  spec.problem = json.string_or("problem", "");
+  spec.aggregator = json.string_or("aggregator", spec.aggregator);
+  spec.mode = agg::agg_mode_from_string(json.string_or("mode", "exact"));
+  spec.iterations = int_or(json, "iterations", spec.iterations);
+  spec.f = int_or(json, "f", spec.f);
+  spec.seed = parse_seed(json, "seed", 1.0);
+  spec.threads = int_or(json, "threads", spec.threads);
+  if (const auto* schedule = json.find("schedule")) {
+    require_known_keys(*schedule, "schedule", {"kind", "scale", "power"});
+    spec.schedule.kind = schedule->string_or("kind", spec.schedule.kind);
+    spec.schedule.scale = schedule->number_or("scale", spec.schedule.scale);
+    spec.schedule.power = schedule->number_or("power", spec.schedule.power);
+  }
+  spec.box_halfwidth = json.number_or("box_halfwidth", spec.box_halfwidth);
+  if (const auto* x0 = json.find("x0")) {
+    if (x0->is_number()) {
+      spec.x0 = {x0->as_number()};
+    } else {
+      for (const auto& coord : x0->as_array()) spec.x0.push_back(coord.as_number());
+    }
+  }
+  if (const auto* agents = json.find("agents")) {
+    for (const auto& agent : agents->as_array()) {
+      spec.agents.push_back(static_cast<int>(agent.as_number()));
+    }
+  }
+  spec.num_agents = int_or(json, "num_agents", spec.num_agents);
+  spec.dim = int_or(json, "dim", spec.dim);
+  if (const auto* faults = json.find("faults")) {
+    for (const auto& fault : faults->as_array()) {
+      require_known_keys(fault, "fault", {"agent", "kind", "param"});
+      FaultSpec f;
+      f.agent = static_cast<int>(fault.at("agent").as_number());
+      f.kind = fault.at("kind").as_string();
+      f.param = fault.number_or("param", f.param);
+      spec.faults.push_back(std::move(f));
+    }
+  }
+  spec.drop_probability = json.number_or("drop_probability", spec.drop_probability);
+  if (const auto* axes = json.find("axes")) spec.axes = parse_axes(*axes);
+  spec.batch_size = int_or(json, "batch_size", spec.batch_size);
+  spec.step_size = json.number_or("step_size", spec.step_size);
+  spec.momentum = json.number_or("momentum", spec.momentum);
+  spec.eval_interval = int_or(json, "eval_interval", spec.eval_interval);
+  if (const auto* dataset = json.find("dataset")) {
+    require_known_keys(*dataset, "dataset",
+                       {"num_classes", "feature_dim", "examples_per_class", "prototype_scale",
+                        "noise_stddev"});
+    spec.dataset.num_classes = int_or(*dataset, "num_classes", spec.dataset.num_classes);
+    spec.dataset.feature_dim = int_or(*dataset, "feature_dim", spec.dataset.feature_dim);
+    spec.dataset.examples_per_class =
+        int_or(*dataset, "examples_per_class", spec.dataset.examples_per_class);
+    spec.dataset.prototype_scale =
+        dataset->number_or("prototype_scale", spec.dataset.prototype_scale);
+    spec.dataset.noise_stddev = dataset->number_or("noise_stddev", spec.dataset.noise_stddev);
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  return parse_scenario(util::parse_json_file(path));
+}
+
+namespace {
+
+// ---------------------------- fault factory ---------------------------------
+
+double param_or(const FaultSpec& spec, double fallback) {
+  return std::isnan(spec.param) ? fallback : spec.param;
+}
+
+/// Rejects spec keys the chosen driver would silently ignore — a spec whose
+/// intent cannot be honoured must fail loudly, not run a different
+/// experiment.
+void reject_inapplicable_keys(const ScenarioSpec& spec,
+                              std::initializer_list<std::string_view> inapplicable,
+                              std::string_view driver) {
+  for (const auto& key : spec.specified_keys) {
+    if (std::find(inapplicable.begin(), inapplicable.end(), key) != inapplicable.end()) {
+      std::ostringstream os;
+      os << "scenario: key \"" << key << "\" does not apply to the " << driver << " driver";
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+std::unique_ptr<attack::FaultModel> make_fault(const FaultSpec& spec) {
+  if (spec.kind == "gradient-reverse") return std::make_unique<attack::GradientReverseFault>();
+  if (spec.kind == "random") {
+    return std::make_unique<attack::RandomGaussianFault>(param_or(spec, 200.0));
+  }
+  if (spec.kind == "zero") return std::make_unique<attack::ZeroFault>();
+  if (spec.kind == "sign-flip-scale") {
+    return std::make_unique<attack::SignFlipScaleFault>(param_or(spec, 2.0));
+  }
+  if (spec.kind == "rotating") {
+    return std::make_unique<attack::RotatingFault>(param_or(spec, 10.0), 0.25);
+  }
+  if (spec.kind == "little-is-enough") {
+    return std::make_unique<attack::LittleIsEnoughFault>(param_or(spec, 1.2));
+  }
+  if (spec.kind == "mean-reverse") {
+    return std::make_unique<attack::MeanReverseFault>(param_or(spec, 1.0));
+  }
+  if (spec.kind == "mimic-smallest") return std::make_unique<attack::MimicSmallestFault>();
+  if (spec.kind == "silent") return std::make_unique<attack::SilentFault>();
+  throw std::invalid_argument("scenario: unknown fault kind \"" + spec.kind + "\"");
+}
+
+// --------------------------- workload assembly ------------------------------
+
+/// Everything a dgd/p2p run needs alive for its duration: the cost objects,
+/// the fault objects, the roster referencing both, and the closed-form
+/// honest reference when one exists.
+struct GradientWorkload {
+  // Owned problem state (exactly one of the two is populated).
+  std::unique_ptr<regress::RegressionProblem> regression;
+  std::vector<opt::SquaredDistanceCost> quadratic_costs;
+
+  std::vector<const opt::CostFunction*> costs;
+  std::vector<std::unique_ptr<attack::FaultModel>> faults;
+  std::vector<sim::AgentSpec> roster;
+  std::vector<int> honest;  // roster positions without a fault assignment
+  std::optional<Vector> reference;  // honest minimizer, when closed-form
+  int dim = 0;
+};
+
+GradientWorkload build_gradient_workload(const ScenarioSpec& spec) {
+  GradientWorkload w;
+  const std::string problem = spec.problem.empty() ? "paper_regression" : spec.problem;
+  std::set<int> faulty_positions;
+  for (const auto& fault : spec.faults) faulty_positions.insert(fault.agent);
+
+  if (problem == "paper_regression") {
+    // The Appendix-J instance has a fixed shape; a spec that sets
+    // num_agents/dim for it would run a different experiment than it
+    // states, so reject rather than ignore.
+    for (const auto& key : spec.specified_keys) {
+      ABFT_REQUIRE(key != "num_agents" && key != "dim",
+                   "paper_regression has a fixed shape (n = 6, d = 2); "
+                   "num_agents/dim apply to the quadratic problem");
+    }
+    ABFT_REQUIRE(spec.agents.empty() ||
+                     std::all_of(spec.agents.begin(), spec.agents.end(),
+                                 [](int a) { return 0 <= a && a < 6; }),
+                 "paper_regression agents must be in [0, 6)");
+    w.regression = std::make_unique<regress::RegressionProblem>(
+        regress::RegressionProblem::paper_instance());
+    w.costs = w.regression->costs(spec.agents);
+    w.dim = w.regression->dim();
+  } else if (problem == "quadratic") {
+    ABFT_REQUIRE(spec.num_agents > 0 && spec.dim > 0, "quadratic needs num_agents and dim > 0");
+    ABFT_REQUIRE(spec.agents.empty(), "the agents subset applies to paper_regression only");
+    // Deliberately irregular centers (evenly spaced centers create exact
+    // pairwise-distance ties and selection rules then flip on fp noise) —
+    // deterministic in the spec seed, independent of the driver streams.
+    util::Rng center_rng(spec.seed ^ 0x9ad5eedULL);
+    for (int i = 0; i < spec.num_agents; ++i) {
+      std::vector<double> center(static_cast<std::size_t>(spec.dim));
+      for (auto& c : center) c = 3.0 * center_rng.normal();
+      w.quadratic_costs.emplace_back(Vector(std::move(center)));
+    }
+    for (const auto& cost : w.quadratic_costs) w.costs.push_back(&cost);
+    w.dim = spec.dim;
+  } else {
+    throw std::invalid_argument("scenario: unknown gradient problem \"" + problem + "\"");
+  }
+
+  w.roster = sim::honest_roster(w.costs);
+  for (const auto& fault : spec.faults) {
+    ABFT_REQUIRE(0 <= fault.agent && fault.agent < static_cast<int>(w.roster.size()),
+                 "fault agent outside the roster");
+    w.faults.push_back(make_fault(fault));
+    sim::assign_fault(w.roster, fault.agent, *w.faults.back());
+  }
+  for (int i = 0; i < static_cast<int>(w.roster.size()); ++i) {
+    if (!faulty_positions.count(i)) w.honest.push_back(i);
+  }
+  ABFT_REQUIRE(!w.honest.empty(), "scenario needs at least one honest agent");
+
+  if (w.regression != nullptr) {
+    // Positions == problem agent ids when no subset was taken; map through
+    // the subset otherwise.
+    std::vector<int> honest_ids;
+    for (const int position : w.honest) {
+      honest_ids.push_back(spec.agents.empty() ? position
+                                               : spec.agents[static_cast<std::size_t>(position)]);
+    }
+    if (w.regression->subset_rank(honest_ids) == w.regression->dim()) {
+      w.reference = w.regression->subset_minimizer(honest_ids);
+    }
+  } else {
+    // argmin of sum ||x - c_i||^2 over the honest agents: their centroid.
+    Vector centroid(w.dim);
+    for (const int position : w.honest) {
+      centroid += w.quadratic_costs[static_cast<std::size_t>(position)].center();
+    }
+    centroid *= 1.0 / static_cast<double>(w.honest.size());
+    w.reference = centroid;
+  }
+  return w;
+}
+
+std::unique_ptr<opt::StepSchedule> make_schedule(const ScheduleSpec& spec) {
+  if (spec.kind == "harmonic") return std::make_unique<opt::HarmonicSchedule>(spec.scale);
+  if (spec.kind == "constant") return std::make_unique<opt::ConstantSchedule>(spec.scale);
+  if (spec.kind == "polynomial") {
+    return std::make_unique<opt::PolynomialSchedule>(spec.scale, spec.power);
+  }
+  throw std::invalid_argument("scenario: unknown schedule kind \"" + spec.kind + "\"");
+}
+
+Vector make_x0(const ScenarioSpec& spec, int dim) {
+  if (spec.x0.empty()) return Vector(dim);
+  if (spec.x0.size() == 1) {
+    return Vector(std::vector<double>(static_cast<std::size_t>(dim), spec.x0.front()));
+  }
+  ABFT_REQUIRE(static_cast<int>(spec.x0.size()) == dim, "x0 dimension mismatch");
+  return Vector(spec.x0);
+}
+
+double honest_cost_at(const GradientWorkload& w, const Vector& x) {
+  double total = 0.0;
+  for (const int position : w.honest) {
+    total += w.costs[static_cast<std::size_t>(position)]->value(x);
+  }
+  return total;
+}
+
+ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
+  reject_inapplicable_keys(
+      spec, {"batch_size", "step_size", "momentum", "eval_interval", "dataset"}, "dgd");
+  GradientWorkload w = build_gradient_workload(spec);
+  const auto schedule = make_schedule(spec.schedule);
+  const auto aggregator = agg::make_aggregator(spec.aggregator);
+  sim::DgdConfig config{make_x0(spec, w.dim),
+                        opt::Box::centered_cube(w.dim, spec.box_halfwidth),
+                        schedule.get(),
+                        spec.iterations,
+                        spec.f,
+                        spec.seed,
+                        spec.drop_probability,
+                        false,
+                        spec.threads,
+                        spec.mode,
+                        spec.axes};
+  sim::DgdSimulation simulation(std::move(w.roster), std::move(config));
+  ScenarioResult result;
+  result.spec = spec;
+  result.traces.push_back(simulation.run(*aggregator));
+  const auto& trace = result.traces.front();
+  result.final_cost = honest_cost_at(w, trace.final_estimate());
+  if (w.reference) {
+    result.distance_to_reference = linalg::distance(trace.final_estimate(), *w.reference);
+  }
+  result.eliminated_agents = trace.eliminated_agents;
+  result.departed_agents = trace.departed_agents;
+  result.messages_sent = simulation.network().messages_sent();
+  result.messages_dropped = simulation.network().messages_dropped();
+  return result;
+}
+
+ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
+  reject_inapplicable_keys(spec,
+                           {"batch_size", "step_size", "momentum", "eval_interval", "dataset",
+                            "drop_probability"},
+                           "p2p");
+  GradientWorkload w = build_gradient_workload(spec);
+  const auto schedule = make_schedule(spec.schedule);
+  const auto aggregator = agg::make_aggregator(spec.aggregator);
+  p2p::P2pDgdConfig config{make_x0(spec, w.dim),
+                           opt::Box::centered_cube(w.dim, spec.box_halfwidth),
+                           schedule.get(),
+                           spec.iterations,
+                           spec.f,
+                           spec.seed,
+                           spec.threads,
+                           spec.mode,
+                           spec.axes};
+  const auto outcome = authenticated
+                           ? p2p::run_p2p_dgd_authenticated(w.roster, config, *aggregator)
+                           : p2p::run_p2p_dgd(w.roster, config, *aggregator);
+  ScenarioResult result;
+  result.spec = spec;
+  result.traces = outcome.traces;
+  result.honest_nodes = outcome.honest_nodes;
+  result.final_cost = honest_cost_at(w, result.traces.front().final_estimate());
+  if (w.reference) {
+    result.distance_to_reference =
+        linalg::distance(result.traces.front().final_estimate(), *w.reference);
+  }
+  result.eliminated_agents = outcome.eliminated_agents;
+  result.departed_agents = outcome.departed_agents;
+  result.broadcast_messages = outcome.broadcast_messages;
+  return result;
+}
+
+ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
+  reject_inapplicable_keys(
+      spec, {"schedule", "box_halfwidth", "x0", "agents", "drop_probability", "dim"}, "dsgd");
+  const std::string problem = spec.problem.empty() ? "synthetic" : spec.problem;
+  ABFT_REQUIRE(problem == "synthetic", "dsgd supports the synthetic problem only");
+  ABFT_REQUIRE(spec.num_agents > 0, "dsgd needs num_agents > 0");
+  // Derived, documented sub-streams so one spec seed pins the whole run.
+  util::Rng data_rng(spec.seed ^ 0xda7aULL);
+  const auto full = learn::make_synthetic(spec.dataset, data_rng);
+  util::Rng split_rng(spec.seed ^ 0x51D17ULL);
+  auto split = learn::split_train_test(full, 0.2, split_rng);
+  util::Rng shard_rng(spec.seed ^ 0x54a2dULL);
+  const auto shards = learn::shard(split.train, spec.num_agents, shard_rng);
+
+  std::vector<learn::AgentFault> faults(static_cast<std::size_t>(spec.num_agents),
+                                        learn::AgentFault::kHonest);
+  for (const auto& fault : spec.faults) {
+    ABFT_REQUIRE(0 <= fault.agent && fault.agent < spec.num_agents,
+                 "fault agent outside the roster");
+    if (fault.kind == "label-flip") {
+      faults[static_cast<std::size_t>(fault.agent)] = learn::AgentFault::kLabelFlip;
+    } else if (fault.kind == "gradient-reverse") {
+      faults[static_cast<std::size_t>(fault.agent)] = learn::AgentFault::kGradientReverse;
+    } else {
+      throw std::invalid_argument("scenario: dsgd fault kind must be label-flip or "
+                                  "gradient-reverse, got \"" +
+                                  fault.kind + "\"");
+    }
+  }
+
+  const learn::SoftmaxRegression model(split.train.feature_dim(), split.train.num_classes);
+  learn::DsgdConfig config;
+  config.iterations = spec.iterations;
+  config.batch_size = spec.batch_size;
+  config.step_size = spec.step_size;
+  config.f = spec.f;
+  config.eval_interval = spec.eval_interval;
+  config.momentum = spec.momentum;
+  config.seed = spec.seed;
+  config.agg_threads = spec.threads;
+  config.agg_mode = spec.mode;
+  config.axes = spec.axes;
+  const auto aggregator = agg::make_aggregator(spec.aggregator);
+  ScenarioResult result;
+  result.spec = spec;
+  result.series = learn::run_dsgd(model, Vector(model.param_dim()), shards, faults, split.test,
+                                  *aggregator, config);
+  result.final_cost = result.series->train_loss.back();
+  result.departed_agents = result.series->departed_agents;
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ABFT_REQUIRE(spec.iterations >= 0, "iterations must be non-negative");
+  if (spec.driver == "dgd") return run_dgd_scenario(spec);
+  if (spec.driver == "dsgd") return run_dsgd_scenario(spec);
+  if (spec.driver == "p2p") return run_p2p_scenario(spec, false);
+  if (spec.driver == "p2p_auth") return run_p2p_scenario(spec, true);
+  throw std::invalid_argument("scenario: unknown driver \"" + spec.driver + "\"");
+}
+
+namespace {
+
+void write_number(std::ostream& os, double value) {
+  std::ostringstream buffer;
+  buffer.precision(12);
+  buffer << value;
+  os << buffer.str();
+}
+
+/// JSON string literal with the mandatory escapes (the name field is
+/// free-form user text).
+void write_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_result_json(const ScenarioResult& result, std::ostream& os) {
+  os << "{\n";
+  os << "  \"name\": ";
+  write_string(os, result.spec.name);
+  os << ",\n";
+  os << "  \"driver\": ";
+  write_string(os, result.spec.driver);
+  os << ",\n";
+  os << "  \"aggregator\": ";
+  write_string(os, result.spec.aggregator);
+  os << ",\n";
+  os << "  \"mode\": \"" << agg::to_string(result.spec.mode) << "\",\n";
+  os << "  \"iterations\": " << result.spec.iterations << ",\n";
+  os << "  \"final_cost\": ";
+  write_number(os, result.final_cost);
+  os << ",\n";
+  if (result.distance_to_reference) {
+    os << "  \"distance_to_reference\": ";
+    write_number(os, *result.distance_to_reference);
+    os << ",\n";
+  }
+  os << "  \"eliminated_agents\": " << result.eliminated_agents << ",\n";
+  os << "  \"departed_agents\": " << result.departed_agents << ",\n";
+  if (result.series) {
+    const auto& series = *result.series;
+    os << "  \"final_train_loss\": ";
+    write_number(os, series.train_loss.back());
+    os << ",\n  \"final_test_accuracy\": ";
+    write_number(os, series.test_accuracy.back());
+    os << ",\n  \"evaluations\": " << series.eval_iterations.size() << "\n";
+  } else {
+    const auto& estimate = result.traces.front().final_estimate();
+    os << "  \"trace_length\": " << result.traces.front().estimates.size() << ",\n";
+    if (!result.honest_nodes.empty()) {
+      os << "  \"honest_nodes\": " << result.honest_nodes.size() << ",\n";
+      os << "  \"broadcast_messages\": " << result.broadcast_messages << ",\n";
+    } else {
+      os << "  \"messages_sent\": " << result.messages_sent << ",\n";
+      os << "  \"messages_dropped\": " << result.messages_dropped << ",\n";
+    }
+    os << "  \"final_estimate\": [";
+    for (int k = 0; k < estimate.dim(); ++k) {
+      if (k > 0) os << ", ";
+      write_number(os, estimate[k]);
+    }
+    os << "]\n";
+  }
+  os << "}\n";
+}
+
+void print_result(const ScenarioResult& result, std::ostream& os) {
+  os << "scenario: " << (result.spec.name.empty() ? "(unnamed)" : result.spec.name) << "\n"
+     << "  driver " << result.spec.driver << ", rule " << result.spec.aggregator << " ("
+     << agg::to_string(result.spec.mode) << "), " << result.spec.iterations
+     << " iterations, f = " << result.spec.f << ", seed = " << result.spec.seed << "\n";
+  if (result.spec.axes.enabled()) {
+    os << "  axes: participation " << result.spec.axes.participation << ", straggler "
+       << result.spec.axes.straggler_probability << ", churn events "
+       << result.spec.axes.churn.size() << "\n";
+  }
+  os << "  final honest cost " << result.final_cost;
+  if (result.distance_to_reference) {
+    os << ", distance to honest minimizer " << *result.distance_to_reference;
+  }
+  os << "\n  eliminated " << result.eliminated_agents << ", departed "
+     << result.departed_agents;
+  if (!result.honest_nodes.empty()) {
+    os << ", honest nodes " << result.honest_nodes.size() << ", broadcast messages "
+       << result.broadcast_messages;
+  } else if (!result.series) {
+    os << ", messages " << result.messages_sent << " (dropped " << result.messages_dropped
+       << ")";
+  }
+  os << "\n";
+  if (result.series) {
+    os << "  final train loss " << result.series->train_loss.back() << ", test accuracy "
+       << 100.0 * result.series->test_accuracy.back() << "%\n";
+  }
+}
+
+void write_trace_csv(const ScenarioResult& result, std::ostream& os) {
+  ABFT_REQUIRE(!result.traces.empty(), "no trace to export (dsgd runs have series instead)");
+  result.traces.front().write_csv(os);
+}
+
+}  // namespace abft::scenario

@@ -1,0 +1,138 @@
+// Declarative scenarios: one JSON (or programmatic) spec composes a problem,
+// a roster with faults, an aggregation rule and mode, a step schedule, and
+// the engine's round-perturbation axes — and runs on any of the three
+// drivers (server-based DGD, D-SGD, peer-to-peer DGD).  The spec layer is
+// what turns "add a scenario" from a fourth hand-written round loop into a
+// config file: the fig2/fig3/table1 reproductions, the CI smoke goldens and
+// the abft_run CLI all execute through run_scenario().
+//
+// Spec schema (all keys optional unless noted; defaults in parentheses):
+//   name                  free-form label ("")
+//   driver                "dgd" | "dsgd" | "p2p" | "p2p_auth"       ("dgd")
+//   problem               dgd/p2p: "paper_regression" | "quadratic"
+//                         dsgd: "synthetic"         (driver's natural one)
+//   aggregator            registry rule name                       ("cwtm")
+//   mode                  "exact" | "fast"                        ("exact")
+//   iterations, f, seed, threads
+//   schedule              {"kind": "harmonic"|"constant"|"polynomial",
+//                          "scale": s, "power": p}      (harmonic, 1.5)
+//   box_halfwidth         W = [-w, w]^d                            (1000)
+//   x0                    array of d numbers, or a single number
+//                         broadcast to every coordinate            (zeros)
+//   agents                paper_regression only: roster subset       (all)
+//   num_agents, dim       quadratic roster shape                   (7, 2)
+//   faults                [{"agent": i, "kind": k, "param": x}, ...]
+//       dgd/p2p kinds: gradient-reverse, random (param = stddev, 200),
+//         zero, sign-flip-scale (param = kappa, 2), rotating (param =
+//         magnitude, 10), little-is-enough (param = z, 1.2), mean-reverse
+//         (param = scale, 1), mimic-smallest, silent
+//       dsgd kinds: label-flip, gradient-reverse
+//   drop_probability      dgd network crash injection                (0)
+//   axes                  {"participation": p, "straggler_probability": q,
+//                          "perturbation_seed": s,
+//                          "churn": [{"round": r, "agent": i}, ...]}
+//   dsgd knobs            batch_size (32), step_size (0.01), momentum (0),
+//                         eval_interval (25), dataset {num_classes (3),
+//                         feature_dim (6), examples_per_class (30),
+//                         noise_stddev (0.3)}
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abft/agg/batch.hpp"
+#include "abft/engine/axes.hpp"
+#include "abft/learn/dsgd.hpp"
+#include "abft/sim/trace.hpp"
+#include "abft/util/json.hpp"
+
+namespace abft::scenario {
+
+struct FaultSpec {
+  int agent = 0;
+  std::string kind;
+  /// Kind-specific knob (stddev / kappa / z / scale ...); NaN = kind default.
+  double param = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct ScheduleSpec {
+  std::string kind = "harmonic";  // harmonic | constant | polynomial
+  double scale = 1.5;
+  double power = 1.0;  // polynomial only
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string driver = "dgd";  // dgd | dsgd | p2p | p2p_auth
+  std::string problem;         // "" = the driver's natural problem
+  std::string aggregator = "cwtm";
+  agg::AggMode mode = agg::AggMode::exact;
+  int iterations = 100;
+  int f = 0;
+  std::uint64_t seed = 1;
+  int threads = 1;
+  ScheduleSpec schedule;
+  double box_halfwidth = 1000.0;
+  /// Start estimate: empty = zeros; one entry = broadcast to all coords.
+  std::vector<double> x0;
+  /// paper_regression only: the roster subset to run on (empty = all).
+  std::vector<int> agents;
+  int num_agents = 7;  // quadratic / synthetic roster size
+  int dim = 2;         // quadratic dimension
+  std::vector<FaultSpec> faults;
+  double drop_probability = 0.0;
+  engine::ScenarioAxes axes;
+
+  // D-SGD knobs.
+  int batch_size = 32;
+  double step_size = 0.01;
+  double momentum = 0.0;
+  int eval_interval = 25;
+  learn::SyntheticOptions dataset{3, 6, 30, 1.0, 0.3};
+
+  /// Top-level keys the spec actually set (filled by parse_scenario) — lets
+  /// run_scenario reject keys the chosen driver would silently ignore.
+  std::vector<std::string> specified_keys;
+};
+
+/// Parses a spec object; throws std::invalid_argument naming unknown keys,
+/// unknown enum spellings and malformed sections.
+ScenarioSpec parse_scenario(const util::JsonValue& json);
+ScenarioSpec load_scenario_file(const std::string& path);
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  /// dgd: one trace; p2p: one per honest node (honest_nodes parallel).
+  std::vector<sim::Trace> traces;
+  std::vector<int> honest_nodes;
+  /// dsgd only.
+  std::optional<learn::DsgdSeries> series;
+
+  /// Honest aggregate cost at the final estimate (dgd/p2p: node 0's trace;
+  /// dsgd: final train loss).
+  double final_cost = 0.0;
+  /// ||x_T - x_H|| against the closed-form honest minimizer (dgd/p2p).
+  std::optional<double> distance_to_reference;
+  int eliminated_agents = 0;
+  int departed_agents = 0;
+  long broadcast_messages = 0;  // p2p
+  long messages_sent = 0;       // dgd network
+  long messages_dropped = 0;
+};
+
+/// Builds the workload named by the spec and runs it on the spec's driver.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Machine-readable one-object summary (stable keys; used by the CI smoke
+/// goldens and scripts/compare_scenario.py).
+void write_result_json(const ScenarioResult& result, std::ostream& os);
+
+/// Human-readable summary table.
+void print_result(const ScenarioResult& result, std::ostream& os);
+
+/// Full estimate trace as CSV (t, x[0..d-1]); dgd/p2p only.
+void write_trace_csv(const ScenarioResult& result, std::ostream& os);
+
+}  // namespace abft::scenario

@@ -37,4 +37,10 @@ std::vector<int> byzantine_indices(std::span<const AgentSpec> roster) {
   return out;
 }
 
+std::vector<unsigned char> faulty_mask(std::span<const AgentSpec> roster) {
+  std::vector<unsigned char> mask(roster.size(), 0);
+  for (std::size_t i = 0; i < roster.size(); ++i) mask[i] = roster[i].is_honest() ? 0 : 1;
+  return mask;
+}
+
 }  // namespace abft::sim

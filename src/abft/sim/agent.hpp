@@ -33,4 +33,7 @@ std::vector<int> honest_indices(std::span<const AgentSpec> roster);
 /// Indices of Byzantine agents in the roster.
 std::vector<int> byzantine_indices(std::span<const AgentSpec> roster);
 
+/// Per-slot Byzantine mask in the form engine::RoundEngine consumes.
+std::vector<unsigned char> faulty_mask(std::span<const AgentSpec> roster);
+
 }  // namespace abft::sim

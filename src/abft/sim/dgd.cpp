@@ -28,14 +28,10 @@ DgdSimulation::DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config)
                           std::span<double> out) {
     roster_[static_cast<std::size_t>(agent)].cost->gradient_into(estimate, out);
   };
-  // ThreadPool(1) spawns no workers and parallel_for degenerates to a
-  // direct call, so the pool is constructed unconditionally and every phase
-  // dispatches through it without a serial/parallel branch.
-  const int threads = std::max(1, config_.agg_threads);
-  pool_ = std::make_unique<agg::ThreadPool>(threads);
-  workspace_.parallel_threads = threads;
-  workspace_.pool = pool_.get();
-  workspace_.mode = config_.agg_mode;
+  engine_ = std::make_unique<engine::RoundEngine>(
+      faulty_mask(roster_), config_.box.dim(),
+      engine::RoundEngineConfig{config_.seed, config_.agg_threads, config_.agg_mode,
+                                config_.axes});
 }
 
 void DgdSimulation::set_honest_gradient_fn(HonestGradientFn fn) {
@@ -55,104 +51,54 @@ void DgdSimulation::set_honest_gradient_writer(HonestGradientWriter writer) {
   honest_writer_ = std::move(writer);
 }
 
-void DgdSimulation::set_observer(Observer observer) { observer_ = std::move(observer); }
+void DgdSimulation::set_observer(Observer observer) {
+  engine_->set_observer(std::move(observer));
+}
 
 Trace DgdSimulation::run(const agg::GradientAggregator& aggregator) {
-  const int dim = config_.box.dim();
-  util::Rng master(config_.seed);
-  // Independent stream per agent so behaviour is invariant to roster order
-  // (and to the thread count: each agent owns its stream outright).
-  std::vector<util::Rng> agent_rng;
-  agent_rng.reserve(roster_.size());
-  for (std::size_t i = 0; i < roster_.size(); ++i) agent_rng.push_back(master.split());
-
-  std::vector<int> active(roster_.size());
-  for (std::size_t i = 0; i < roster_.size(); ++i) active[i] = static_cast<int>(i);
-  std::vector<int> still_active;
-  still_active.reserve(roster_.size());
-  int current_f = config_.f;
+  engine_->reset(config_.f);
 
   Trace trace;
   trace.estimates.reserve(static_cast<std::size_t>(config_.iterations) + 1);
   Vector x = config_.box.project(config_.x0);
   trace.estimates.push_back(x);
 
-  const int threads = std::max(1, config_.agg_threads);
   for (int t = 0; t < config_.iterations; ++t) {
-    const int n_active = static_cast<int>(active.size());
-    payload_batch_.reshape(n_active, dim);
-    honest_rows_.clear();
-    faulty_rows_.clear();
-    for (int a = 0; a < n_active; ++a) {
-      const auto& spec = roster_[static_cast<std::size_t>(active[static_cast<std::size_t>(a)])];
-      (spec.is_honest() ? honest_rows_ : faulty_rows_).push_back(a);
-    }
-    silent_.assign(static_cast<std::size_t>(n_active), 0);
+    engine_->begin_round(t);
 
-    // Phase 1: honest replies, written straight into their payload rows
-    // (parallel over agents; omniscient faults read these rows in phase 2).
-    pool_->parallel_for(0, static_cast<int>(honest_rows_.size()), threads,
-                        [&](int begin, int end) {
-                          for (int h = begin; h < end; ++h) {
-                            const int a = honest_rows_[static_cast<std::size_t>(h)];
-                            honest_writer_(active[static_cast<std::size_t>(a)], x, t,
-                                           payload_batch_.row(a));
-                          }
-                        });
-
-    // Phase 2: Byzantine replies, mutated in place on their own rows.  The
-    // true gradient is materialized into the fault's row first, so emit_into
-    // sees it without any scratch allocation (the row may alias the output —
-    // part of the emit_into contract).
-    const attack::HonestRowsView honest_view(payload_batch_.data(), dim, honest_rows_);
-    pool_->parallel_for(
-        0, static_cast<int>(faulty_rows_.size()), threads, [&](int begin, int end) {
-          for (int b = begin; b < end; ++b) {
-            const int a = faulty_rows_[static_cast<std::size_t>(b)];
-            const int agent = active[static_cast<std::size_t>(a)];
-            const auto& spec = roster_[static_cast<std::size_t>(agent)];
-            auto row = payload_batch_.row(a);
-            if (spec.cost != nullptr) {
-              spec.cost->gradient_into(x, row);
-            } else {
-              std::fill(row.begin(), row.end(), 0.0);
-            }
-            const attack::RowAttackContext context{x, row, honest_view, t};
-            const bool sent =
-                spec.fault->emit_into(row, context, agent_rng[static_cast<std::size_t>(agent)]);
-            silent_[static_cast<std::size_t>(a)] = sent ? 0 : 1;
-          }
-        });
-
-    // Phase 3 (serial: the drop stream is ordered by agent): the network
-    // writes each delivered message into the next ingest row, compacting
-    // silent and dropped agents away by construction.
-    ingest_batch_.reshape(n_active, dim);
-    still_active.clear();
-    int kept = 0;
-    for (int a = 0; a < n_active; ++a) {
-      const int agent = active[static_cast<std::size_t>(a)];
-      std::span<const double> payload;
-      if (silent_[static_cast<std::size_t>(a)] == 0) payload = payload_batch_.row(a);
-      if (network_.transmit_row(agent, t, payload, ingest_batch_.row(kept))) {
-        ++kept;
-        still_active.push_back(agent);
+    // Produce: honest replies straight into their payload rows, then the
+    // Byzantine replies mutated in place (the true gradient is materialized
+    // into the fault's own row first, so emit_into sees it without scratch —
+    // the row may alias the output, part of the emit_into contract).
+    engine_->emit_honest([&](int agent, std::span<double> out) {
+      honest_writer_(agent, x, t, out);
+    });
+    engine_->emit_faulty([&](int agent, std::span<double> row,
+                             const attack::HonestRowsView& view) {
+      const auto& spec = roster_[static_cast<std::size_t>(agent)];
+      if (spec.cost != nullptr) {
+        spec.cost->gradient_into(x, row);
       } else {
-        // Step S1: a silent agent is necessarily faulty in a synchronous
-        // system — eliminate it and shrink both n and f.
-        ++trace.eliminated_agents;
-        current_f = std::max(0, current_f - 1);
+        std::fill(row.begin(), row.end(), 0.0);
       }
+      const attack::RowAttackContext context{x, row, view, t};
+      return spec.fault->emit_into(row, context, engine_->agent_rng(agent));
+    });
+
+    // Deliver: the network writes each surviving message into the next
+    // ingest row; undelivered messages eliminate the sender (step S1).
+    engine_->deliver([&](int agent, std::span<const double> payload, std::span<double> dst) {
+      return network_.transmit_row(agent, t, payload, dst);
+    });
+    trace.eliminated_agents = engine_->eliminated_count();
+    trace.departed_agents = engine_->departed_count();
+
+    // Filter + update; a round in which nothing was delivered (only possible
+    // under the straggler/participation axes) holds position.
+    if (engine_->aggregate(aggregator, filtered_)) {
+      engine_->notify(t, x, filtered_);
+      x = config_.box.project(x - config_.schedule->step(t) * filtered_);
     }
-    ingest_batch_.truncate_rows(kept);
-    std::swap(active, still_active);
-    ABFT_REQUIRE(!active.empty(), "every agent was eliminated");
-
-    const int usable_f = std::min(current_f, kept - 1);
-    aggregator.aggregate_into(filtered_, ingest_batch_, std::max(0, usable_f), workspace_);
-    if (observer_) observer_(t, x, filtered_);
-
-    x = config_.box.project(x - config_.schedule->step(t) * filtered_);
     trace.estimates.push_back(x);
   }
   return trace;

@@ -10,16 +10,14 @@
 // that omniscient fault models can observe them (the strongest adversary the
 // model admits).
 //
-// The round is fully batched and double-buffered: agents and fault injectors
-// write their messages straight into rows of a persistent payload batch (one
-// row per active agent; the honest rows double as the omniscient adversary's
-// view), and the network writes each delivered message into the next row of
-// a persistent ingest batch — silent and dropped messages are compacted away
-// by construction, and no std::vector<Vector> staging exists anywhere in the
-// loop.  With agg_threads > 1 a persistent thread pool parallelizes the
-// honest-gradient and fault-emission phases over agents (each agent owns its
-// row and its rng stream, so traces are bit-identical at every thread count)
-// and the coordinate/pair loops inside the filter kernels.
+// The round loop itself — double-buffered payload/ingest batches, thread-pool
+// dispatch, honest/faulty row partition, elimination and f bookkeeping, the
+// scenario axes (partial participation, stragglers, churn) — lives in the
+// shared engine::RoundEngine; this driver supplies only its policies: the
+// honest gradient producer, the FaultModel emission, the SyncNetwork
+// transport, and the projected-descent update rule.  With the axes at their
+// defaults the traces are bit-identical to the pre-engine driver at every
+// thread count.
 #pragma once
 
 #include <functional>
@@ -27,7 +25,7 @@
 #include <span>
 
 #include "abft/agg/aggregator.hpp"
-#include "abft/agg/threads.hpp"
+#include "abft/engine/round_engine.hpp"
 #include "abft/opt/box.hpp"
 #include "abft/opt/schedule.hpp"
 #include "abft/sim/agent.hpp"
@@ -58,13 +56,16 @@ struct DgdConfig {
   /// enables the relaxed-parity vectorized kernels (tolerance-bounded, see
   /// agg/batch.hpp).
   agg::AggMode agg_mode = agg::AggMode::exact;
+  /// Round-perturbation axes (engine/axes.hpp): partial participation,
+  /// straggler schedules, churn.  Defaults are a no-op (bit-identical run).
+  engine::ScenarioAxes axes;
 };
 
 class DgdSimulation {
  public:
   /// Called once per iteration with (t, x_t, filtered gradient) before the
   /// update — lets tests check the phi_t condition of Theorem 3 directly.
-  using Observer = std::function<void(int round, const Vector& estimate, const Vector& filtered)>;
+  using Observer = engine::RoundObserver;
 
   /// Computes an honest agent's reply; the default sends cost->gradient(x).
   /// The learning workload substitutes stochastic mini-batch gradients.
@@ -95,19 +96,11 @@ class DgdSimulation {
   DgdConfig config_;
   SyncNetwork network_;
   HonestGradientWriter honest_writer_;
-  Observer observer_;
 
-  // Persistent double-buffered round state: payload_batch_ is written by the
-  // agents and fault injectors, ingest_batch_ by the network; both reshape
-  // (never reallocate after the first round) as agents are eliminated.
-  std::unique_ptr<agg::ThreadPool> pool_;
-  agg::AggregatorWorkspace workspace_;
-  agg::GradientBatch payload_batch_;
-  agg::GradientBatch ingest_batch_;
+  /// Owns the round state: batches, pool, workspace, rng streams,
+  /// membership/elimination bookkeeping and the scenario plan.
+  std::unique_ptr<engine::RoundEngine> engine_;
   Vector filtered_;
-  std::vector<int> honest_rows_;
-  std::vector<int> faulty_rows_;
-  std::vector<unsigned char> silent_;
 };
 
 }  // namespace abft::sim

@@ -17,6 +17,9 @@ struct Trace {
   std::vector<Vector> estimates;
   /// Number of agents eliminated for staying silent (step S1).
   int eliminated_agents = 0;
+  /// Number of agents that left mid-run via the churn axis (not eliminated:
+  /// departures are scenario events, not S1 detections).
+  int departed_agents = 0;
 
   [[nodiscard]] const Vector& final_estimate() const;
 

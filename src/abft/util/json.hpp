@@ -1,0 +1,78 @@
+// Minimal JSON reader for the declarative scenario layer.  Self-contained
+// (the container bakes in no JSON dependency) and deliberately small: full
+// JSON syntax on input — objects, arrays, strings with the standard escapes,
+// numbers, booleans, null — with an ergonomic read-side API (typed accessors
+// with defaults, error messages carrying the offending key).  Insertion
+// order of object keys is preserved; duplicate keys keep the last value.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace abft::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed reads; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  // --- object navigation ---------------------------------------------------
+  /// Member lookup; nullptr when absent (or when this is not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Member lookup; throws naming the key when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Typed member reads with defaults for absent keys (kind mismatches
+  /// still throw, naming the key).
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+
+  /// All keys of an object, in insertion order (empty otherwise).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  // --- construction (parser + tests) ---------------------------------------
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double x);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing content
+/// not).  Throws std::invalid_argument with a line:column position on
+/// malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Reads and parses a JSON file; throws std::invalid_argument naming the
+/// path when the file cannot be read.
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace abft::util

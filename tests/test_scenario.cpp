@@ -1,0 +1,296 @@
+// The declarative scenario layer: JSON parsing (the self-contained reader in
+// util/json.hpp), spec validation, and — the load-bearing check — that a
+// spec-driven run is bit-identical to the same workload hand-assembled
+// against the driver API, for every driver the layer dispatches to.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "abft/agg/registry.hpp"
+#include "abft/attack/simple_faults.hpp"
+#include "abft/opt/schedule.hpp"
+#include "abft/regress/problem.hpp"
+#include "abft/scenario/scenario.hpp"
+#include "abft/sim/dgd.hpp"
+#include "abft/util/json.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Vector;
+
+// ------------------------------- util/json ----------------------------------
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const auto doc = util::parse_json(R"({
+    "text": "a\"b\\c\nA",
+    "yes": true, "no": false, "nothing": null,
+    "pi": 3.25, "negexp": -1.5e2,
+    "list": [1, 2, 3],
+    "nested": {"inner": [{"k": 7}]}
+  })");
+  EXPECT_EQ(doc.at("text").as_string(), "a\"b\\c\nA");
+  EXPECT_TRUE(doc.at("yes").as_bool());
+  EXPECT_FALSE(doc.at("no").as_bool());
+  EXPECT_TRUE(doc.at("nothing").is_null());
+  EXPECT_DOUBLE_EQ(doc.at("pi").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(doc.at("negexp").as_number(), -150.0);
+  ASSERT_EQ(doc.at("list").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("list").as_array()[2].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("nested").at("inner").as_array()[0].at("k").as_number(), 7.0);
+}
+
+TEST(Json, DefaultsAndErrors) {
+  const auto doc = util::parse_json(R"({"a": 1})");
+  EXPECT_DOUBLE_EQ(doc.number_or("a", 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(doc.string_or("missing", "dflt"), "dflt");
+  EXPECT_THROW(doc.at("missing"), std::invalid_argument);
+  EXPECT_THROW(doc.at("a").as_string(), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{\"a\": 1} trailing"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("[1, 2,,]"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json(""), std::invalid_argument);
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    util::parse_json("{\n  \"a\": tru\n}");
+    FAIL() << "expected a parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("2:"), std::string::npos) << error.what();
+  }
+}
+
+// ----------------------------- spec parsing ---------------------------------
+
+TEST(ScenarioSpec, ParsesFullSpec) {
+  const auto spec = scenario::parse_scenario(util::parse_json(R"({
+    "name": "demo", "driver": "p2p", "problem": "paper_regression",
+    "aggregator": "cge", "mode": "fast", "iterations": 40, "f": 1,
+    "seed": 5, "threads": 2,
+    "schedule": {"kind": "polynomial", "scale": 0.7, "power": 0.8},
+    "box_halfwidth": 10.0, "x0": [0.5, -0.5],
+    "faults": [{"agent": 0, "kind": "random", "param": 30.0}],
+    "axes": {"participation": 0.9, "straggler_probability": 0.05,
+             "perturbation_seed": 17, "churn": [{"round": 9, "agent": 2}]}
+  })"));
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.driver, "p2p");
+  EXPECT_EQ(spec.aggregator, "cge");
+  EXPECT_EQ(spec.mode, agg::AggMode::fast);
+  EXPECT_EQ(spec.iterations, 40);
+  EXPECT_EQ(spec.schedule.kind, "polynomial");
+  EXPECT_DOUBLE_EQ(spec.schedule.power, 0.8);
+  ASSERT_EQ(spec.x0.size(), 2u);
+  ASSERT_EQ(spec.faults.size(), 1u);
+  EXPECT_EQ(spec.faults[0].kind, "random");
+  EXPECT_DOUBLE_EQ(spec.faults[0].param, 30.0);
+  EXPECT_TRUE(spec.axes.enabled());
+  EXPECT_DOUBLE_EQ(spec.axes.participation, 0.9);
+  ASSERT_EQ(spec.axes.churn.size(), 1u);
+  EXPECT_EQ(spec.axes.churn[0].round, 9);
+}
+
+TEST(ScenarioSpec, RejectsKeysTheDriverWouldIgnore) {
+  // A dsgd spec carrying gradient-driver keys must fail loudly instead of
+  // silently running a different experiment (and vice versa).
+  auto dsgd = scenario::parse_scenario(util::parse_json(
+      R"({"driver": "dsgd", "iterations": 5, "schedule": {"kind": "constant", "scale": 0.5}})"));
+  EXPECT_THROW(scenario::run_scenario(dsgd), std::invalid_argument);
+  auto dgd = scenario::parse_scenario(
+      util::parse_json(R"({"driver": "dgd", "iterations": 5, "batch_size": 16})"));
+  EXPECT_THROW(scenario::run_scenario(dgd), std::invalid_argument);
+  auto p2p = scenario::parse_scenario(
+      util::parse_json(R"({"driver": "p2p", "iterations": 5, "drop_probability": 0.5})"));
+  EXPECT_THROW(scenario::run_scenario(p2p), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, UnsupportableDeclaredFFailsLoudly) {
+  // f = 3 on a 5-agent roster can never satisfy krum's n > 2f + 2 — the
+  // engine must NOT silently clamp a misconfigured spec; the rule's own
+  // precondition has to surface.
+  scenario::ScenarioSpec spec;
+  spec.driver = "dgd";
+  spec.problem = "quadratic";
+  spec.num_agents = 5;
+  spec.dim = 2;
+  spec.aggregator = "krum";
+  spec.iterations = 3;
+  spec.f = 3;
+  spec.seed = 2;
+  spec.schedule = {"harmonic", 0.4, 1.0};
+  EXPECT_THROW(scenario::run_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, BulyanThinRoundHoldsPositionInsteadOfCrashing) {
+  // Valid at full strength (n = 7, f = 1 satisfies n >= 4f + 3), but churn
+  // shrinks delivery to 5 rows where Bulyan cannot run at any f — those
+  // rounds must hold position, not trip the selection-pool requirement.
+  scenario::ScenarioSpec spec;
+  spec.driver = "dgd";
+  spec.problem = "quadratic";
+  spec.num_agents = 7;
+  spec.dim = 2;
+  spec.aggregator = "bulyan";
+  spec.iterations = 8;
+  spec.f = 1;
+  spec.seed = 4;
+  spec.box_halfwidth = 30.0;
+  spec.schedule = {"harmonic", 0.4, 1.0};
+  spec.axes.churn = {{3, 1}, {3, 2}};
+  const auto result = scenario::run_scenario(spec);
+  ASSERT_EQ(result.traces.front().estimates.size(), 9u);
+  EXPECT_EQ(result.departed_agents, 2);
+  // Rounds 3+ hold: the estimate freezes after the churn event.
+  const auto& estimates = result.traces.front().estimates;
+  for (std::size_t t = 4; t < estimates.size(); ++t) {
+    EXPECT_EQ(estimates[t], estimates[3]) << "iteration " << t;
+  }
+  EXPECT_NE(estimates[3], estimates[0]);  // it did move before the churn
+}
+
+TEST(ScenarioSpec, ResultJsonEscapesFreeFormText) {
+  scenario::ScenarioSpec spec;
+  spec.name = "quo\"te back\\slash\nnewline";
+  spec.driver = "dgd";
+  spec.problem = "quadratic";
+  spec.num_agents = 4;
+  spec.aggregator = "average";
+  spec.iterations = 2;
+  spec.seed = 1;
+  spec.schedule = {"harmonic", 0.4, 1.0};
+  spec.box_halfwidth = 10.0;
+  const auto result = scenario::run_scenario(spec);
+  std::ostringstream json;
+  scenario::write_result_json(result, json);
+  const auto parsed = util::parse_json(json.str());
+  EXPECT_EQ(parsed.at("name").as_string(), spec.name);
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysAndEnums) {
+  EXPECT_THROW(scenario::parse_scenario(util::parse_json(R"({"agregator": "cwtm"})")),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_scenario(
+                   util::parse_json(R"({"axes": {"participatoin": 0.5}})")),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_scenario(util::parse_json(R"({"mode": "turbo"})")),
+               std::invalid_argument);
+  const auto bad_driver = scenario::parse_scenario(util::parse_json(R"({"driver": "mesh"})"));
+  EXPECT_THROW(scenario::run_scenario(bad_driver), std::invalid_argument);
+  auto bad_fault = scenario::parse_scenario(
+      util::parse_json(R"({"faults": [{"agent": 0, "kind": "gremlin"}]})"));
+  EXPECT_THROW(scenario::run_scenario(bad_fault), std::invalid_argument);
+}
+
+// ----------------------- spec-vs-driver bit parity ---------------------------
+
+TEST(ScenarioRun, DgdSpecMatchesHandBuiltDriverRun) {
+  // The scenario layer must add nothing and lose nothing: the same workload
+  // assembled by hand against DgdSimulation produces the identical trace.
+  scenario::ScenarioSpec spec;
+  spec.driver = "dgd";
+  spec.problem = "paper_regression";
+  spec.aggregator = "cwtm";
+  spec.iterations = 120;
+  spec.f = 1;
+  spec.seed = 2021;
+  spec.x0 = {-0.0085, -0.5643};
+  spec.schedule = {"harmonic", 1.5, 1.0};
+  spec.faults.push_back(scenario::FaultSpec{0, "gradient-reverse", 0.0});
+  const auto result = scenario::run_scenario(spec);
+
+  const auto problem = regress::RegressionProblem::paper_instance();
+  const opt::HarmonicSchedule schedule(1.5);
+  const attack::GradientReverseFault fault;
+  auto roster = sim::honest_roster(problem.costs());
+  sim::assign_fault(roster, 0, fault);
+  sim::DgdConfig config{Vector{-0.0085, -0.5643}, opt::Box::centered_cube(2, 1000.0),
+                        &schedule, 120, 1, 2021};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const auto aggregator = agg::make_aggregator("cwtm");
+  const auto direct = simulation.run(*aggregator);
+
+  ASSERT_EQ(result.traces.front().estimates.size(), direct.estimates.size());
+  for (std::size_t t = 0; t < direct.estimates.size(); ++t) {
+    ASSERT_EQ(result.traces.front().estimates[t], direct.estimates[t]) << "iteration " << t;
+  }
+}
+
+TEST(ScenarioRun, AllDriversExecuteAndSummarize) {
+  for (const auto* driver : {"dgd", "p2p", "p2p_auth"}) {
+    scenario::ScenarioSpec spec;
+    spec.driver = driver;
+    spec.aggregator = "cge";
+    spec.iterations = 10;
+    spec.f = 1;
+    spec.seed = 3;
+    spec.schedule = {"harmonic", 1.5, 1.0};
+    spec.faults.push_back(scenario::FaultSpec{0, "gradient-reverse", 0.0});
+    const auto result = scenario::run_scenario(spec);
+    ASSERT_FALSE(result.traces.empty()) << driver;
+    EXPECT_EQ(result.traces.front().estimates.size(), 11u) << driver;
+    ASSERT_TRUE(result.distance_to_reference.has_value()) << driver;
+    std::ostringstream json;
+    scenario::write_result_json(result, json);
+    // The machine summary must itself be valid JSON (our own parser checks).
+    const auto parsed = util::parse_json(json.str());
+    EXPECT_EQ(parsed.at("driver").as_string(), driver);
+    EXPECT_NEAR(parsed.at("final_cost").as_number(), result.final_cost,
+                1e-9 * (1.0 + std::abs(result.final_cost)));
+  }
+
+  scenario::ScenarioSpec dsgd;
+  dsgd.driver = "dsgd";
+  dsgd.aggregator = "cwtm";
+  dsgd.iterations = 12;
+  dsgd.eval_interval = 6;
+  dsgd.batch_size = 4;
+  dsgd.f = 1;
+  dsgd.num_agents = 5;
+  dsgd.seed = 77;
+  dsgd.faults.push_back(scenario::FaultSpec{0, "label-flip", 0.0});
+  const auto result = scenario::run_scenario(dsgd);
+  ASSERT_TRUE(result.series.has_value());
+  EXPECT_EQ(result.series->eval_iterations.back(), 12);
+  std::ostringstream json;
+  scenario::write_result_json(result, json);
+  const auto parsed = util::parse_json(json.str());
+  EXPECT_EQ(parsed.at("driver").as_string(), "dsgd");
+  EXPECT_GT(parsed.at("final_test_accuracy").as_number(), 0.0);
+}
+
+TEST(ScenarioRun, QuadraticProblemReferenceIsHonestCentroid) {
+  scenario::ScenarioSpec spec;
+  spec.driver = "dgd";
+  spec.problem = "quadratic";
+  spec.num_agents = 6;
+  spec.dim = 3;
+  spec.aggregator = "average";
+  spec.iterations = 400;
+  spec.f = 0;
+  spec.seed = 13;
+  spec.box_halfwidth = 50.0;
+  spec.schedule = {"harmonic", 0.5, 1.0};
+  const auto result = scenario::run_scenario(spec);
+  // Fault-free plain averaging on squared-distance costs converges to the
+  // centroid — the layer's closed-form reference must agree.
+  ASSERT_TRUE(result.distance_to_reference.has_value());
+  EXPECT_LT(*result.distance_to_reference, 1e-2);
+}
+
+TEST(ScenarioRun, CommittedSpecsParse) {
+  for (const auto* path :
+       {"fig2_cwtm_reverse.json", "fig2_cge_random.json", "fig2_fault_free.json",
+        "table1_cwtm_reverse.json", "scenario_churn_stragglers.json", "smoke_dgd.json",
+        "smoke_dsgd.json", "smoke_p2p.json"}) {
+    SCOPED_TRACE(path);
+    // ctest runs from the build tree; the specs live in the source tree.
+    scenario::ScenarioSpec spec;
+    ASSERT_NO_THROW(spec = scenario::load_scenario_file(std::string(ABFT_SPEC_DIR "/") + path));
+    EXPECT_FALSE(spec.name.empty());
+  }
+}
+
+}  // namespace

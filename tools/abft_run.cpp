@@ -1,0 +1,125 @@
+// abft_run — the scenario CLI: executes one declarative ScenarioSpec (see
+// src/abft/scenario/scenario.hpp for the schema) on any of the three
+// drivers and reports the outcome.
+//
+//   abft_run spec.json                     run, print a human summary
+//   abft_run spec.json --out=result.json   also write the machine summary
+//   abft_run spec.json --csv               dump the estimate trace as CSV
+//   abft_run spec.json --agg=cge --mode=fast --iterations=200 --seed=7
+//                                          override spec fields inline
+//   abft_run --list                        known rules / drivers / faults
+//
+// The committed specs under specs/ reproduce the paper's setups (fig2, fig3,
+// table1) and the CI smoke goldens.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "abft/agg/registry.hpp"
+#include "abft/scenario/scenario.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: abft_run <spec.json> [--out=FILE] [--csv] [--agg=RULE] [--mode=exact|fast]\n"
+        "                [--iterations=N] [--seed=N] [--threads=N] [--quiet]\n"
+        "       abft_run --list\n";
+}
+
+void print_list() {
+  std::cout << "drivers: dgd, dsgd, p2p, p2p_auth\n";
+  std::cout << "problems: paper_regression, quadratic (dgd/p2p); synthetic (dsgd)\n";
+  std::cout << "aggregation rules:";
+  for (const auto name : abft::agg::aggregator_names()) std::cout << ' ' << name;
+  std::cout << "\nfault kinds (dgd/p2p): gradient-reverse, random, zero, sign-flip-scale,\n"
+               "  rotating, little-is-enough, mean-reverse, mimic-smallest, silent\n"
+               "fault kinds (dsgd): label-flip, gradient-reverse\n"
+               "axes: participation, straggler_probability, perturbation_seed, churn\n";
+}
+
+bool take_value(std::string_view arg, std::string_view flag, std::string* value) {
+  if (arg.substr(0, flag.size()) != flag) return false;
+  *value = std::string(arg.substr(flag.size()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  bool csv = false;
+  bool quiet = false;
+  std::string agg_override;
+  std::string mode_override;
+  std::string iterations_override;
+  std::string seed_override;
+  std::string threads_override;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list") {
+      print_list();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (take_value(arg, "--out=", &out_path) ||
+               take_value(arg, "--agg=", &agg_override) ||
+               take_value(arg, "--mode=", &mode_override) ||
+               take_value(arg, "--iterations=", &iterations_override) ||
+               take_value(arg, "--seed=", &seed_override) ||
+               take_value(arg, "--threads=", &threads_override)) {
+      // handled
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "abft_run: unknown option " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    } else if (spec_path.empty()) {
+      spec_path = std::string(arg);
+    } else {
+      std::cerr << "abft_run: more than one spec file given\n";
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    abft::scenario::ScenarioSpec spec = abft::scenario::load_scenario_file(spec_path);
+    if (!agg_override.empty()) spec.aggregator = agg_override;
+    if (!mode_override.empty()) spec.mode = abft::agg::agg_mode_from_string(mode_override);
+    if (!iterations_override.empty()) spec.iterations = std::stoi(iterations_override);
+    if (!seed_override.empty()) spec.seed = std::stoull(seed_override);
+    if (!threads_override.empty()) spec.threads = std::stoi(threads_override);
+
+    const auto result = abft::scenario::run_scenario(spec);
+    if (csv) {
+      abft::scenario::write_trace_csv(result, std::cout);
+    } else if (!quiet) {
+      abft::scenario::print_result(result, std::cout);
+    }
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "abft_run: cannot write " << out_path << "\n";
+        return 1;
+      }
+      abft::scenario::write_result_json(result, out);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "abft_run: " << error.what() << "\n";
+    return 1;
+  }
+}
