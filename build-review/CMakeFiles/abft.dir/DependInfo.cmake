@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abft/agg/aggregator.cpp" "CMakeFiles/abft.dir/src/abft/agg/aggregator.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/aggregator.cpp.o.d"
+  "/root/repo/src/abft/agg/average.cpp" "CMakeFiles/abft.dir/src/abft/agg/average.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/average.cpp.o.d"
+  "/root/repo/src/abft/agg/batch.cpp" "CMakeFiles/abft.dir/src/abft/agg/batch.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/batch.cpp.o.d"
+  "/root/repo/src/abft/agg/bulyan.cpp" "CMakeFiles/abft.dir/src/abft/agg/bulyan.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/bulyan.cpp.o.d"
+  "/root/repo/src/abft/agg/cclip.cpp" "CMakeFiles/abft.dir/src/abft/agg/cclip.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/cclip.cpp.o.d"
+  "/root/repo/src/abft/agg/cge.cpp" "CMakeFiles/abft.dir/src/abft/agg/cge.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/cge.cpp.o.d"
+  "/root/repo/src/abft/agg/cwmed.cpp" "CMakeFiles/abft.dir/src/abft/agg/cwmed.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/cwmed.cpp.o.d"
+  "/root/repo/src/abft/agg/cwtm.cpp" "CMakeFiles/abft.dir/src/abft/agg/cwtm.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/cwtm.cpp.o.d"
+  "/root/repo/src/abft/agg/geomed.cpp" "CMakeFiles/abft.dir/src/abft/agg/geomed.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/geomed.cpp.o.d"
+  "/root/repo/src/abft/agg/krum.cpp" "CMakeFiles/abft.dir/src/abft/agg/krum.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/krum.cpp.o.d"
+  "/root/repo/src/abft/agg/normclip.cpp" "CMakeFiles/abft.dir/src/abft/agg/normclip.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/normclip.cpp.o.d"
+  "/root/repo/src/abft/agg/rank_kernel.cpp" "CMakeFiles/abft.dir/src/abft/agg/rank_kernel.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/rank_kernel.cpp.o.d"
+  "/root/repo/src/abft/agg/registry.cpp" "CMakeFiles/abft.dir/src/abft/agg/registry.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/registry.cpp.o.d"
+  "/root/repo/src/abft/agg/threads.cpp" "CMakeFiles/abft.dir/src/abft/agg/threads.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/agg/threads.cpp.o.d"
+  "/root/repo/src/abft/attack/adaptive_faults.cpp" "CMakeFiles/abft.dir/src/abft/attack/adaptive_faults.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/attack/adaptive_faults.cpp.o.d"
+  "/root/repo/src/abft/attack/fault.cpp" "CMakeFiles/abft.dir/src/abft/attack/fault.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/attack/fault.cpp.o.d"
+  "/root/repo/src/abft/attack/simple_faults.cpp" "CMakeFiles/abft.dir/src/abft/attack/simple_faults.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/attack/simple_faults.cpp.o.d"
+  "/root/repo/src/abft/core/bounds.cpp" "CMakeFiles/abft.dir/src/abft/core/bounds.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/bounds.cpp.o.d"
+  "/root/repo/src/abft/core/certify.cpp" "CMakeFiles/abft.dir/src/abft/core/certify.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/certify.cpp.o.d"
+  "/root/repo/src/abft/core/distance.cpp" "CMakeFiles/abft.dir/src/abft/core/distance.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/distance.cpp.o.d"
+  "/root/repo/src/abft/core/exhaustive.cpp" "CMakeFiles/abft.dir/src/abft/core/exhaustive.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/exhaustive.cpp.o.d"
+  "/root/repo/src/abft/core/lowerbound.cpp" "CMakeFiles/abft.dir/src/abft/core/lowerbound.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/lowerbound.cpp.o.d"
+  "/root/repo/src/abft/core/redundancy.cpp" "CMakeFiles/abft.dir/src/abft/core/redundancy.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/redundancy.cpp.o.d"
+  "/root/repo/src/abft/core/subset_solver.cpp" "CMakeFiles/abft.dir/src/abft/core/subset_solver.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/core/subset_solver.cpp.o.d"
+  "/root/repo/src/abft/engine/axes.cpp" "CMakeFiles/abft.dir/src/abft/engine/axes.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/engine/axes.cpp.o.d"
+  "/root/repo/src/abft/engine/round_engine.cpp" "CMakeFiles/abft.dir/src/abft/engine/round_engine.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/engine/round_engine.cpp.o.d"
+  "/root/repo/src/abft/learn/dataset.cpp" "CMakeFiles/abft.dir/src/abft/learn/dataset.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/learn/dataset.cpp.o.d"
+  "/root/repo/src/abft/learn/dsgd.cpp" "CMakeFiles/abft.dir/src/abft/learn/dsgd.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/learn/dsgd.cpp.o.d"
+  "/root/repo/src/abft/learn/mlp.cpp" "CMakeFiles/abft.dir/src/abft/learn/mlp.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/learn/mlp.cpp.o.d"
+  "/root/repo/src/abft/learn/model.cpp" "CMakeFiles/abft.dir/src/abft/learn/model.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/learn/model.cpp.o.d"
+  "/root/repo/src/abft/learn/softmax.cpp" "CMakeFiles/abft.dir/src/abft/learn/softmax.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/learn/softmax.cpp.o.d"
+  "/root/repo/src/abft/linalg/decompose.cpp" "CMakeFiles/abft.dir/src/abft/linalg/decompose.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/linalg/decompose.cpp.o.d"
+  "/root/repo/src/abft/linalg/eigen_sym.cpp" "CMakeFiles/abft.dir/src/abft/linalg/eigen_sym.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/linalg/eigen_sym.cpp.o.d"
+  "/root/repo/src/abft/linalg/matrix.cpp" "CMakeFiles/abft.dir/src/abft/linalg/matrix.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/linalg/matrix.cpp.o.d"
+  "/root/repo/src/abft/linalg/vector.cpp" "CMakeFiles/abft.dir/src/abft/linalg/vector.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/linalg/vector.cpp.o.d"
+  "/root/repo/src/abft/opt/box.cpp" "CMakeFiles/abft.dir/src/abft/opt/box.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/opt/box.cpp.o.d"
+  "/root/repo/src/abft/opt/cost.cpp" "CMakeFiles/abft.dir/src/abft/opt/cost.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/opt/cost.cpp.o.d"
+  "/root/repo/src/abft/opt/quadratic.cpp" "CMakeFiles/abft.dir/src/abft/opt/quadratic.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/opt/quadratic.cpp.o.d"
+  "/root/repo/src/abft/opt/schedule.cpp" "CMakeFiles/abft.dir/src/abft/opt/schedule.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/opt/schedule.cpp.o.d"
+  "/root/repo/src/abft/opt/solver.cpp" "CMakeFiles/abft.dir/src/abft/opt/solver.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/opt/solver.cpp.o.d"
+  "/root/repo/src/abft/p2p/dolev_strong.cpp" "CMakeFiles/abft.dir/src/abft/p2p/dolev_strong.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/p2p/dolev_strong.cpp.o.d"
+  "/root/repo/src/abft/p2p/eig.cpp" "CMakeFiles/abft.dir/src/abft/p2p/eig.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/p2p/eig.cpp.o.d"
+  "/root/repo/src/abft/p2p/p2p_dgd.cpp" "CMakeFiles/abft.dir/src/abft/p2p/p2p_dgd.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/p2p/p2p_dgd.cpp.o.d"
+  "/root/repo/src/abft/regress/generator.cpp" "CMakeFiles/abft.dir/src/abft/regress/generator.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/regress/generator.cpp.o.d"
+  "/root/repo/src/abft/regress/problem.cpp" "CMakeFiles/abft.dir/src/abft/regress/problem.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/regress/problem.cpp.o.d"
+  "/root/repo/src/abft/scenario/scenario.cpp" "CMakeFiles/abft.dir/src/abft/scenario/scenario.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/scenario/scenario.cpp.o.d"
+  "/root/repo/src/abft/sensing/sensor_system.cpp" "CMakeFiles/abft.dir/src/abft/sensing/sensor_system.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/sensing/sensor_system.cpp.o.d"
+  "/root/repo/src/abft/sim/agent.cpp" "CMakeFiles/abft.dir/src/abft/sim/agent.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/sim/agent.cpp.o.d"
+  "/root/repo/src/abft/sim/analysis.cpp" "CMakeFiles/abft.dir/src/abft/sim/analysis.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/sim/analysis.cpp.o.d"
+  "/root/repo/src/abft/sim/dgd.cpp" "CMakeFiles/abft.dir/src/abft/sim/dgd.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/sim/dgd.cpp.o.d"
+  "/root/repo/src/abft/sim/network.cpp" "CMakeFiles/abft.dir/src/abft/sim/network.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/sim/network.cpp.o.d"
+  "/root/repo/src/abft/sim/trace.cpp" "CMakeFiles/abft.dir/src/abft/sim/trace.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/sim/trace.cpp.o.d"
+  "/root/repo/src/abft/util/combinatorics.cpp" "CMakeFiles/abft.dir/src/abft/util/combinatorics.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/util/combinatorics.cpp.o.d"
+  "/root/repo/src/abft/util/csv.cpp" "CMakeFiles/abft.dir/src/abft/util/csv.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/util/csv.cpp.o.d"
+  "/root/repo/src/abft/util/json.cpp" "CMakeFiles/abft.dir/src/abft/util/json.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/util/json.cpp.o.d"
+  "/root/repo/src/abft/util/rng.cpp" "CMakeFiles/abft.dir/src/abft/util/rng.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/util/rng.cpp.o.d"
+  "/root/repo/src/abft/util/stats.cpp" "CMakeFiles/abft.dir/src/abft/util/stats.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/util/stats.cpp.o.d"
+  "/root/repo/src/abft/util/table.cpp" "CMakeFiles/abft.dir/src/abft/util/table.cpp.o" "gcc" "CMakeFiles/abft.dir/src/abft/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

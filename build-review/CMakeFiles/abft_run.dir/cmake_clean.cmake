@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abft_run.dir/tools/abft_run.cpp.o"
+  "CMakeFiles/abft_run.dir/tools/abft_run.cpp.o.d"
+  "abft_run"
+  "abft_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abft_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

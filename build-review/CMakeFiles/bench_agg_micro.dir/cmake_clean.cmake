@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agg_micro.dir/bench/bench_agg_micro.cpp.o"
+  "CMakeFiles/bench_agg_micro.dir/bench/bench_agg_micro.cpp.o.d"
+  "bench_agg_micro"
+  "bench_agg_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agg_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

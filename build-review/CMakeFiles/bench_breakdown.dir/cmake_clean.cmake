@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breakdown.dir/bench/bench_breakdown.cpp.o"
+  "CMakeFiles/bench_breakdown.dir/bench/bench_breakdown.cpp.o.d"
+  "bench_breakdown"
+  "bench_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

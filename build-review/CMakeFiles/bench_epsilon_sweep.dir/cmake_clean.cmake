@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epsilon_sweep.dir/bench/bench_epsilon_sweep.cpp.o"
+  "CMakeFiles/bench_epsilon_sweep.dir/bench/bench_epsilon_sweep.cpp.o.d"
+  "bench_epsilon_sweep"
+  "bench_epsilon_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epsilon_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exhaustive.dir/bench/bench_exhaustive.cpp.o"
+  "CMakeFiles/bench_exhaustive.dir/bench/bench_exhaustive.cpp.o.d"
+  "bench_exhaustive"
+  "bench_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

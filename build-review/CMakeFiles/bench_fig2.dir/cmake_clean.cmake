@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2.dir/bench/bench_fig2.cpp.o"
+  "CMakeFiles/bench_fig2.dir/bench/bench_fig2.cpp.o.d"
+  "bench_fig2"
+  "bench_fig2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4.dir/bench/bench_fig4.cpp.o"
+  "CMakeFiles/bench_fig4.dir/bench/bench_fig4.cpp.o.d"
+  "bench_fig4"
+  "bench_fig4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5.dir/bench/bench_fig5.cpp.o"
+  "CMakeFiles/bench_fig5.dir/bench/bench_fig5.cpp.o.d"
+  "bench_fig5"
+  "bench_fig5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filters.dir/bench/bench_filters.cpp.o"
+  "CMakeFiles/bench_filters.dir/bench/bench_filters.cpp.o.d"
+  "bench_filters"
+  "bench_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hetero.dir/bench/bench_hetero.cpp.o"
+  "CMakeFiles/bench_hetero.dir/bench/bench_hetero.cpp.o.d"
+  "bench_hetero"
+  "bench_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

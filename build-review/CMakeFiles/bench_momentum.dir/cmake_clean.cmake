@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_momentum.dir/bench/bench_momentum.cpp.o"
+  "CMakeFiles/bench_momentum.dir/bench/bench_momentum.cpp.o.d"
+  "bench_momentum"
+  "bench_momentum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_momentum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2p.dir/bench/bench_p2p.cpp.o"
+  "CMakeFiles/bench_p2p.dir/bench/bench_p2p.cpp.o.d"
+  "bench_p2p"
+  "bench_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

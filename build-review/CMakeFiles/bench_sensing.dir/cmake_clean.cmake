@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensing.dir/bench/bench_sensing.cpp.o"
+  "CMakeFiles/bench_sensing.dir/bench/bench_sensing.cpp.o.d"
+  "bench_sensing"
+  "bench_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

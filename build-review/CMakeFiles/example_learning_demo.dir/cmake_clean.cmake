@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_learning_demo.dir/examples/learning_demo.cpp.o"
+  "CMakeFiles/example_learning_demo.dir/examples/learning_demo.cpp.o.d"
+  "example_learning_demo"
+  "example_learning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_learning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

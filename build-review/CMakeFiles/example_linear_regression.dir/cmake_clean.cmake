@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_linear_regression.dir/examples/linear_regression.cpp.o"
+  "CMakeFiles/example_linear_regression.dir/examples/linear_regression.cpp.o.d"
+  "example_linear_regression"
+  "example_linear_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_linear_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_linear_regression.
+# This may be replaced when dependencies are built.

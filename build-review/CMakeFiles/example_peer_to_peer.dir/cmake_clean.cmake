@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_peer_to_peer.dir/examples/peer_to_peer.cpp.o"
+  "CMakeFiles/example_peer_to_peer.dir/examples/peer_to_peer.cpp.o.d"
+  "example_peer_to_peer"
+  "example_peer_to_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_peer_to_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

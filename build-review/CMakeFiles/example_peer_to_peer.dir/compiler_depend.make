@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_peer_to_peer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_peer_to_peer.
+# This may be replaced when dependencies are built.

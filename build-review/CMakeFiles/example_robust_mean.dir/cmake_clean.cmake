@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_robust_mean.dir/examples/robust_mean.cpp.o"
+  "CMakeFiles/example_robust_mean.dir/examples/robust_mean.cpp.o.d"
+  "example_robust_mean"
+  "example_robust_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_robust_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

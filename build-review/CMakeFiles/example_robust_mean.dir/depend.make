@@ -1,0 +1,2 @@
+# Empty dependencies file for example_robust_mean.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_state_estimation.dir/examples/state_estimation.cpp.o"
+  "CMakeFiles/example_state_estimation.dir/examples/state_estimation.cpp.o.d"
+  "example_state_estimation"
+  "example_state_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_state_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agg.dir/tests/test_agg.cpp.o"
+  "CMakeFiles/test_agg.dir/tests/test_agg.cpp.o.d"
+  "test_agg"
+  "test_agg.pdb"
+  "test_agg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

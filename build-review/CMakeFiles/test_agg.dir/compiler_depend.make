@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_agg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agg_fast.dir/tests/test_agg_fast.cpp.o"
+  "CMakeFiles/test_agg_fast.dir/tests/test_agg_fast.cpp.o.d"
+  "test_agg_fast"
+  "test_agg_fast.pdb"
+  "test_agg_fast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agg_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agg_properties.dir/tests/test_agg_properties.cpp.o"
+  "CMakeFiles/test_agg_properties.dir/tests/test_agg_properties.cpp.o.d"
+  "test_agg_properties"
+  "test_agg_properties.pdb"
+  "test_agg_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agg_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

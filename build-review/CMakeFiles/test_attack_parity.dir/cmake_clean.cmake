@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_parity.dir/tests/test_attack_parity.cpp.o"
+  "CMakeFiles/test_attack_parity.dir/tests/test_attack_parity.cpp.o.d"
+  "test_attack_parity"
+  "test_attack_parity.pdb"
+  "test_attack_parity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

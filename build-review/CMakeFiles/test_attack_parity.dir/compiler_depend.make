@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_attack_parity.
+# This may be replaced when dependencies are built.

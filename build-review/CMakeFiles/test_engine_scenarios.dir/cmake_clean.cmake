@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_scenarios.dir/tests/test_engine_scenarios.cpp.o"
+  "CMakeFiles/test_engine_scenarios.dir/tests/test_engine_scenarios.cpp.o.d"
+  "test_engine_scenarios"
+  "test_engine_scenarios.pdb"
+  "test_engine_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

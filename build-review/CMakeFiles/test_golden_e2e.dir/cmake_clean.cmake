@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_e2e.dir/tests/test_golden_e2e.cpp.o"
+  "CMakeFiles/test_golden_e2e.dir/tests/test_golden_e2e.cpp.o.d"
+  "test_golden_e2e"
+  "test_golden_e2e.pdb"
+  "test_golden_e2e[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_golden_e2e.
+# This may be replaced when dependencies are built.

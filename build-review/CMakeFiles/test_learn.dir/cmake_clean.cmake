@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learn.dir/tests/test_learn.cpp.o"
+  "CMakeFiles/test_learn.dir/tests/test_learn.cpp.o.d"
+  "test_learn"
+  "test_learn.pdb"
+  "test_learn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_edge.dir/tests/test_network_edge.cpp.o"
+  "CMakeFiles/test_network_edge.dir/tests/test_network_edge.cpp.o.d"
+  "test_network_edge"
+  "test_network_edge.pdb"
+  "test_network_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/tests/test_opt.cpp.o"
+  "CMakeFiles/test_opt.dir/tests/test_opt.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

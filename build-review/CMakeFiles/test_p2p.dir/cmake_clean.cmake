@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2p.dir/tests/test_p2p.cpp.o"
+  "CMakeFiles/test_p2p.dir/tests/test_p2p.cpp.o.d"
+  "test_p2p"
+  "test_p2p.pdb"
+  "test_p2p[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

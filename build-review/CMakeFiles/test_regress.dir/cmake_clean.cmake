@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regress.dir/tests/test_regress.cpp.o"
+  "CMakeFiles/test_regress.dir/tests/test_regress.cpp.o.d"
+  "test_regress"
+  "test_regress.pdb"
+  "test_regress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

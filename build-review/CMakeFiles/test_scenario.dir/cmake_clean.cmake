@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario.dir/tests/test_scenario.cpp.o"
+  "CMakeFiles/test_scenario.dir/tests/test_scenario.cpp.o.d"
+  "test_scenario"
+  "test_scenario.pdb"
+  "test_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensing.dir/tests/test_sensing.cpp.o"
+  "CMakeFiles/test_sensing.dir/tests/test_sensing.cpp.o.d"
+  "test_sensing"
+  "test_sensing.pdb"
+  "test_sensing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theory.dir/tests/test_theory.cpp.o"
+  "CMakeFiles/test_theory.dir/tests/test_theory.cpp.o.d"
+  "test_theory"
+  "test_theory.pdb"
+  "test_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_theory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threads.dir/tests/test_threads.cpp.o"
+  "CMakeFiles/test_threads.dir/tests/test_threads.cpp.o.d"
+  "test_threads"
+  "test_threads.pdb"
+  "test_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

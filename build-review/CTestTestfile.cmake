@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/test_agg[1]_include.cmake")
+include("/root/repo/build-review/test_agg_fast[1]_include.cmake")
+include("/root/repo/build-review/test_agg_properties[1]_include.cmake")
+include("/root/repo/build-review/test_attack[1]_include.cmake")
+include("/root/repo/build-review/test_attack_parity[1]_include.cmake")
+include("/root/repo/build-review/test_core[1]_include.cmake")
+include("/root/repo/build-review/test_determinism[1]_include.cmake")
+include("/root/repo/build-review/test_engine_scenarios[1]_include.cmake")
+include("/root/repo/build-review/test_golden_e2e[1]_include.cmake")
+include("/root/repo/build-review/test_integration[1]_include.cmake")
+include("/root/repo/build-review/test_learn[1]_include.cmake")
+include("/root/repo/build-review/test_linalg[1]_include.cmake")
+include("/root/repo/build-review/test_network_edge[1]_include.cmake")
+include("/root/repo/build-review/test_opt[1]_include.cmake")
+include("/root/repo/build-review/test_p2p[1]_include.cmake")
+include("/root/repo/build-review/test_regress[1]_include.cmake")
+include("/root/repo/build-review/test_scenario[1]_include.cmake")
+include("/root/repo/build-review/test_sensing[1]_include.cmake")
+include("/root/repo/build-review/test_sim[1]_include.cmake")
+include("/root/repo/build-review/test_theory[1]_include.cmake")
+include("/root/repo/build-review/test_threads[1]_include.cmake")
+include("/root/repo/build-review/test_util[1]_include.cmake")
