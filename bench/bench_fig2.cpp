@@ -4,8 +4,11 @@
 // gradient-reverse and random fault behaviours.  Final errors are annotated
 // below each table, as on the paper's plots.
 //
-// --mode=fast runs every curve on the relaxed-parity fast kernels;
-// --csv / --csv-random emit the full-resolution series for re-plotting.
+// The grid itself is the committed sweep spec specs/sweep_fig2.json run
+// through the sweep layer (`abft_run --sweep` executes the same file); this
+// binary only renders the series.  --mode=fast runs every curve on the
+// relaxed-parity fast kernels; --csv / --csv-random emit the
+// full-resolution series for re-plotting.
 #include <iostream>
 
 #include "fig_common.hpp"
@@ -17,25 +20,20 @@ int main(int argc, char** argv) {
 
   if (options.csv) {
     // Full-resolution series for re-plotting: --csv emits the
-    // gradient-reverse panel, --csv-random the random panel.
-    if (options.csv_random) {
-      fig::print_figure_csv(fig::run_figure("random", 200.0, kIterations, options.mode),
-                            std::cout);
-    } else {
-      fig::print_figure_csv(
-          fig::run_figure("gradient-reverse", 0.0, kIterations, options.mode), std::cout);
-    }
+    // gradient-reverse panel, --csv-random the random panel (only that
+    // panel's sub-grid runs).
+    const auto panel = fig::run_figures(
+        kIterations, options.mode, options.csv_random ? "random" : "gradient-reverse");
+    fig::print_figure_csv(panel.front(), std::cout);
     return 0;
   }
 
+  const auto figures = fig::run_figures(kIterations, options.mode);
   std::cout << "Figure 2 — loss and distance vs iteration (t in [0, " << kIterations << "])\n"
             << "mode: " << abft::agg::to_string(options.mode) << "\n"
             << "Paper shape to reproduce: fault-free / CWTM / CGE all converge (distance\n"
             << "within eps = 0.0890 of x_H); plain GD stays biased (gradient-reverse) or\n"
             << "noisy-divergent (random).\n\n";
-  fig::print_figure(fig::run_figure("gradient-reverse", 0.0, kIterations, options.mode),
-                    kStride, std::cout);
-  fig::print_figure(fig::run_figure("random", 200.0, kIterations, options.mode), kStride,
-                    std::cout);
+  for (const auto& figure : figures) fig::print_figure(figure, kStride, std::cout);
   return 0;
 }

@@ -1,12 +1,12 @@
 // Reproduces Table 1: distributed linear regression on the exact Appendix-J
-// instance (n = 6, d = 2, f = 1, agent 1 Byzantine), eta_t = 1.5/(t+1),
+// instance (n = 6, d = 2, f = 1, agent 0 Byzantine), eta_t = 1.5/(t+1),
 // W = [-1000, 1000]^2, 500 iterations.  Prints x_out and dist(x_H, x_out)
 // for the CGE and CWTM gradient-filters under the gradient-reverse and
 // random fault behaviours, next to the paper's reported values.
 //
-// Every run is one declarative ScenarioSpec executed through the scenario
-// layer (the same path as abft_run specs/table1_cwtm_reverse.json);
-// --mode=fast switches them to the relaxed-parity fast kernels.
+// The 2x2 grid is the committed sweep spec specs/sweep_table1.json run
+// through the sweep layer (`abft_run --sweep` executes the same file);
+// --mode=fast switches every run to the relaxed-parity fast kernels.
 #include <iostream>
 #include <sstream>
 
@@ -26,6 +26,12 @@ std::string format_point(const Vector& x) {
   return os.str();
 }
 
+/// The paper's reported distance for one (filter, fault) grid cell.
+const char* paper_dist(const std::string& filter, const std::string& fault) {
+  if (filter == "cge") return fault == "gradient-reverse" ? "2.39e-02" : "4.72e-05";
+  return fault == "gradient-reverse" ? "1.67e-02" : "1.51e-03";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,7 +45,7 @@ int main(int argc, char** argv) {
   const double gamma = problem.gamma(honest);
 
   std::cout << "Table 1 — fault-tolerant distributed linear regression (paper instance)\n";
-  std::cout << "n = 6, d = 2, f = 1 (agent 1 Byzantine), eta_t = 1.5/(t+1), 500 iterations\n";
+  std::cout << "n = 6, d = 2, f = 1 (agent 0 Byzantine), eta_t = 1.5/(t+1), 500 iterations\n";
   std::cout << "mode: " << agg::to_string(options.mode) << "\n";
   std::cout << "x_H = " << format_point(x_h) << "  (paper: (1.0780, 0.9825))\n";
   std::cout << "(2f, eps)-redundancy eps = " << util::format_double(redundancy.epsilon, 4)
@@ -50,29 +56,19 @@ int main(int argc, char** argv) {
   std::cout << "Theorem-5 CGE bound: alpha = " << util::format_double(t5.alpha, 4)
             << ", D*eps = " << util::format_double(t5.factor * redundancy.epsilon, 4) << "\n\n";
 
-  struct PaperRow {
-    const char* filter;
-    const char* fault;
-    double param;
-    const char* paper_dist;
-  };
-  const PaperRow paper_rows[] = {
-      {"cge", "gradient-reverse", 0.0, "2.39e-02"},
-      {"cge", "random", 200.0, "4.72e-05"},
-      {"cwtm", "gradient-reverse", 0.0, "1.67e-02"},
-      {"cwtm", "random", 200.0, "1.51e-03"},
-  };
+  auto spec = fig::load_sweep_spec("sweep_table1.json");
+  sweep::set_base_member(&spec, "mode",
+                         util::JsonValue::make_string(std::string(agg::to_string(options.mode))));
+  const auto outcome = sweep::run_sweep(spec);
 
   util::Table table({"filter", "fault", "x_out", "dist(x_H, x_out)", "paper dist", "< eps"});
-  for (const auto& row : paper_rows) {
-    const auto spec = fig::figure_spec(row.fault, row.param, row.filter,
-                                       /*include_faulty_agent=*/true, 500, options.mode);
-    const auto result = scenario::run_scenario(spec);
-    const auto& x_out = result.traces.front().final_estimate();
+  for (const auto& run : outcome.runs) {
+    const std::string filter = run.axis_value("aggregator");
+    const std::string fault = run.axis_value("faults");
+    const auto& x_out = run.result.traces.front().final_estimate();
     const double dist = linalg::distance(x_out, x_h);
-    table.add_row({row.filter, row.fault, format_point(x_out),
-                   util::format_scientific(dist, 2), row.paper_dist,
-                   dist < redundancy.epsilon ? "yes" : "NO"});
+    table.add_row({filter, fault, format_point(x_out), util::format_scientific(dist, 2),
+                   paper_dist(filter, fault), dist < redundancy.epsilon ? "yes" : "NO"});
   }
   table.print(std::cout);
   std::cout << "\nPaper's claim to reproduce: every distance < eps = 0.0890.  Absolute values\n"

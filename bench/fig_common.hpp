@@ -1,25 +1,25 @@
-// Shared harness for the Figure-2/3 family: runs the paper's distributed
-// linear-regression scenario (Appendix J; n = 6, f = 1, agent 1 faulty)
-// under a chosen attack for each of the four algorithms plotted in the
-// paper — fault-free DGD (faulty agent omitted, plain averaging), DGD+CWTM,
-// DGD+CGE, and plain DGD with the faulty agent included — and emits the
-// loss / distance series.
+// Shared harness for the Figure-2/3 family: the paper's distributed
+// linear-regression scenario (Appendix J; n = 6, f = 1, agent 0 faulty)
+// under each attack for each of the four plotted algorithms — fault-free
+// DGD (faulty agent omitted, plain averaging), DGD+CWTM, DGD+CGE, and plain
+// DGD with the faulty agent included.
 //
-// Every run goes through the declarative scenario layer (scenario.hpp): one
-// ScenarioSpec per curve instead of hand-built rosters/configs, the same
-// specs the abft_run CLI executes from specs/*.json.  --mode=fast switches
-// every curve to the relaxed-parity fast kernels.
+// The whole grid is ONE committed sweep spec (specs/sweep_fig2.json: a
+// faults axis x a variants axis over the Appendix-J base), executed through
+// the sweep runner — the same grid `abft_run --sweep specs/sweep_fig2.json`
+// emits as CSV.  The benches only patch the committed base (--mode=fast,
+// fig3's truncated horizon) and render the per-iteration series.
 #pragma once
 
 #include <cstring>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "abft/agg/registry.hpp"
 #include "abft/regress/problem.hpp"
-#include "abft/scenario/scenario.hpp"
+#include "abft/sweep/sweep.hpp"
+#include "abft/util/check.hpp"
 #include "abft/util/csv.hpp"
 #include "abft/util/table.hpp"
 
@@ -72,69 +72,55 @@ inline BenchOptions parse_bench_options(int argc, char** argv, bool allow_csv = 
   return options;
 }
 
-/// The ScenarioSpec behind one Figure-2/3 curve: the Appendix-J regression
-/// instance with the given rule, under `fault_kind` on agent 0 when the
-/// faulty agent is included, or restricted to the honest five when not.
-inline scenario::ScenarioSpec figure_spec(std::string_view fault_kind, double fault_param,
-                                          std::string_view aggregator_name,
-                                          bool include_faulty_agent, int iterations,
-                                          agg::AggMode mode) {
-  scenario::ScenarioSpec spec;
-  spec.driver = "dgd";
-  spec.problem = "paper_regression";
-  spec.aggregator = std::string(aggregator_name);
-  spec.mode = mode;
-  spec.iterations = iterations;
-  spec.f = include_faulty_agent ? 1 : 0;
-  spec.seed = 2021;
-  spec.x0 = {-0.0085, -0.5643};
-  spec.schedule = {"harmonic", 1.5, 1.0};
-  if (include_faulty_agent) {
-    spec.faults.push_back(
-        scenario::FaultSpec{0, std::string(fault_kind), fault_param});
-  } else {
-    spec.agents = {1, 2, 3, 4, 5};
+/// Loads a committed sweep grid from specs/.
+inline sweep::SweepSpec load_sweep_spec(const std::string& filename) {
+  return sweep::load_sweep_file(std::string(ABFT_SPEC_DIR "/") + filename);
+}
+
+/// Runs the committed Figure-2 grid at the given horizon/mode and renders
+/// the per-iteration series, one FigureData per attack in grid order.  A
+/// non-empty `attack_filter` restricts the faults axis to that preset (the
+/// --csv paths render one panel and need not run the other's sub-grid).
+inline std::vector<FigureData> run_figures(int iterations, agg::AggMode mode,
+                                           std::string_view attack_filter = "") {
+  auto spec = load_sweep_spec("sweep_fig2.json");
+  sweep::set_base_member(&spec, "iterations", util::JsonValue::make_number(iterations));
+  sweep::set_base_member(&spec, "mode",
+                         util::JsonValue::make_string(std::string(agg::to_string(mode))));
+  if (!attack_filter.empty()) {
+    std::erase_if(spec.faults,
+                  [&](const sweep::FaultPreset& preset) { return preset.label != attack_filter; });
+    // An empty axis would expand as "not swept" and silently render the
+    // un-attacked base as the requested panel — the filter strings here and
+    // the committed preset labels must stay in lockstep.
+    ABFT_REQUIRE(!spec.faults.empty(),
+                 "sweep_fig2.json has no fault preset with the requested label");
   }
-  return spec;
-}
+  const auto outcome = sweep::run_sweep(spec);
 
-inline sim::Trace run_one(std::string_view fault_kind, double fault_param,
-                          std::string_view aggregator_name, bool include_faulty_agent,
-                          int iterations, agg::AggMode mode) {
-  return scenario::run_scenario(figure_spec(fault_kind, fault_param, aggregator_name,
-                                            include_faulty_agent, iterations, mode))
-      .traces.front();
-}
-
-/// Runs the four algorithms of Figures 2-3 under one attack.
-inline FigureData run_figure(std::string_view fault_kind, double fault_param, int iterations,
-                             agg::AggMode mode = agg::AggMode::exact) {
   const auto problem = regress::RegressionProblem::paper_instance();
   const std::vector<int> honest{1, 2, 3, 4, 5};
   const auto honest_costs = problem.costs(honest);
   const opt::AggregateCost honest_aggregate(honest_costs);
+  const Vector x_h = problem.subset_minimizer(honest);
 
-  FigureData data;
-  data.attack = fault_kind;
-  data.x_h = problem.subset_minimizer(honest);
-
-  const struct {
-    const char* label;
-    const char* aggregator;
-    bool include_faulty;
-  } algorithms[] = {
-      {"fault-free", "average", false},
-      {"CWTM", "cwtm", true},
-      {"CGE", "cge", true},
-      {"plain GD", "average", true},
-  };
-  for (const auto& algorithm : algorithms) {
-    const auto trace = run_one(fault_kind, fault_param, algorithm.aggregator,
-                               algorithm.include_faulty, iterations, mode);
-    data.series.push_back(Series{algorithm.label, trace.loss_series(honest_aggregate),
-                                 trace.distance_series(data.x_h)});
+  std::vector<FigureData> figures;
+  for (const auto& run : outcome.runs) {
+    const std::string attack = run.axis_value("faults");
+    if (figures.empty() || figures.back().attack != attack) {
+      figures.push_back(FigureData{attack, {}, x_h});
+    }
+    const auto& trace = run.result.traces.front();
+    figures.back().series.push_back(Series{run.axis_value("variants"),
+                                           trace.loss_series(honest_aggregate),
+                                           trace.distance_series(x_h)});
   }
-  return data;
+  // The attack-contiguity grouping above assumes faults x variants are the
+  // only swept axes; an extra axis in the committed spec (whose cells this
+  // renderer would not show) must fail loudly, not duplicate panels.
+  ABFT_REQUIRE(figures.size() == spec.faults.size(),
+               "sweep_fig2.json must sweep exactly the faults and variants axes");
+  return figures;
 }
 
 /// Emits the full-resolution series as CSV (columns: step, then one

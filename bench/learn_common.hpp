@@ -1,9 +1,15 @@
 // Shared harness for the Figure-4/5 family (Appendix K): D-SGD on a
 // synthetic multiclass dataset with n = 10 agents, f = 3 faulty, batch 128,
-// eta = 0.01, comparing {fault-free, CWTM-LF, CWTM-GR, CGE-LF, CGE-GR}.
-// The paper trains LeNet on MNIST / Fashion-MNIST; offline we train a
-// one-hidden-layer MLP on SynthDigits / SynthFashion (see DESIGN.md for the
-// substitution argument).
+// eta = 0.01, comparing {fault-free, CWTM-LF, CWTM-GR, CGE-LF, CGE-GR,
+// average-GR}.  The paper trains LeNet on MNIST / Fashion-MNIST; offline we
+// train a one-hidden-layer MLP on SynthDigits / SynthFashion (see DESIGN.md
+// for the substitution argument).
+//
+// Each figure is ONE committed sweep spec (specs/sweep_fig4.json /
+// sweep_fig5.json: a variants axis over the dsgd base with the MLP model
+// knob) run through the sweep layer; the fault-free curve omits the
+// would-be faulty agents via the dsgd "agents" roster subset, exactly like
+// the paper's blue curves.  `abft_run --sweep` executes the same files.
 #pragma once
 
 #include <cstdlib>
@@ -13,104 +19,50 @@
 #include <vector>
 
 #include "abft/agg/registry.hpp"
-#include "abft/learn/dataset.hpp"
 #include "abft/learn/dsgd.hpp"
-#include "abft/learn/mlp.hpp"
+#include "abft/sweep/sweep.hpp"
+#include "abft/util/check.hpp"
 #include "abft/util/table.hpp"
 
 namespace learnfig {
 
 using namespace abft;
-using linalg::Vector;
 
 struct Curve {
   std::string label;
   learn::DsgdSeries series;
 };
 
-struct Options {
-  learn::SyntheticOptions dataset;
-  int iterations = 1000;
-  int eval_interval = 50;
-  int hidden_dim = 24;
-  std::uint64_t seed = 42;
-  /// Numerical mode of the gradient filter (--mode=fast on the fig4/5
-  /// command line switches every curve to the relaxed-parity kernels).
+/// Parses the fig4/5 command line (--mode=exact|fast).
+inline agg::AggMode parse_mode_flag(int argc, char** argv) {
   agg::AggMode mode = agg::AggMode::exact;
-};
-
-/// Parses the fig4/5 command line (--mode=exact|fast) into `options`.
-inline void parse_mode_flag(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--mode=fast") {
-      options->mode = agg::AggMode::fast;
+      mode = agg::AggMode::fast;
     } else if (arg == "--mode=exact") {
-      options->mode = agg::AggMode::exact;
+      mode = agg::AggMode::exact;
     } else {
       std::cerr << "unknown option " << arg << " (known: --mode=exact|fast)\n";
       std::exit(2);
     }
   }
+  return mode;
 }
 
-inline std::vector<Curve> run_learning_figure(const Options& options) {
-  util::Rng data_rng(options.seed);
-  const auto full = learn::make_synthetic(options.dataset, data_rng);
-  util::Rng split_rng(options.seed + 1);
-  const auto split = learn::split_train_test(full, 0.2, split_rng);
-  util::Rng shard_rng(options.seed + 2);
-  const auto shards = learn::shard(split.train, 10, shard_rng);
-
-  const learn::Mlp model(split.train.feature_dim(), options.hidden_dim, split.train.num_classes);
-  util::Rng init_rng(options.seed + 3);
-  const Vector params0 = model.initial_params(init_rng);
-
-  learn::DsgdConfig config;
-  config.iterations = options.iterations;
-  config.batch_size = 128;
-  config.step_size = 0.01;
-  config.eval_interval = options.eval_interval;
-  config.seed = options.seed + 4;
-  config.agg_mode = options.mode;
-
-  auto faults_of = [](learn::AgentFault kind, int count) {
-    std::vector<learn::AgentFault> faults(10, learn::AgentFault::kHonest);
-    for (int i = 0; i < count; ++i) faults[static_cast<std::size_t>(i)] = kind;
-    return faults;
-  };
+/// Runs the committed learning grid: one curve per variant, in grid order.
+inline std::vector<Curve> run_learning_figure(const std::string& spec_filename,
+                                              agg::AggMode mode) {
+  auto spec = sweep::load_sweep_file(std::string(ABFT_SPEC_DIR "/") + spec_filename);
+  sweep::set_base_member(&spec, "mode",
+                         util::JsonValue::make_string(std::string(agg::to_string(mode))));
+  const auto outcome = sweep::run_sweep(spec);
 
   std::vector<Curve> curves;
-  const struct {
-    const char* label;
-    const char* aggregator;
-    learn::AgentFault kind;
-    int f;
-  } runs[] = {
-      {"fault-free", "average", learn::AgentFault::kHonest, 0},
-      {"CWTM-LF", "cwtm", learn::AgentFault::kLabelFlip, 3},
-      {"CWTM-GR", "cwtm", learn::AgentFault::kGradientReverse, 3},
-      {"CGE-LF", "cge", learn::AgentFault::kLabelFlip, 3},
-      {"CGE-GR", "cge", learn::AgentFault::kGradientReverse, 3},
-      {"average-GR", "average", learn::AgentFault::kGradientReverse, 3},
-  };
-  for (const auto& run : runs) {
-    config.f = run.f;
-    const auto aggregator = agg::make_aggregator(run.aggregator);
-    // Fault-free means the would-be faulty agents are omitted entirely
-    // (the paper's blue curves), not merely marked honest.
-    if (run.f == 0) {
-      const std::vector<learn::Dataset> honest_shards(shards.begin() + 3, shards.end());
-      const std::vector<learn::AgentFault> honest(7, learn::AgentFault::kHonest);
-      learn::DsgdConfig ff = config;
-      ff.f = 0;
-      curves.push_back(Curve{run.label, learn::run_dsgd(model, params0, honest_shards, honest,
-                                                        split.test, *aggregator, ff)});
-    } else {
-      curves.push_back(Curve{run.label,
-                             learn::run_dsgd(model, params0, shards, faults_of(run.kind, run.f),
-                                             split.test, *aggregator, config)});
-    }
+  for (const auto& run : outcome.runs) {
+    ABFT_REQUIRE(run.result.series.has_value(),
+                 "the learning grids run on the dsgd driver (series output)");
+    curves.push_back(Curve{run.axis_value("variants"), *run.result.series});
   }
   return curves;
 }

@@ -7,7 +7,9 @@ Every key in the golden must be present in the current result with the same
 type; numbers must agree within the tolerance (relative OR absolute),
 strings and integers exactly, arrays elementwise.  Extra keys in the current
 result are allowed (the summary may grow), so adding fields never breaks old
-goldens.  Exit code 0 on match, 1 on mismatch, 2 on usage/IO errors.
+goldens.  Exit code 0 on match, 1 on mismatch, 2 on usage/IO errors, 3 when
+the golden file is missing (distinct so CI can say "regenerate the golden"
+instead of "broken run").
 
 The tolerance exists for cross-host libm differences (the random streams use
 log/cos, whose last-ulp behaviour is implementation-defined); a genuine
@@ -17,6 +19,7 @@ elimination — moves these numbers by orders of magnitude more.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -68,6 +71,14 @@ def main(argv):
     parser.add_argument("--rtol", type=float, default=1e-4)
     parser.add_argument("--atol", type=float, default=1e-9)
     args = parser.parse_args(argv)
+
+    if not os.path.exists(args.golden):
+        print(
+            f"compare_scenario: golden file {args.golden} is missing — regenerate it with\n"
+            f"  abft_run <spec> --out={args.golden}",
+            file=sys.stderr,
+        )
+        return 3
 
     try:
         with open(args.golden) as handle:

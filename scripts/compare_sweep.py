@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare an abft_run --sweep CSV against a committed golden.
+
+Usage: compare_sweep.py GOLDEN.csv CURRENT.csv [--rtol 1e-4] [--atol 1e-9]
+                        [--ignore wall_ms[,col2,...]]
+
+Rows are keyed by run_id and must cover the same grid (a missing or extra
+run is a failure — a grid that silently changed shape is not the same
+experiment).  Headers must agree after dropping the ignored columns.
+Numeric cells must agree within tolerance (relative OR absolute; "nan"
+matches "nan"); other cells exactly.  wall_ms is ignored by default — it is
+the one column two correct runs never share, and the threads=1 vs threads=N
+parity check in CI depends on ignoring it.
+
+Exit codes: 0 match, 1 mismatch, 2 usage/IO error, 3 golden file missing
+(distinct so CI can say "regenerate the golden" instead of "broken run").
+
+The tolerance exists for cross-host libm differences (the random streams
+use log/cos, whose last-ulp behaviour is implementation-defined); a genuine
+regression moves these numbers by orders of magnitude more.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_rows(path):
+    """Returns (kept_header, {run_id: row_cells}) with ignored columns intact;
+    filtering happens in compare()."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV")
+        if "run_id" not in header:
+            raise ValueError(f"{path}: no run_id column")
+        rows = {}
+        for line_number, cells in enumerate(reader, start=2):
+            if len(cells) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: {len(cells)} cells, expected {len(header)}"
+                )
+            row = dict(zip(header, cells))
+            run_id = row["run_id"]
+            if run_id in rows:
+                raise ValueError(f"{path}:{line_number}: duplicate run_id {run_id}")
+            rows[run_id] = row
+        return header, rows
+
+
+def cells_match(golden, current, rtol, atol):
+    try:
+        a, b = float(golden), float(current)
+    except ValueError:
+        return golden == current
+    if a != a and b != b:  # nan on both sides
+        return True
+    return abs(a - b) <= max(atol, rtol * max(abs(a), abs(b)))
+
+
+def compare(golden_path, current_path, rtol, atol, ignore):
+    """Returns a list of human-readable mismatch strings."""
+    golden_header, golden_rows = read_rows(golden_path)
+    current_header, current_rows = read_rows(current_path)
+    kept_golden = [c for c in golden_header if c not in ignore]
+    kept_current = [c for c in current_header if c not in ignore]
+    if kept_golden != kept_current:
+        return [f"headers differ: {kept_golden} vs {kept_current}"]
+
+    errors = []
+    for run_id, golden_row in golden_rows.items():
+        current_row = current_rows.get(run_id)
+        if current_row is None:
+            errors.append(f"{run_id}: missing from {current_path}")
+            continue
+        for column in kept_golden:
+            if not cells_match(golden_row[column], current_row[column], rtol, atol):
+                errors.append(
+                    f"{run_id}.{column}: {current_row[column]!r} differs from golden "
+                    f"{golden_row[column]!r}"
+                )
+    for run_id in current_rows:
+        if run_id not in golden_rows:
+            errors.append(f"{run_id}: not in the golden grid {golden_path}")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("golden")
+    parser.add_argument("current")
+    parser.add_argument("--rtol", type=float, default=1e-4)
+    parser.add_argument("--atol", type=float, default=1e-9)
+    parser.add_argument(
+        "--ignore",
+        default="wall_ms",
+        help="comma-separated columns excluded from the comparison (default: wall_ms)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.golden):
+        print(
+            f"compare_sweep: golden file {args.golden} is missing — regenerate it with\n"
+            f"  abft_run --sweep <spec> --csv={args.golden}",
+            file=sys.stderr,
+        )
+        return 3
+
+    ignore = {c for c in args.ignore.split(",") if c}
+    try:
+        errors = compare(args.golden, args.current, args.rtol, args.atol, ignore)
+    except (OSError, ValueError) as error:
+        print(f"compare_sweep: {error}", file=sys.stderr)
+        return 2
+
+    if errors:
+        print(f"compare_sweep: {args.current} does not match {args.golden}:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"compare_sweep: {args.current} matches {args.golden} (rtol {args.rtol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_sweep.py (invoked from CI ahead of the sweep gate).
+
+Covers the comparison semantics — tolerance on numeric cells, nan-matches-
+nan, exact matching on id/label cells, the default wall_ms exemption, grid
+shape mismatches — and the exit-code contract, including the distinct
+missing-golden code CI keys off.
+"""
+
+import io
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_sweep  # noqa: E402
+
+HEADER = "run_id,aggregator,seed,final_dist,final_loss,eliminated,wall_ms\n"
+
+
+def run(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = compare_sweep.main(argv)
+    return code, out.getvalue()
+
+
+class CompareSweepTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, text):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        return path
+
+    def test_identical_grids_match(self):
+        text = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.234\n"
+        code, out = run([self.write("g.csv", text), self.write("c.csv", text)])
+        self.assertEqual(code, 0)
+        self.assertIn("matches", out)
+
+    def test_wall_ms_is_exempt_by_default(self):
+        golden = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.234\n"
+        current = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,99.9\n"
+        code, _ = run([self.write("g.csv", golden), self.write("c.csv", current)])
+        self.assertEqual(code, 0)
+
+    def test_tolerance_absorbs_libm_noise_but_not_regressions(self):
+        golden = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+        close = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.500004,2.25,0,1.0\n"
+        far = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.51,2.25,0,1.0\n"
+        g = self.write("g.csv", golden)
+        code, _ = run([g, self.write("close.csv", close), "--rtol", "1e-4"])
+        self.assertEqual(code, 0)
+        code, out = run([g, self.write("far.csv", far), "--rtol", "1e-4"])
+        self.assertEqual(code, 1)
+        self.assertIn("final_dist", out)
+
+    def test_nan_matches_nan_and_label_cells_compare_exactly(self):
+        golden = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,nan,2.25,0,1.0\n"
+        same = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,nan,2.25,0,2.0\n"
+        relabeled = HEADER + "000_aggregator=cwtm_seed=1,cge,1,nan,2.25,0,1.0\n"
+        g = self.write("g.csv", golden)
+        code, _ = run([g, self.write("same.csv", same)])
+        self.assertEqual(code, 0)
+        code, out = run([g, self.write("relabeled.csv", relabeled)])
+        self.assertEqual(code, 1)
+        self.assertIn("aggregator", out)
+
+    def test_grid_shape_mismatch_fails(self):
+        golden = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+        extra = (
+            HEADER
+            + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+            + "001_aggregator=cge_seed=1,cge,1,0.5,2.25,0,1.0\n"
+        )
+        g = self.write("g.csv", golden)
+        code, out = run([g, self.write("extra.csv", extra)])
+        self.assertEqual(code, 1)
+        self.assertIn("not in the golden grid", out)
+        code, out = run([self.write("g2.csv", extra), self.write("c2.csv", golden)])
+        self.assertEqual(code, 1)
+        self.assertIn("missing", out)
+
+    def test_header_drift_fails(self):
+        golden = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+        reshaped = (
+            "run_id,aggregator,f,final_dist,final_loss,eliminated,wall_ms\n"
+            + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+        )
+        code, out = run(
+            [self.write("g.csv", golden), self.write("c.csv", reshaped)]
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("headers differ", out)
+
+    def test_missing_golden_exits_three(self):
+        current = self.write("c.csv", HEADER)
+        code, _ = run([os.path.join(self.tmp.name, "absent.csv"), current])
+        self.assertEqual(code, 3)
+
+    def test_malformed_csv_exits_two(self):
+        golden = self.write("g.csv", HEADER + "000,cwtm,1,0.5\n")  # short row
+        current = self.write("c.csv", HEADER)
+        code, _ = run([golden, current])
+        self.assertEqual(code, 2)
+        # No run_id column at all.
+        no_id = self.write("n.csv", "a,b\n1,2\n")
+        code, _ = run([no_id, no_id])
+        self.assertEqual(code, 2)
+
+    def test_duplicate_run_id_exits_two(self):
+        doubled = (
+            HEADER
+            + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+            + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
+        )
+        path = self.write("d.csv", doubled)
+        code, _ = run([path, path])
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

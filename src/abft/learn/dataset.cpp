@@ -1,6 +1,7 @@
 #include "abft/learn/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "abft/util/check.hpp"
 
@@ -74,6 +75,71 @@ std::vector<Dataset> shard(const Dataset& data, int k, util::Rng& rng) {
     shards.push_back(select_examples(data, indices));
     start += size;
   }
+  return shards;
+}
+
+std::vector<Dataset> shard_dirichlet(const Dataset& data, int k, double alpha, util::Rng& rng) {
+  ABFT_REQUIRE(k > 0, "shard count must be positive");
+  ABFT_REQUIRE(data.num_examples() >= k, "fewer examples than shards");
+  ABFT_REQUIRE(alpha > 0.0, "dirichlet alpha must be positive");
+  // The iid limit must be *exactly* today's split: same code path, same rng
+  // consumption — a spec flipping alpha from infinity to a finite value is
+  // the only thing that changes the shards.
+  if (std::isinf(alpha)) return shard(data, k, rng);
+
+  // One shuffle up front so within-class assignment order is unbiased, then
+  // per-class Dirichlet proportions turned into counts by largest remainder
+  // (all m_c examples of a class are always dealt out).
+  const std::vector<int> order = rng.permutation(data.num_examples());
+  std::vector<std::vector<int>> by_class(static_cast<std::size_t>(data.num_classes));
+  for (const int example : order) {
+    by_class[static_cast<std::size_t>(data.labels[static_cast<std::size_t>(example)])]
+        .push_back(example);
+  }
+
+  std::vector<std::vector<int>> assigned(static_cast<std::size_t>(k));
+  for (const auto& members : by_class) {
+    if (members.empty()) continue;
+    const auto m_c = static_cast<int>(members.size());
+    const std::vector<double> p = rng.dirichlet(alpha, k);
+    std::vector<int> counts(static_cast<std::size_t>(k));
+    std::vector<std::pair<double, int>> remainders;  // (-fraction, agent)
+    int dealt = 0;
+    for (int agent = 0; agent < k; ++agent) {
+      const double share = p[static_cast<std::size_t>(agent)] * m_c;
+      counts[static_cast<std::size_t>(agent)] = static_cast<int>(share);
+      dealt += counts[static_cast<std::size_t>(agent)];
+      remainders.emplace_back(-(share - std::floor(share)), agent);
+    }
+    std::sort(remainders.begin(), remainders.end());  // ties break by agent id
+    for (int extra = 0; extra < m_c - dealt; ++extra) {
+      ++counts[static_cast<std::size_t>(remainders[static_cast<std::size_t>(extra)].second)];
+    }
+    int next = 0;
+    for (int agent = 0; agent < k; ++agent) {
+      for (int j = 0; j < counts[static_cast<std::size_t>(agent)]; ++j) {
+        assigned[static_cast<std::size_t>(agent)].push_back(
+            members[static_cast<std::size_t>(next++)]);
+      }
+    }
+  }
+
+  // Severe skew can starve an agent entirely; the dsgd driver needs every
+  // shard samplable, so rebalance deterministically from the largest shard.
+  for (auto& shard_indices : assigned) {
+    while (shard_indices.empty()) {
+      auto largest = std::max_element(
+          assigned.begin(), assigned.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      ABFT_REQUIRE(largest->size() > 1, "cannot rebalance: not enough examples");
+      shard_indices.push_back(largest->back());
+      largest->pop_back();
+    }
+  }
+
+  std::vector<Dataset> shards;
+  shards.reserve(static_cast<std::size_t>(k));
+  for (const auto& indices : assigned) shards.push_back(select_examples(data, indices));
   return shards;
 }
 

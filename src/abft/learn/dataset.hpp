@@ -51,6 +51,15 @@ Dataset make_synthetic(const SyntheticOptions& options, util::Rng& rng);
 /// paper's "randomly and evenly divided" agent data assignment.
 std::vector<Dataset> shard(const Dataset& data, int k, util::Rng& rng);
 
+/// Dirichlet-alpha label-skew sharding (the federated-learning standard for
+/// non-iid splits): for each class, agent proportions are drawn from
+/// Dirichlet(alpha, ..., alpha), so small alpha concentrates each class on
+/// few agents and alpha -> infinity recovers the class-balanced iid split.
+/// alpha = +infinity delegates to shard() outright — bit-identical to
+/// today's iid split, same rng consumption.  Every shard is guaranteed
+/// non-empty (deterministic rebalance from the largest shard).
+std::vector<Dataset> shard_dirichlet(const Dataset& data, int k, double alpha, util::Rng& rng);
+
 /// Non-iid sharding with a heterogeneity knob in [0, 1]: 0 reproduces the
 /// iid split; 1 deals label-sorted contiguous chunks (each agent sees few
 /// classes).  Appendix K observes that learning accuracy degrades as

@@ -11,8 +11,10 @@
 #include "abft/agg/registry.hpp"
 #include "abft/attack/adaptive_faults.hpp"
 #include "abft/attack/simple_faults.hpp"
+#include "abft/learn/mlp.hpp"
 #include "abft/learn/softmax.hpp"
 #include "abft/opt/quadratic.hpp"
+#include "abft/regress/generator.hpp"
 #include "abft/opt/schedule.hpp"
 #include "abft/p2p/p2p_dgd.hpp"
 #include "abft/regress/problem.hpp"
@@ -29,13 +31,7 @@ using linalg::Vector;
 
 void require_known_keys(const util::JsonValue& object, std::string_view where,
                         std::initializer_list<std::string_view> allowed) {
-  for (const auto& key : object.keys()) {
-    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
-      std::ostringstream os;
-      os << "scenario: unknown key \"" << key << "\" in " << where;
-      throw std::invalid_argument(os.str());
-    }
-  }
+  util::require_known_keys(object, "scenario", where, allowed);
 }
 
 int int_or(const util::JsonValue& object, std::string_view key, int fallback) {
@@ -78,8 +74,8 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
       {"name",       "driver",   "problem",          "aggregator",    "mode",
        "iterations", "f",        "seed",             "threads",       "schedule",
        "box_halfwidth", "x0",    "agents",           "num_agents",    "dim",
-       "faults",     "drop_probability",             "axes",          "batch_size",
-       "step_size",  "momentum", "eval_interval",    "dataset"});
+       "noise_stddev",  "faults", "drop_probability", "axes",         "batch_size",
+       "step_size",  "momentum", "eval_interval",    "model",         "dataset"});
   ScenarioSpec spec;
   spec.specified_keys = json.keys();
   spec.name = json.string_or("name", "");
@@ -112,6 +108,7 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
   }
   spec.num_agents = int_or(json, "num_agents", spec.num_agents);
   spec.dim = int_or(json, "dim", spec.dim);
+  spec.noise_stddev = json.number_or("noise_stddev", spec.noise_stddev);
   if (const auto* faults = json.find("faults")) {
     for (const auto& fault : faults->as_array()) {
       require_known_keys(fault, "fault", {"agent", "kind", "param"});
@@ -128,10 +125,21 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
   spec.step_size = json.number_or("step_size", spec.step_size);
   spec.momentum = json.number_or("momentum", spec.momentum);
   spec.eval_interval = int_or(json, "eval_interval", spec.eval_interval);
+  if (const auto* model = json.find("model")) {
+    require_known_keys(*model, "model", {"kind", "hidden_dim"});
+    spec.model = model->string_or("kind", spec.model);
+    ABFT_REQUIRE(spec.model == "softmax" || spec.model == "mlp",
+                 "model kind must be softmax or mlp");
+    // hidden_dim on a softmax model would be silently ignored — the same
+    // class of lie as batch_size on dgd; reject instead.
+    ABFT_REQUIRE(spec.model == "mlp" || model->find("hidden_dim") == nullptr,
+                 "hidden_dim applies to the mlp model only");
+    spec.hidden_dim = int_or(*model, "hidden_dim", spec.hidden_dim);
+  }
   if (const auto* dataset = json.find("dataset")) {
     require_known_keys(*dataset, "dataset",
                        {"num_classes", "feature_dim", "examples_per_class", "prototype_scale",
-                        "noise_stddev"});
+                        "noise_stddev", "dirichlet_alpha"});
     spec.dataset.num_classes = int_or(*dataset, "num_classes", spec.dataset.num_classes);
     spec.dataset.feature_dim = int_or(*dataset, "feature_dim", spec.dataset.feature_dim);
     spec.dataset.examples_per_class =
@@ -139,6 +147,8 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
     spec.dataset.prototype_scale =
         dataset->number_or("prototype_scale", spec.dataset.prototype_scale);
     spec.dataset.noise_stddev = dataset->number_or("noise_stddev", spec.dataset.noise_stddev);
+    spec.dirichlet_alpha = dataset->number_or("dirichlet_alpha", spec.dirichlet_alpha);
+    ABFT_REQUIRE(spec.dirichlet_alpha > 0.0, "dirichlet_alpha must be positive");
   }
   return spec;
 }
@@ -216,6 +226,12 @@ GradientWorkload build_gradient_workload(const ScenarioSpec& spec) {
   const std::string problem = spec.problem.empty() ? "paper_regression" : spec.problem;
   std::set<int> faulty_positions;
   for (const auto& fault : spec.faults) faulty_positions.insert(fault.agent);
+  if (problem != "random_regression") {
+    for (const auto& key : spec.specified_keys) {
+      ABFT_REQUIRE(key != "noise_stddev",
+                   "noise_stddev applies to the random_regression problem only");
+    }
+  }
 
   if (problem == "paper_regression") {
     // The Appendix-J instance has a fixed shape; a spec that sets
@@ -234,9 +250,17 @@ GradientWorkload build_gradient_workload(const ScenarioSpec& spec) {
         regress::RegressionProblem::paper_instance());
     w.costs = w.regression->costs(spec.agents);
     w.dim = w.regression->dim();
+  } else if (problem == "random_regression") {
+    ABFT_REQUIRE(spec.agents.empty(),
+                 "the agents subset applies to paper_regression and dsgd only");
+    w.regression =
+        std::make_unique<regress::RegressionProblem>(random_regression_instance(spec));
+    w.costs = w.regression->costs();
+    w.dim = w.regression->dim();
   } else if (problem == "quadratic") {
     ABFT_REQUIRE(spec.num_agents > 0 && spec.dim > 0, "quadratic needs num_agents and dim > 0");
-    ABFT_REQUIRE(spec.agents.empty(), "the agents subset applies to paper_regression only");
+    ABFT_REQUIRE(spec.agents.empty(),
+                 "the agents subset applies to paper_regression and dsgd only");
     // Deliberately irregular centers (evenly spaced centers create exact
     // pairwise-distance ties and selection rules then flip on fp noise) —
     // deterministic in the spec seed, independent of the driver streams.
@@ -315,7 +339,8 @@ double honest_cost_at(const GradientWorkload& w, const Vector& x) {
 
 ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
   reject_inapplicable_keys(
-      spec, {"batch_size", "step_size", "momentum", "eval_interval", "dataset"}, "dgd");
+      spec, {"batch_size", "step_size", "momentum", "eval_interval", "model", "dataset"},
+      "dgd");
   GradientWorkload w = build_gradient_workload(spec);
   const auto schedule = make_schedule(spec.schedule);
   const auto aggregator = agg::make_aggregator(spec.aggregator);
@@ -348,8 +373,8 @@ ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
 
 ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
   reject_inapplicable_keys(spec,
-                           {"batch_size", "step_size", "momentum", "eval_interval", "dataset",
-                            "drop_probability"},
+                           {"batch_size", "step_size", "momentum", "eval_interval", "model",
+                            "dataset", "drop_probability"},
                            "p2p");
   GradientWorkload w = build_gradient_workload(spec);
   const auto schedule = make_schedule(spec.schedule);
@@ -383,7 +408,8 @@ ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
 
 ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
   reject_inapplicable_keys(
-      spec, {"schedule", "box_halfwidth", "x0", "agents", "drop_probability", "dim"}, "dsgd");
+      spec, {"schedule", "box_halfwidth", "x0", "drop_probability", "dim", "noise_stddev"},
+      "dsgd");
   const std::string problem = spec.problem.empty() ? "synthetic" : spec.problem;
   ABFT_REQUIRE(problem == "synthetic", "dsgd supports the synthetic problem only");
   ABFT_REQUIRE(spec.num_agents > 0, "dsgd needs num_agents > 0");
@@ -393,12 +419,31 @@ ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
   util::Rng split_rng(spec.seed ^ 0x51D17ULL);
   auto split = learn::split_train_test(full, 0.2, split_rng);
   util::Rng shard_rng(spec.seed ^ 0x54a2dULL);
-  const auto shards = learn::shard(split.train, spec.num_agents, shard_rng);
+  // dirichlet_alpha defaults to +infinity, where shard_dirichlet IS the iid
+  // shard() split (same code path, same rng consumption).
+  auto shards =
+      learn::shard_dirichlet(split.train, spec.num_agents, spec.dirichlet_alpha, shard_rng);
+  if (!spec.agents.empty()) {
+    // Roster subset: shard for the full num_agents roster, then run on the
+    // named shards only (fault indices refer to subset positions) — the
+    // dsgd analogue of paper_regression's agents subset, used by the fig4/5
+    // fault-free curves ("omit the faulty agents, keep everyone's data
+    // assignment").
+    std::vector<learn::Dataset> subset;
+    subset.reserve(spec.agents.size());
+    for (const int agent : spec.agents) {
+      ABFT_REQUIRE(0 <= agent && agent < spec.num_agents,
+                   "agents subset entries must be in [0, num_agents)");
+      subset.push_back(std::move(shards[static_cast<std::size_t>(agent)]));
+    }
+    shards = std::move(subset);
+  }
+  const int roster_size = static_cast<int>(shards.size());
 
-  std::vector<learn::AgentFault> faults(static_cast<std::size_t>(spec.num_agents),
+  std::vector<learn::AgentFault> faults(static_cast<std::size_t>(roster_size),
                                         learn::AgentFault::kHonest);
   for (const auto& fault : spec.faults) {
-    ABFT_REQUIRE(0 <= fault.agent && fault.agent < spec.num_agents,
+    ABFT_REQUIRE(0 <= fault.agent && fault.agent < roster_size,
                  "fault agent outside the roster");
     if (fault.kind == "label-flip") {
       faults[static_cast<std::size_t>(fault.agent)] = learn::AgentFault::kLabelFlip;
@@ -411,7 +456,22 @@ ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
     }
   }
 
-  const learn::SoftmaxRegression model(split.train.feature_dim(), split.train.num_classes);
+  std::unique_ptr<learn::Model> model;
+  Vector params0;
+  if (spec.model == "mlp") {
+    auto mlp = std::make_unique<learn::Mlp>(split.train.feature_dim(), spec.hidden_dim,
+                                            split.train.num_classes);
+    // Dedicated init sub-stream: the parameter draw must not disturb the
+    // data/shard streams above.
+    util::Rng init_rng(spec.seed ^ 0x1417ULL);
+    params0 = mlp->initial_params(init_rng);
+    model = std::move(mlp);
+  } else {
+    ABFT_REQUIRE(spec.model == "softmax", "model kind must be softmax or mlp");
+    model = std::make_unique<learn::SoftmaxRegression>(split.train.feature_dim(),
+                                                       split.train.num_classes);
+    params0 = Vector(model->param_dim());
+  }
   learn::DsgdConfig config;
   config.iterations = spec.iterations;
   config.batch_size = spec.batch_size;
@@ -426,8 +486,8 @@ ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
   const auto aggregator = agg::make_aggregator(spec.aggregator);
   ScenarioResult result;
   result.spec = spec;
-  result.series = learn::run_dsgd(model, Vector(model.param_dim()), shards, faults, split.test,
-                                  *aggregator, config);
+  result.series =
+      learn::run_dsgd(*model, params0, shards, faults, split.test, *aggregator, config);
   result.final_cost = result.series->train_loss.back();
   result.departed_agents = result.series->departed_agents;
   return result;
@@ -435,8 +495,31 @@ ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
 
 }  // namespace
 
+regress::RegressionProblem random_regression_instance(const ScenarioSpec& spec) {
+  ABFT_REQUIRE(spec.num_agents > 0 && spec.dim > 0,
+               "random_regression needs num_agents and dim > 0");
+  ABFT_REQUIRE(spec.num_agents - 2 * spec.f >= spec.dim,
+               "random_regression needs n - 2f >= dim (else no honest subset determines x)");
+  regress::GeneratorOptions options;
+  options.num_agents = spec.num_agents;
+  options.dim = spec.dim;
+  options.noise_stddev = spec.noise_stddev;
+  options.rank_check_subset_size = spec.num_agents - 2 * spec.f;
+  // Problem construction gets its own derived stream, independent of the
+  // driver's round streams: two specs differing only in the rule or fault
+  // study the same instance.
+  util::Rng rng(spec.seed ^ 0xab5eedULL);
+  return regress::random_problem(options, rng);
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   ABFT_REQUIRE(spec.iterations >= 0, "iterations must be non-negative");
+  // A repeated roster entry would run one shard/cost twice under two agent
+  // ids (and the dsgd subset moves shards, so a duplicate would also read a
+  // moved-from Dataset) — reject for every driver.
+  std::set<int> distinct_agents(spec.agents.begin(), spec.agents.end());
+  ABFT_REQUIRE(distinct_agents.size() == spec.agents.size(),
+               "the agents subset must not repeat entries");
   if (spec.driver == "dgd") return run_dgd_scenario(spec);
   if (spec.driver == "dsgd") return run_dsgd_scenario(spec);
   if (spec.driver == "p2p") return run_p2p_scenario(spec, false);
@@ -446,37 +529,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
 namespace {
 
-void write_number(std::ostream& os, double value) {
-  std::ostringstream buffer;
-  buffer.precision(12);
-  buffer << value;
-  os << buffer.str();
-}
+void write_number(std::ostream& os, double value) { os << util::format_json_number(value); }
 
-/// JSON string literal with the mandatory escapes (the name field is
-/// free-form user text).
 void write_string(std::ostream& os, std::string_view text) {
-  os << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\b': os << "\\b"; break;
-      case '\f': os << "\\f"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          os << buffer;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  util::write_json_string(os, text);
 }
 
 }  // namespace

@@ -9,7 +9,8 @@
 // Spec schema (all keys optional unless noted; defaults in parentheses):
 //   name                  free-form label ("")
 //   driver                "dgd" | "dsgd" | "p2p" | "p2p_auth"       ("dgd")
-//   problem               dgd/p2p: "paper_regression" | "quadratic"
+//   problem               dgd/p2p: "paper_regression" | "quadratic" |
+//                           "random_regression"
 //                         dsgd: "synthetic"         (driver's natural one)
 //   aggregator            registry rule name                       ("cwtm")
 //   mode                  "exact" | "fast"                        ("exact")
@@ -19,8 +20,10 @@
 //   box_halfwidth         W = [-w, w]^d                            (1000)
 //   x0                    array of d numbers, or a single number
 //                         broadcast to every coordinate            (zeros)
-//   agents                paper_regression only: roster subset       (all)
-//   num_agents, dim       quadratic roster shape                   (7, 2)
+//   agents                paper_regression / dsgd: roster (shard) subset
+//                         to run on                                  (all)
+//   num_agents, dim       quadratic / random_regression shape      (7, 2)
+//   noise_stddev          random_regression observation noise      (0.05)
 //   faults                [{"agent": i, "kind": k, "param": x}, ...]
 //       dgd/p2p kinds: gradient-reverse, random (param = stddev, 200),
 //         zero, sign-flip-scale (param = kappa, 2), rotating (param =
@@ -32,12 +35,23 @@
 //                          "perturbation_seed": s,
 //                          "churn": [{"round": r, "agent": i}, ...]}
 //   dsgd knobs            batch_size (32), step_size (0.01), momentum (0),
-//                         eval_interval (25), dataset {num_classes (3),
-//                         feature_dim (6), examples_per_class (30),
-//                         noise_stddev (0.3)}
+//                         eval_interval (25),
+//                         model {"kind": "softmax"|"mlp",
+//                                "hidden_dim": h}        (softmax; mlp: 24)
+//                         dataset {num_classes (3), feature_dim (6),
+//                         examples_per_class (30), noise_stddev (0.3),
+//                         dirichlet_alpha (absent = iid split)}
+//       dirichlet_alpha: Dirichlet-alpha label skew over the synthetic
+//       shards (learn/dataset.hpp shard_dirichlet); small alpha = severe
+//       skew, absent / +infinity = today's iid split, bit-identically
+//
+// Sweep specs — a "sweep" block of list-valued axes over a "base" spec,
+// expanded into a cartesian run grid and executed in parallel — are the
+// layer above this one: see sweep/sweep.hpp.
 #pragma once
 
 #include <iosfwd>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +61,10 @@
 #include "abft/learn/dsgd.hpp"
 #include "abft/sim/trace.hpp"
 #include "abft/util/json.hpp"
+
+namespace abft::regress {
+class RegressionProblem;  // random_regression_instance return type
+}
 
 namespace abft::scenario {
 
@@ -77,10 +95,12 @@ struct ScenarioSpec {
   double box_halfwidth = 1000.0;
   /// Start estimate: empty = zeros; one entry = broadcast to all coords.
   std::vector<double> x0;
-  /// paper_regression only: the roster subset to run on (empty = all).
+  /// paper_regression / dsgd: the roster (shard) subset to run on
+  /// (empty = all).
   std::vector<int> agents;
-  int num_agents = 7;  // quadratic / synthetic roster size
-  int dim = 2;         // quadratic dimension
+  int num_agents = 7;  // quadratic / random_regression / synthetic roster
+  int dim = 2;         // quadratic / random_regression dimension
+  double noise_stddev = 0.05;  // random_regression observation noise
   std::vector<FaultSpec> faults;
   double drop_probability = 0.0;
   engine::ScenarioAxes axes;
@@ -90,7 +110,12 @@ struct ScenarioSpec {
   double step_size = 0.01;
   double momentum = 0.0;
   int eval_interval = 25;
+  std::string model = "softmax";  // softmax | mlp
+  int hidden_dim = 24;            // mlp only
   learn::SyntheticOptions dataset{3, 6, 30, 1.0, 0.3};
+  /// Dirichlet label-skew over the shards; +infinity (the default) is the
+  /// iid split, bit-identically (shard_dirichlet delegates to shard()).
+  double dirichlet_alpha = std::numeric_limits<double>::infinity();
 
   /// Top-level keys the spec actually set (filled by parse_scenario) — lets
   /// run_scenario reject keys the chosen driver would silently ignore.
@@ -124,6 +149,11 @@ struct ScenarioResult {
 
 /// Builds the workload named by the spec and runs it on the spec's driver.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The deterministic random_regression instance a spec names (problem rng is
+/// derived from the spec seed) — exposed so redundancy / theorem-bound
+/// analysis (bench_epsilon_sweep) can study the very instance a sweep ran.
+regress::RegressionProblem random_regression_instance(const ScenarioSpec& spec);
 
 /// Machine-readable one-object summary (stable keys; used by the CI smoke
 /// goldens and scripts/compare_scenario.py).

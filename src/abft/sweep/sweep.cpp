@@ -1,0 +1,515 @@
+#include "abft/sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "abft/agg/registry.hpp"
+#include "abft/agg/threads.hpp"
+#include "abft/util/check.hpp"
+#include "abft/util/csv.hpp"
+#include "abft/util/table.hpp"
+
+namespace abft::sweep {
+
+namespace {
+
+using util::JsonValue;
+using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+// ------------------------------- parsing ------------------------------------
+
+void require_known_keys(const JsonValue& object, std::string_view where,
+                        std::initializer_list<std::string_view> allowed) {
+  util::require_known_keys(object, "sweep", where, allowed);
+}
+
+/// The JSON reader resolves duplicate keys last-wins; a sweep block where
+/// the same axis appears twice is a spec contradicting itself, so it must
+/// fail loudly instead of silently dropping the first list.
+void reject_duplicate_keys(const JsonValue& object, std::string_view where) {
+  auto keys = object.keys();
+  std::sort(keys.begin(), keys.end());
+  const auto dup = std::adjacent_find(keys.begin(), keys.end());
+  if (dup != keys.end()) {
+    std::ostringstream os;
+    os << "sweep: duplicate key \"" << *dup << "\" in " << where;
+    throw std::invalid_argument(os.str());
+  }
+}
+
+std::vector<std::string> parse_string_axis(const JsonValue& values, std::string_view axis) {
+  std::vector<std::string> out;
+  for (const auto& value : values.as_array()) out.push_back(value.as_string());
+  if (out.empty()) {
+    throw std::invalid_argument("sweep: the " + std::string(axis) + " axis list is empty");
+  }
+  return out;
+}
+
+std::vector<double> parse_number_axis(const JsonValue& values) {
+  std::vector<double> out;
+  for (const auto& value : values.as_array()) out.push_back(value.as_number());
+  ABFT_REQUIRE(!out.empty(), "sweep axis lists must be non-empty");
+  return out;
+}
+
+std::uint64_t checked_seed(double value) {
+  ABFT_REQUIRE(value >= 0.0 && value <= 9007199254740992.0 && value == std::floor(value),
+               "sweep seeds must be integers in [0, 2^53]");
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Seed axis: an explicit list, or a contiguous range {"from": s, "count": n}.
+std::vector<std::uint64_t> parse_seed_axis(const JsonValue& values) {
+  std::vector<std::uint64_t> out;
+  if (values.is_object()) {
+    require_known_keys(values, "seed range", {"from", "count"});
+    const std::uint64_t from = checked_seed(values.at("from").as_number());
+    const double count = values.at("count").as_number();
+    ABFT_REQUIRE(count >= 1.0 && count == std::floor(count) && count <= 1e6,
+                 "seed range count must be an integer in [1, 1e6]");
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(count); ++i) {
+      out.push_back(from + i);
+    }
+    return out;
+  }
+  for (const auto& value : values.as_array()) out.push_back(checked_seed(value.as_number()));
+  ABFT_REQUIRE(!out.empty(), "sweep axis lists must be non-empty");
+  return out;
+}
+
+std::string sanitize_token(std::string_view text);
+
+/// Labels are compared after run-id/CSV sanitization: two labels that only
+/// differ in characters the tokens drop (e.g. "a b" vs "a-b") would emit
+/// indistinguishable axis cells and run ids, so they are duplicates too.
+void reject_duplicate_labels(const std::vector<std::string>& labels, std::string_view axis) {
+  std::vector<std::string> sorted;
+  sorted.reserve(labels.size());
+  for (const auto& label : labels) sorted.push_back(sanitize_token(label));
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    std::ostringstream os;
+    os << "sweep: duplicate label \"" << *dup << "\" in the " << axis
+       << " axis (labels are compared after run-id sanitization)";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+/// A named axis re-specifying a key the base already sets would make the
+/// spec contradict itself (which value did the author mean?) — reject.
+/// Variants are exempt: a patch exists to override, and applies last.
+void reject_base_conflict(const SweepSpec& spec, std::string_view axis, bool swept) {
+  if (!swept) return;
+  const bool nested =
+      axis == "participation" || axis == "straggler_probability";
+  const JsonValue* collision = nullptr;
+  if (nested) {
+    if (const auto* axes = spec.base.find("axes")) collision = axes->find(axis);
+  } else {
+    collision = spec.base.find(axis);
+  }
+  if (collision != nullptr) {
+    std::ostringstream os;
+    os << "sweep: axis \"" << axis << "\" is also set in the base spec — remove one";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+// ------------------------------ expansion -----------------------------------
+
+void set_member(Members& members, std::string_view key, JsonValue value) {
+  for (auto& [name, existing] : members) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members.emplace_back(std::string(key), std::move(value));
+}
+
+/// Sets one key inside the spec's "axes" sub-object (creating it if the base
+/// has none) — the participation / straggler axes live a level down.
+void set_axes_member(Members& members, std::string_view key, double value) {
+  Members axes_members;
+  for (const auto& [name, existing] : members) {
+    if (name == "axes") axes_members = existing.as_object();
+  }
+  set_member(axes_members, key, JsonValue::make_number(value));
+  set_member(members, "axes", JsonValue::make_object(std::move(axes_members)));
+}
+
+std::string number_token(double value) { return util::format_json_number(value); }
+
+/// Run-id / CSV token: labels are free-form, ids must stay shell- and
+/// csv-friendly.
+std::string sanitize_token(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(keep ? c : '-');
+  }
+  return out.empty() ? std::string("-") : out;
+}
+
+std::string pad_index(std::size_t index, std::size_t total) {
+  std::string digits = std::to_string(total == 0 ? 0 : total - 1);
+  std::string out = std::to_string(index);
+  const std::size_t width = std::max<std::size_t>(3, digits.size());
+  while (out.size() < width) out.insert(out.begin(), '0');
+  return out;
+}
+
+// ------------------------------ output --------------------------------------
+
+using util::write_json_string;
+
+std::string format_wall_ms(double wall_ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", wall_ms);
+  return buffer;
+}
+
+std::string final_dist_cell(const scenario::ScenarioResult& result) {
+  return result.distance_to_reference ? number_token(*result.distance_to_reference)
+                                      : std::string("nan");
+}
+
+/// One header/row shape shared by the CSV writer and the summary table.
+std::vector<std::string> result_header(const SweepOutcome& outcome) {
+  std::vector<std::string> header{"run_id"};
+  if (!outcome.runs.empty()) {
+    for (const auto& cell : outcome.runs.front().axes) header.push_back(cell.axis);
+  }
+  header.insert(header.end(), {"final_dist", "final_loss", "eliminated", "wall_ms"});
+  return header;
+}
+
+std::vector<std::string> result_row(const SweepRunResult& run) {
+  std::vector<std::string> row{run.run_id};
+  for (const auto& cell : run.axes) row.push_back(cell.value);
+  row.push_back(final_dist_cell(run.result));
+  row.push_back(number_token(run.result.final_cost));
+  row.push_back(std::to_string(run.result.eliminated_agents));
+  row.push_back(format_wall_ms(run.wall_ms));
+  return row;
+}
+
+}  // namespace
+
+bool is_sweep_json(const JsonValue& json) { return json.find("sweep") != nullptr; }
+
+std::string SweepRunResult::axis_value(std::string_view axis) const {
+  for (const auto& cell : axes) {
+    if (cell.axis == axis) return cell.value;
+  }
+  return "";
+}
+
+void set_base_member(SweepSpec* spec, std::string_view key, JsonValue value) {
+  ABFT_REQUIRE(spec->base.is_object(), "sweep base must be a scenario object");
+  Members members = spec->base.as_object();
+  set_member(members, key, std::move(value));
+  spec->base = JsonValue::make_object(std::move(members));
+}
+
+SweepSpec parse_sweep(const JsonValue& json) {
+  require_known_keys(json, "sweep document", {"name", "threads", "base", "sweep"});
+  reject_duplicate_keys(json, "sweep document");
+  SweepSpec spec;
+  spec.name = json.string_or("name", "");
+  const double threads = json.number_or("threads", 1);
+  ABFT_REQUIRE(threads >= 1.0 && threads == std::floor(threads),
+               "sweep threads must be an integer >= 1");
+  spec.threads = static_cast<int>(threads);
+  spec.base = json.at("base");
+  ABFT_REQUIRE(spec.base.is_object(), "sweep base must be a scenario object");
+  reject_duplicate_keys(spec.base, "base");
+
+  const JsonValue& sw = json.at("sweep");
+  ABFT_REQUIRE(sw.is_object(), "the sweep block must be an object of axes");
+  require_known_keys(sw, "sweep block",
+                     {"aggregator", "mode", "f", "seed", "drop_probability", "participation",
+                      "straggler_probability", "faults", "variants"});
+  reject_duplicate_keys(sw, "sweep block");
+
+  if (const auto* axis = sw.find("aggregator")) {
+    spec.aggregator = parse_string_axis(*axis, "aggregator");
+  }
+  if (const auto* axis = sw.find("mode")) {
+    spec.mode = parse_string_axis(*axis, "mode");
+    for (const auto& mode : spec.mode) agg::agg_mode_from_string(mode);  // early validation
+  }
+  if (const auto* axis = sw.find("f")) {
+    for (const double value : parse_number_axis(*axis)) {
+      ABFT_REQUIRE(value >= 0.0 && value == std::floor(value), "f axis entries must be"
+                   " non-negative integers");
+      spec.f.push_back(static_cast<int>(value));
+    }
+  }
+  if (const auto* axis = sw.find("seed")) spec.seed = parse_seed_axis(*axis);
+  if (const auto* axis = sw.find("drop_probability")) {
+    spec.drop_probability = parse_number_axis(*axis);
+  }
+  if (const auto* axis = sw.find("participation")) {
+    spec.participation = parse_number_axis(*axis);
+  }
+  if (const auto* axis = sw.find("straggler_probability")) {
+    spec.straggler_probability = parse_number_axis(*axis);
+  }
+  if (const auto* axis = sw.find("faults")) {
+    std::vector<std::string> labels;
+    for (const auto& preset : axis->as_array()) {
+      require_known_keys(preset, "fault preset", {"label", "faults"});
+      FaultPreset parsed{preset.at("label").as_string(), preset.at("faults")};
+      ABFT_REQUIRE(parsed.faults.is_array(), "a fault preset's faults must be an array");
+      labels.push_back(parsed.label);
+      spec.faults.push_back(std::move(parsed));
+    }
+    ABFT_REQUIRE(!spec.faults.empty(), "sweep axis lists must be non-empty");
+    reject_duplicate_labels(labels, "faults");
+  }
+  if (const auto* axis = sw.find("variants")) {
+    std::vector<std::string> labels;
+    for (const auto& variant : axis->as_array()) {
+      require_known_keys(variant, "variant", {"label", "patch"});
+      Variant parsed{variant.at("label").as_string(), variant.at("patch")};
+      ABFT_REQUIRE(parsed.patch.is_object(), "a variant's patch must be an object");
+      reject_duplicate_keys(parsed.patch, "variant patch \"" + parsed.label + "\"");
+      labels.push_back(parsed.label);
+      spec.variants.push_back(std::move(parsed));
+    }
+    ABFT_REQUIRE(!spec.variants.empty(), "sweep axis lists must be non-empty");
+    reject_duplicate_labels(labels, "variants");
+  }
+
+  const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() || !spec.f.empty() ||
+                        !spec.seed.empty() || !spec.drop_probability.empty() ||
+                        !spec.participation.empty() || !spec.straggler_probability.empty() ||
+                        !spec.faults.empty() || !spec.variants.empty();
+  ABFT_REQUIRE(any_axis, "the sweep block must sweep at least one axis");
+
+  reject_base_conflict(spec, "aggregator", !spec.aggregator.empty());
+  reject_base_conflict(spec, "mode", !spec.mode.empty());
+  reject_base_conflict(spec, "f", !spec.f.empty());
+  reject_base_conflict(spec, "seed", !spec.seed.empty());
+  reject_base_conflict(spec, "drop_probability", !spec.drop_probability.empty());
+  reject_base_conflict(spec, "participation", !spec.participation.empty());
+  reject_base_conflict(spec, "straggler_probability", !spec.straggler_probability.empty());
+  reject_base_conflict(spec, "faults", !spec.faults.empty());
+  return spec;
+}
+
+SweepSpec load_sweep_file(const std::string& path) {
+  return parse_sweep(util::parse_json_file(path));
+}
+
+std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
+  ABFT_REQUIRE(spec.base.is_object(), "sweep base must be a scenario object");
+
+  // Active axes in canonical order; each knows how to apply one position
+  // onto the merged member list and to name its value token.
+  struct Axis {
+    std::string name;
+    std::size_t size;
+    std::function<std::string(std::size_t, Members&)> apply;  // returns value token
+  };
+  std::vector<Axis> axes;
+  if (!spec.aggregator.empty()) {
+    axes.push_back({"aggregator", spec.aggregator.size(), [&](std::size_t i, Members& m) {
+                      set_member(m, "aggregator", JsonValue::make_string(spec.aggregator[i]));
+                      return sanitize_token(spec.aggregator[i]);
+                    }});
+  }
+  if (!spec.mode.empty()) {
+    axes.push_back({"mode", spec.mode.size(), [&](std::size_t i, Members& m) {
+                      set_member(m, "mode", JsonValue::make_string(spec.mode[i]));
+                      return sanitize_token(spec.mode[i]);
+                    }});
+  }
+  if (!spec.f.empty()) {
+    axes.push_back({"f", spec.f.size(), [&](std::size_t i, Members& m) {
+                      set_member(m, "f", JsonValue::make_number(spec.f[i]));
+                      return std::to_string(spec.f[i]);
+                    }});
+  }
+  if (!spec.seed.empty()) {
+    axes.push_back({"seed", spec.seed.size(), [&](std::size_t i, Members& m) {
+                      set_member(m, "seed",
+                                 JsonValue::make_number(static_cast<double>(spec.seed[i])));
+                      return std::to_string(spec.seed[i]);
+                    }});
+  }
+  if (!spec.drop_probability.empty()) {
+    axes.push_back(
+        {"drop_probability", spec.drop_probability.size(), [&](std::size_t i, Members& m) {
+           set_member(m, "drop_probability", JsonValue::make_number(spec.drop_probability[i]));
+           return number_token(spec.drop_probability[i]);
+         }});
+  }
+  if (!spec.participation.empty()) {
+    axes.push_back({"participation", spec.participation.size(), [&](std::size_t i, Members& m) {
+                      set_axes_member(m, "participation", spec.participation[i]);
+                      return number_token(spec.participation[i]);
+                    }});
+  }
+  if (!spec.straggler_probability.empty()) {
+    axes.push_back({"straggler_probability", spec.straggler_probability.size(),
+                    [&](std::size_t i, Members& m) {
+                      set_axes_member(m, "straggler_probability",
+                                      spec.straggler_probability[i]);
+                      return number_token(spec.straggler_probability[i]);
+                    }});
+  }
+  if (!spec.faults.empty()) {
+    axes.push_back({"faults", spec.faults.size(), [&](std::size_t i, Members& m) {
+                      set_member(m, "faults", spec.faults[i].faults);
+                      return sanitize_token(spec.faults[i].label);
+                    }});
+  }
+  if (!spec.variants.empty()) {
+    axes.push_back({"variants", spec.variants.size(), [&](std::size_t i, Members& m) {
+                      for (const auto& [key, value] : spec.variants[i].patch.as_object()) {
+                        set_member(m, key, value);
+                      }
+                      return sanitize_token(spec.variants[i].label);
+                    }});
+  }
+  ABFT_REQUIRE(!axes.empty(), "the sweep block must sweep at least one axis");
+
+  std::size_t total = 1;
+  for (const auto& axis : axes) {
+    ABFT_REQUIRE(axis.size > 0 && total <= 1000000 / axis.size,
+                 "sweep grid exceeds 1e6 runs — split the spec");
+    total *= axis.size;
+  }
+
+  std::vector<ExpandedRun> runs;
+  runs.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    // Row-major decomposition: the LAST axis varies fastest.
+    std::vector<std::size_t> position(axes.size());
+    std::size_t remainder = index;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      position[a] = remainder % axes[a].size;
+      remainder /= axes[a].size;
+    }
+
+    ExpandedRun run;
+    Members members = spec.base.as_object();
+    std::string run_id = pad_index(index, total);
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const std::string token = axes[a].apply(position[a], members);
+      run.axes.push_back(AxisCell{axes[a].name, token});
+      run_id += '_' + axes[a].name + '=' + token;
+    }
+    run.run_id = std::move(run_id);
+    try {
+      run.spec = scenario::parse_scenario(JsonValue::make_object(std::move(members)));
+    } catch (const std::exception& error) {
+      throw std::invalid_argument("sweep run " + run.run_id + ": " + error.what());
+    }
+    if (run.spec.name.empty()) run.spec.name = run.run_id;
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+SweepOutcome run_sweep(const SweepSpec& spec, int threads_override) {
+  const int threads = threads_override > 0 ? threads_override : spec.threads;
+  ABFT_REQUIRE(threads >= 1, "sweep threads must be >= 1");
+  std::vector<ExpandedRun> runs = expand_sweep(spec);
+
+  SweepOutcome outcome;
+  outcome.name = spec.name;
+  outcome.runs.resize(runs.size());
+  // Independent engines per run: results land in their grid slot, so the
+  // outcome is row-for-row identical at every thread count (and identical
+  // to run-by-run run_scenario).  Inside a pool worker the per-run engines'
+  // own parallel_for degenerates to serial (nested-dispatch rule), so a
+  // parallel sweep never oversubscribes.
+  agg::ThreadPool pool(std::min(threads, static_cast<int>(std::max<std::size_t>(
+                                             runs.size(), 1))));
+  // Dynamic scheduling: run costs are heterogeneous (and grid order
+  // correlates cost with position — e.g. a mode axis groups all the slow
+  // exact runs together), so workers drain a shared cursor instead of
+  // taking parallel_for's static chunks.  Each run still lands in its own
+  // grid slot, so the outcome stays row-for-row identical.
+  std::atomic<int> cursor{0};
+  const int total_runs = static_cast<int>(runs.size());
+  pool.parallel_for(0, total_runs, threads, [&](int, int) {
+    for (int i = cursor.fetch_add(1); i < total_runs; i = cursor.fetch_add(1)) {
+      auto& slot = outcome.runs[static_cast<std::size_t>(i)];
+      auto& run = runs[static_cast<std::size_t>(i)];
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        slot.result = scenario::run_scenario(run.spec);
+      } catch (const std::exception& error) {
+        // Re-anchor the failure to its grid cell; parallel_for rethrows the
+        // first failing chunk's exception to the caller.
+        throw std::invalid_argument("sweep run " + run.run_id + ": " + error.what());
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      slot.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      slot.run_id = std::move(run.run_id);
+      slot.axes = std::move(run.axes);
+    }
+  });
+  return outcome;
+}
+
+void write_sweep_csv(const SweepOutcome& outcome, std::ostream& os) {
+  util::CsvWriter csv(os, result_header(outcome));
+  for (const auto& run : outcome.runs) csv.add_row(result_row(run));
+}
+
+void write_sweep_json(const SweepOutcome& outcome, std::ostream& os) {
+  os << "{\n  \"name\": ";
+  write_json_string(os, outcome.name);
+  os << ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < outcome.runs.size(); ++i) {
+    const auto& run = outcome.runs[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"run_id\": ";
+    write_json_string(os, run.run_id);
+    os << ", \"axes\": {";
+    for (std::size_t c = 0; c < run.axes.size(); ++c) {
+      if (c > 0) os << ", ";
+      write_json_string(os, run.axes[c].axis);
+      os << ": ";
+      write_json_string(os, run.axes[c].value);
+    }
+    os << "}, \"driver\": ";
+    write_json_string(os, run.result.spec.driver);
+    os << ", \"aggregator\": ";
+    write_json_string(os, run.result.spec.aggregator);
+    os << ", \"mode\": \"" << agg::to_string(run.result.spec.mode) << "\"";
+    os << ", \"final_cost\": " << number_token(run.result.final_cost);
+    if (run.result.distance_to_reference) {
+      os << ", \"distance_to_reference\": " << number_token(*run.result.distance_to_reference);
+    }
+    os << ", \"eliminated_agents\": " << run.result.eliminated_agents;
+    os << ", \"departed_agents\": " << run.result.departed_agents;
+    os << ", \"wall_ms\": " << format_wall_ms(run.wall_ms) << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void print_sweep(const SweepOutcome& outcome, std::ostream& os) {
+  os << "sweep: " << (outcome.name.empty() ? "(unnamed)" : outcome.name) << " — "
+     << outcome.runs.size() << " runs\n";
+  util::Table table(result_header(outcome));
+  for (const auto& run : outcome.runs) table.add_row(result_row(run));
+  table.print(os);
+}
+
+}  // namespace abft::sweep

@@ -1,8 +1,11 @@
 #include "abft/util/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -329,6 +332,49 @@ JsonValue parse_json_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_json(buffer.str());
+}
+
+void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string format_json_number(double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+void require_known_keys(const JsonValue& object, std::string_view layer,
+                        std::string_view where,
+                        std::initializer_list<std::string_view> allowed) {
+  for (const auto& key : object.keys()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::ostringstream os;
+      os << layer << ": unknown key \"" << key << "\" in " << where;
+      throw std::invalid_argument(os.str());
+    }
+  }
 }
 
 }  // namespace abft::util

@@ -6,6 +6,8 @@
 // order of object keys is preserved; duplicate keys keep the last value.
 #pragma once
 
+#include <initializer_list>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -74,5 +76,22 @@ JsonValue parse_json(std::string_view text);
 /// Reads and parses a JSON file; throws std::invalid_argument naming the
 /// path when the file cannot be read.
 JsonValue parse_json_file(const std::string& path);
+
+// --- emission / validation helpers shared by the spec layers ---------------
+
+/// Writes `text` as a JSON string literal with the mandatory escapes (spec
+/// names are free-form user text).
+void write_json_string(std::ostream& os, std::string_view text);
+
+/// Number formatted to 12 significant digits — the stable contract of every
+/// machine summary (write_result_json, the sweep CSV/JSON writers) and of
+/// the tolerances in scripts/compare_scenario.py / compare_sweep.py.
+std::string format_json_number(double value);
+
+/// Throws std::invalid_argument naming the first key of `object` not in
+/// `allowed`, as "<layer>: unknown key \"k\" in <where>".
+void require_known_keys(const JsonValue& object, std::string_view layer,
+                        std::string_view where,
+                        std::initializer_list<std::string_view> allowed);
 
 }  // namespace abft::util

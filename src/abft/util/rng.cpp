@@ -86,6 +86,52 @@ std::vector<double> Rng::normal_vector(int k) {
   return out;
 }
 
+double Rng::gamma(double shape) {
+  ABFT_REQUIRE(shape > 0.0, "gamma needs shape > 0");
+  if (shape < 1.0) {
+    // Boost: X ~ Gamma(shape + 1), U^(1/shape) X ~ Gamma(shape).
+    const double u = 1.0 - uniform();  // (0, 1]: the exponent may be huge
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000): squeeze on d (V)^3 with V = (1 + c Z)^3.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double z = 0.0;
+    double v = 0.0;
+    do {
+      z = normal();
+      v = 1.0 + c * z;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - uniform();  // (0, 1]: log(u) must be finite
+    if (u < 1.0 - 0.0331 * (z * z) * (z * z)) return d * v;
+    if (std::log(u) < 0.5 * z * z + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, int k) {
+  ABFT_REQUIRE(k >= 1, "dirichlet needs k >= 1");
+  std::vector<double> weights(static_cast<std::size_t>(k));
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = gamma(alpha);
+    total += w;
+  }
+  if (total <= 0.0) {
+    // All draws underflowed (alpha so small every Gamma mass sits below
+    // double range).  The alpha -> 0 limit is winner-take-all — one
+    // category holds all the mass — so degrade to that, not to the uniform
+    // simplex (which is the alpha -> infinity limit).
+    const auto winner = static_cast<std::size_t>(uniform_index(static_cast<std::uint64_t>(k)));
+    for (auto& w : weights) w = 0.0;
+    weights[winner] = 1.0;
+    return weights;
+  }
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
 std::vector<int> Rng::permutation(int n) {
   ABFT_REQUIRE(n >= 0, "permutation needs n >= 0");
   std::vector<int> idx(static_cast<std::size_t>(n));

@@ -40,6 +40,16 @@ class Rng {
   /// Vector of k i.i.d. standard normal samples.
   std::vector<double> normal_vector(int k);
 
+  /// Gamma(shape, 1) sample via Marsaglia–Tsang squeeze (shape > 0; shapes
+  /// below 1 use the standard U^(1/shape) boost).  Like every distribution
+  /// here it is built on our own generator, so draws are bit-reproducible
+  /// across platforms.
+  double gamma(double shape);
+
+  /// Dirichlet(alpha, ..., alpha) sample over k categories (alpha > 0,
+  /// k >= 1): normalized i.i.d. Gamma(alpha) draws.
+  std::vector<double> dirichlet(double alpha, int k);
+
   /// Fisher–Yates shuffle of indices [0, n).
   std::vector<int> permutation(int n);
 

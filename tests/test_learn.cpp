@@ -3,7 +3,9 @@
 // without faults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -60,6 +62,80 @@ TEST(Dataset, ShardsPartitionTheData) {
   for (const auto& s : shards) total += s.num_examples();
   EXPECT_EQ(total, data.num_examples());
   for (const auto& s : shards) EXPECT_EQ(s.num_classes, 4);
+}
+
+TEST(Dataset, ShardDirichletInfiniteAlphaIsTheIidSplitBitIdentically) {
+  // alpha -> infinity must be *today's* split, not merely statistically
+  // similar: shard_dirichlet(inf) delegates to shard() on the same rng, so
+  // the scenario layer's dirichlet_alpha default changes nothing.
+  const auto data = tiny_dataset(4, 12, 3);
+  util::Rng iid_rng(21);
+  util::Rng dirichlet_rng(21);
+  const auto iid = learn::shard(data, 5, iid_rng);
+  const auto skewless = learn::shard_dirichlet(
+      data, 5, std::numeric_limits<double>::infinity(), dirichlet_rng);
+  ASSERT_EQ(iid.size(), skewless.size());
+  for (std::size_t s = 0; s < iid.size(); ++s) {
+    ASSERT_EQ(iid[s].labels, skewless[s].labels) << "shard " << s;
+    ASSERT_EQ(iid[s].num_examples(), skewless[s].num_examples());
+    for (int i = 0; i < iid[s].num_examples(); ++i) {
+      for (int k = 0; k < iid[s].feature_dim(); ++k) {
+        ASSERT_EQ(iid[s].features(i, k), skewless[s].features(i, k))
+            << "shard " << s << " example " << i;
+      }
+    }
+  }
+  // And the two rngs stayed in lockstep (identical consumption).
+  EXPECT_EQ(iid_rng.next_u64(), dirichlet_rng.next_u64());
+}
+
+TEST(Dataset, ShardDirichletPartitionsAndSkewsLabels) {
+  const auto data = tiny_dataset(4, 30, 7);
+  util::Rng rng(13);
+  const auto shards = learn::shard_dirichlet(data, 4, 0.05, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  int total = 0;
+  for (const auto& s : shards) {
+    EXPECT_GT(s.num_examples(), 0);  // every shard stays samplable
+    total += s.num_examples();
+  }
+  EXPECT_EQ(total, data.num_examples());
+
+  // Label concentration: at alpha = 0.05 a shard's dominant class should
+  // hold far more than the iid ~1/4 share, on average.
+  double dominant_share = 0.0;
+  for (const auto& s : shards) {
+    std::vector<int> counts(4, 0);
+    for (const int y : s.labels) ++counts[static_cast<std::size_t>(y)];
+    dominant_share += static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+                      static_cast<double>(s.num_examples());
+  }
+  dominant_share /= 4.0;
+  EXPECT_GT(dominant_share, 0.5);
+
+  // Determinism: the same seed deals the same shards.
+  util::Rng again(13);
+  const auto repeat = learn::shard_dirichlet(data, 4, 0.05, again);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].labels, repeat[s].labels) << "shard " << s;
+  }
+}
+
+TEST(Rng, GammaAndDirichletMomentsAreSane) {
+  util::Rng rng(77);
+  // Gamma(k) has mean k; 4000 samples put the sample mean within ~10%.
+  for (const double shape : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    for (int i = 0; i < 4000; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / 4000.0, shape, 0.1 * shape + 0.02) << "shape " << shape;
+  }
+  const auto simplex = rng.dirichlet(0.3, 6);
+  double total = 0.0;
+  for (const double w : simplex) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
 }
 
 TEST(Dataset, LabelFlipIsAnInvolution) {

@@ -4,6 +4,7 @@
 // against the driver API, for every driver the layer dispatches to.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "abft/agg/registry.hpp"
@@ -278,6 +279,103 @@ TEST(ScenarioRun, QuadraticProblemReferenceIsHonestCentroid) {
   // centroid — the layer's closed-form reference must agree.
   ASSERT_TRUE(result.distance_to_reference.has_value());
   EXPECT_LT(*result.distance_to_reference, 1e-2);
+}
+
+// ------------------------- new workload knobs -------------------------------
+
+TEST(ScenarioRun, DsgdDirichletAlphaDefaultMatchesExplicitInfinity) {
+  // A spec that never mentions dirichlet_alpha and one that sets it to the
+  // iid limit programmatically must produce the same series — the knob's
+  // default is exactly today's split.
+  scenario::ScenarioSpec spec;
+  spec.driver = "dsgd";
+  spec.aggregator = "cwtm";
+  spec.iterations = 8;
+  spec.eval_interval = 4;
+  spec.batch_size = 4;
+  spec.num_agents = 5;
+  spec.f = 1;
+  spec.seed = 31;
+  spec.faults.push_back(scenario::FaultSpec{0, "label-flip", 0.0});
+  const auto iid = scenario::run_scenario(spec);
+  spec.dirichlet_alpha = std::numeric_limits<double>::infinity();
+  const auto limit = scenario::run_scenario(spec);
+  ASSERT_TRUE(iid.series && limit.series);
+  EXPECT_EQ(iid.series->train_loss, limit.series->train_loss);
+  EXPECT_EQ(iid.series->final_params, limit.series->final_params);
+
+  // A finite alpha actually changes the shards (and hence the run).
+  spec.dirichlet_alpha = 0.1;
+  const auto skewed = scenario::run_scenario(spec);
+  EXPECT_NE(iid.series->train_loss, skewed.series->train_loss);
+}
+
+TEST(ScenarioSpec, DsgdKnobsParseAndValidate) {
+  const auto spec = scenario::parse_scenario(util::parse_json(R"({
+    "driver": "dsgd", "iterations": 6, "num_agents": 6, "agents": [1, 2, 3],
+    "model": {"kind": "mlp", "hidden_dim": 8},
+    "dataset": {"num_classes": 3, "feature_dim": 5, "examples_per_class": 20,
+                "dirichlet_alpha": 0.3}
+  })"));
+  EXPECT_EQ(spec.model, "mlp");
+  EXPECT_EQ(spec.hidden_dim, 8);
+  EXPECT_DOUBLE_EQ(spec.dirichlet_alpha, 0.3);
+  ASSERT_EQ(spec.agents.size(), 3u);
+  const auto result = scenario::run_scenario(spec);
+  ASSERT_TRUE(result.series.has_value());
+
+  EXPECT_THROW(scenario::parse_scenario(
+                   util::parse_json(R"({"model": {"kind": "resnet"}})")),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_scenario(
+                   util::parse_json(R"({"dataset": {"dirichlet_alpha": 0}})")),
+               std::invalid_argument);
+  // The roster subset must name real shards, and must not repeat one (the
+  // subset moves shards out; a duplicate would alias a moved-from Dataset).
+  auto bad = scenario::parse_scenario(util::parse_json(
+      R"({"driver": "dsgd", "iterations": 2, "num_agents": 4, "agents": [4]})"));
+  EXPECT_THROW(scenario::run_scenario(bad), std::invalid_argument);
+  auto doubled = scenario::parse_scenario(util::parse_json(
+      R"({"driver": "dsgd", "iterations": 2, "num_agents": 4, "agents": [1, 1, 2]})"));
+  EXPECT_THROW(scenario::run_scenario(doubled), std::invalid_argument);
+}
+
+TEST(ScenarioRun, RandomRegressionIsDeterministicAndReferenced) {
+  scenario::ScenarioSpec spec;
+  spec.driver = "dgd";
+  spec.problem = "random_regression";
+  spec.num_agents = 8;
+  spec.dim = 2;
+  spec.noise_stddev = 0.1;
+  spec.aggregator = "cge";
+  spec.iterations = 30;
+  spec.f = 1;
+  spec.seed = 1000;
+  spec.schedule = {"harmonic", 0.5, 1.0};
+  spec.faults.push_back(scenario::FaultSpec{0, "gradient-reverse", 0.0});
+  const auto first = scenario::run_scenario(spec);
+  const auto second = scenario::run_scenario(spec);
+  ASSERT_TRUE(first.distance_to_reference.has_value());
+  EXPECT_EQ(*first.distance_to_reference, *second.distance_to_reference);
+  EXPECT_EQ(first.traces.front().estimates, second.traces.front().estimates);
+
+  // The exposed instance is the very problem the run used: same design, so
+  // the honest-subset minimizer matches the run's reference distance.
+  const auto problem = scenario::random_regression_instance(spec);
+  EXPECT_EQ(problem.num_agents(), 8);
+  EXPECT_EQ(problem.dim(), 2);
+  const std::vector<int> honest{1, 2, 3, 4, 5, 6, 7};
+  const auto x_h = problem.subset_minimizer(honest);
+  EXPECT_NEAR(linalg::distance(first.traces.front().final_estimate(), x_h),
+              *first.distance_to_reference, 1e-12);
+
+  // noise_stddev is a random_regression-only key.
+  auto wrong = scenario::parse_scenario(util::parse_json(
+      R"({"driver": "dgd", "problem": "quadratic", "iterations": 2, "noise_stddev": 0.1})"));
+  EXPECT_THROW(scenario::run_scenario(wrong), std::invalid_argument);
+  // And the redundancy precondition n - 2f >= d must surface, not hang.
+  spec.f = 4;
+  EXPECT_THROW(scenario::run_scenario(spec), std::invalid_argument);
 }
 
 TEST(ScenarioRun, CommittedSpecsParse) {

@@ -1,0 +1,304 @@
+// The sweep orchestration layer: grid expansion (cartesian size/ordering,
+// deterministic run ids, seed ranges), spec validation (unknown/duplicate/
+// conflicting keys), and — the load-bearing checks — that sweep execution is
+// bit-identical to run-by-run run_scenario and row-for-row identical at
+// every thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "abft/sweep/sweep.hpp"
+#include "abft/util/json.hpp"
+
+namespace {
+
+using namespace abft;
+
+sweep::SweepSpec parse(const std::string& text) {
+  return sweep::parse_sweep(util::parse_json(text));
+}
+
+const char* kQuadraticGrid = R"({
+  "name": "grid",
+  "base": {
+    "driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+    "iterations": 12, "box_halfwidth": 30.0,
+    "schedule": {"kind": "harmonic", "scale": 0.4}
+  },
+  "sweep": {
+    "aggregator": ["cwtm", "cge"],
+    "f": [0, 1],
+    "seed": {"from": 5, "count": 3}
+  }
+})";
+
+// ------------------------------ expansion -----------------------------------
+
+TEST(SweepExpand, CartesianSizeAndRowMajorOrdering) {
+  const auto runs = sweep::expand_sweep(parse(kQuadraticGrid));
+  // |aggregator| x |f| x |seed| in canonical order, last axis fastest.
+  ASSERT_EQ(runs.size(), 2u * 2u * 3u);
+  EXPECT_EQ(runs[0].spec.aggregator, "cwtm");
+  EXPECT_EQ(runs[0].spec.f, 0);
+  EXPECT_EQ(runs[0].spec.seed, 5u);
+  EXPECT_EQ(runs[1].spec.seed, 6u);  // seed varies fastest
+  EXPECT_EQ(runs[2].spec.seed, 7u);
+  EXPECT_EQ(runs[3].spec.f, 1);  // then f
+  EXPECT_EQ(runs[3].spec.seed, 5u);
+  EXPECT_EQ(runs[6].spec.aggregator, "cge");  // aggregator outermost
+  EXPECT_EQ(runs[6].spec.f, 0);
+  EXPECT_EQ(runs[6].spec.seed, 5u);
+  // Axis cells mirror the spec values, in canonical order.
+  ASSERT_EQ(runs[0].axes.size(), 3u);
+  EXPECT_EQ(runs[0].axes[0].axis, "aggregator");
+  EXPECT_EQ(runs[0].axes[1].axis, "f");
+  EXPECT_EQ(runs[0].axes[2].axis, "seed");
+}
+
+TEST(SweepExpand, DeterministicRunIds) {
+  const auto runs = sweep::expand_sweep(parse(kQuadraticGrid));
+  EXPECT_EQ(runs[0].run_id, "000_aggregator=cwtm_f=0_seed=5");
+  EXPECT_EQ(runs[7].run_id, "007_aggregator=cge_f=0_seed=6");
+  EXPECT_EQ(runs[11].run_id, "011_aggregator=cge_f=1_seed=7");
+  // Expansion is a pure function of the spec.
+  const auto again = sweep::expand_sweep(parse(kQuadraticGrid));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].run_id, again[i].run_id);
+  }
+}
+
+TEST(SweepExpand, SeedRangeAndExplicitListAgree) {
+  const auto ranged = parse(kQuadraticGrid);
+  auto listed = parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+             "iterations": 12, "box_halfwidth": 30.0,
+             "schedule": {"kind": "harmonic", "scale": 0.4}},
+    "sweep": {"aggregator": ["cwtm", "cge"], "f": [0, 1], "seed": [5, 6, 7]}
+  })");
+  EXPECT_EQ(ranged.seed, listed.seed);
+  EXPECT_EQ(ranged.seed, (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(SweepExpand, FaultPresetsAndVariantPatchesApply) {
+  // The fig2 shape: an attack axis replaced wholesale by a variant that
+  // clears the faults and shrinks the roster — variants apply last.
+  const auto runs = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "paper_regression", "iterations": 5,
+             "f": 1, "seed": 2021, "schedule": {"kind": "harmonic", "scale": 1.5}},
+    "sweep": {
+      "faults": [
+        {"label": "reverse", "faults": [{"agent": 0, "kind": "gradient-reverse"}]},
+        {"label": "random", "faults": [{"agent": 0, "kind": "random", "param": 200.0}]}
+      ],
+      "variants": [
+        {"label": "fault-free",
+         "patch": {"aggregator": "average", "f": 0, "agents": [1, 2, 3, 4, 5], "faults": []}},
+        {"label": "CWTM", "patch": {"aggregator": "cwtm"}}
+      ]
+    }
+  })"));
+  ASSERT_EQ(runs.size(), 4u);
+  // fault-free under both attacks: faults cleared, subset roster, f = 0.
+  EXPECT_TRUE(runs[0].spec.faults.empty());
+  EXPECT_EQ(runs[0].spec.f, 0);
+  EXPECT_EQ(runs[0].spec.agents.size(), 5u);
+  EXPECT_EQ(runs[0].spec.aggregator, "average");
+  // CWTM keeps the axis's fault assignment.
+  ASSERT_EQ(runs[1].spec.faults.size(), 1u);
+  EXPECT_EQ(runs[1].spec.faults[0].kind, "gradient-reverse");
+  EXPECT_EQ(runs[1].spec.aggregator, "cwtm");
+  ASSERT_EQ(runs[3].spec.faults.size(), 1u);
+  EXPECT_EQ(runs[3].spec.faults[0].kind, "random");
+  EXPECT_EQ(runs[3].run_id, "003_faults=random_variants=CWTM");
+}
+
+TEST(SweepExpand, ParticipationAxisMergesIntoNestedAxes) {
+  const auto runs = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 5, "dim": 2,
+             "iterations": 4, "schedule": {"kind": "harmonic", "scale": 0.4},
+             "axes": {"perturbation_seed": 9}},
+    "sweep": {"participation": [1.0, 0.8], "straggler_probability": [0.0, 0.25]}
+  })"));
+  ASSERT_EQ(runs.size(), 4u);
+  // The nested merge must preserve the base's other axes keys.
+  EXPECT_EQ(runs[3].spec.axes.perturbation_seed, 9u);
+  EXPECT_DOUBLE_EQ(runs[3].spec.axes.participation, 0.8);
+  EXPECT_DOUBLE_EQ(runs[3].spec.axes.straggler_probability, 0.25);
+  EXPECT_DOUBLE_EQ(runs[0].spec.axes.participation, 1.0);
+  EXPECT_DOUBLE_EQ(runs[0].spec.axes.straggler_probability, 0.0);
+}
+
+// ------------------------------ validation ----------------------------------
+
+TEST(SweepParse, RejectsUnknownAndDuplicateKeys) {
+  // Unknown axis.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"aggregatr": ["cwtm"]}})"),
+               std::invalid_argument);
+  // Unknown top-level key.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"f": [1]}, "thread": 2})"),
+               std::invalid_argument);
+  // Duplicate axis key (the reader resolves last-wins; the sweep layer must
+  // reject the contradiction instead).
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"f": [1], "f": [2]}})"),
+               std::invalid_argument);
+  // Duplicate key inside the base.
+  EXPECT_THROW(parse(R"({"base": {"seed": 1, "seed": 2}, "sweep": {"f": [1]}})"),
+               std::invalid_argument);
+  // Empty axis list.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"f": []}})"), std::invalid_argument);
+  // No axes at all.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {}})"), std::invalid_argument);
+  // Duplicate labels.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"variants": [
+    {"label": "a", "patch": {"f": 1}}, {"label": "a", "patch": {"f": 2}}]}})"),
+               std::invalid_argument);
+  // Labels that only differ in sanitized-away characters would emit
+  // indistinguishable run ids / CSV cells — duplicates too.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"variants": [
+    {"label": "a b", "patch": {"f": 1}}, {"label": "a-b", "patch": {"f": 2}}]}})"),
+               std::invalid_argument);
+}
+
+TEST(SweepParse, RejectsAxesConflictingWithBase) {
+  // A swept key the base also sets is a spec contradicting itself.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": "cwtm"},
+                         "sweep": {"aggregator": ["cge"]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {"axes": {"participation": 0.9}},
+                         "sweep": {"participation": [0.5]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {"faults": [{"agent": 0, "kind": "zero"}]},
+                         "sweep": {"faults": [{"label": "a", "faults": []}]}})"),
+               std::invalid_argument);
+  // Variants are exempt: patches exist to override the base.
+  EXPECT_NO_THROW(parse(R"({"base": {"aggregator": "cwtm"},
+                            "sweep": {"variants": [{"label": "a",
+                                                    "patch": {"aggregator": "cge"}}]}})"));
+}
+
+TEST(SweepParse, RejectsMalformedAxes) {
+  // Bad seed range.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"seed": {"from": 1}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"seed": {"from": 1, "count": 0}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"seed": [1.5]}})"), std::invalid_argument);
+  // Non-integer f.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"f": [0.5]}})"), std::invalid_argument);
+  // Unknown mode spelling fails at parse, not mid-sweep.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"mode": ["turbo"]}})"),
+               std::invalid_argument);
+  // A run whose merged spec fails parse-time validation names the run id.
+  try {
+    sweep::expand_sweep(parse(R"({
+      "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 4, "dim": 2,
+               "iterations": 2, "schedule": {"kind": "harmonic", "scale": 0.4}},
+      "sweep": {"variants": [{"label": "bad", "patch": {"mode": "turbo"}}]}
+    })"));
+    FAIL() << "expected the unknown-mode rejection to surface";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("000_variants=bad"), std::string::npos)
+        << error.what();
+  }
+  // Run-time validation (driver-inapplicable keys) also names the run id.
+  try {
+    sweep::run_sweep(parse(R"({
+      "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 4, "dim": 2,
+               "iterations": 2, "schedule": {"kind": "harmonic", "scale": 0.4}},
+      "sweep": {"variants": [{"label": "bad", "patch": {"batch_size": 8}}]}
+    })"));
+    FAIL() << "expected the dgd/batch_size rejection to surface";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("000_variants=bad"), std::string::npos)
+        << error.what();
+  }
+}
+
+// ------------------------------ execution -----------------------------------
+
+TEST(SweepRun, MatchesRunByRunScenarioBitIdentically) {
+  const auto spec = parse(kQuadraticGrid);
+  const auto runs = sweep::expand_sweep(spec);
+  const auto outcome = sweep::run_sweep(spec);
+  ASSERT_EQ(outcome.runs.size(), runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto direct = scenario::run_scenario(runs[i].spec);
+    EXPECT_EQ(outcome.runs[i].run_id, runs[i].run_id);
+    EXPECT_EQ(outcome.runs[i].result.final_cost, direct.final_cost) << runs[i].run_id;
+    ASSERT_EQ(outcome.runs[i].result.traces.size(), direct.traces.size());
+    const auto& sweep_estimates = outcome.runs[i].result.traces.front().estimates;
+    const auto& direct_estimates = direct.traces.front().estimates;
+    ASSERT_EQ(sweep_estimates.size(), direct_estimates.size());
+    for (std::size_t t = 0; t < direct_estimates.size(); ++t) {
+      ASSERT_EQ(sweep_estimates[t], direct_estimates[t]) << runs[i].run_id << " @" << t;
+    }
+  }
+}
+
+TEST(SweepRun, ThreadCountDoesNotChangeAnyRow) {
+  const auto spec = parse(kQuadraticGrid);
+  const auto serial = sweep::run_sweep(spec, 1);
+  const auto pooled = sweep::run_sweep(spec, 4);
+  ASSERT_EQ(serial.runs.size(), pooled.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].run_id, pooled.runs[i].run_id);
+    EXPECT_EQ(serial.runs[i].result.final_cost, pooled.runs[i].result.final_cost);
+    EXPECT_EQ(serial.runs[i].result.traces.front().estimates,
+              pooled.runs[i].result.traces.front().estimates)
+        << serial.runs[i].run_id;
+    EXPECT_EQ(serial.runs[i].result.eliminated_agents,
+              pooled.runs[i].result.eliminated_agents);
+  }
+}
+
+TEST(SweepRun, CsvAndJsonCarryTheGrid) {
+  const auto outcome = sweep::run_sweep(parse(kQuadraticGrid));
+  std::ostringstream csv;
+  sweep::write_sweep_csv(outcome, csv);
+  std::istringstream lines(csv.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header, "run_id,aggregator,f,seed,final_dist,final_loss,eliminated,wall_ms");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(lines, line);) ++rows;
+  EXPECT_EQ(rows, outcome.runs.size());
+
+  std::ostringstream json;
+  sweep::write_sweep_json(outcome, json);
+  const auto parsed = util::parse_json(json.str());  // must be valid JSON
+  ASSERT_EQ(parsed.at("runs").as_array().size(), outcome.runs.size());
+  const auto& first = parsed.at("runs").as_array().front();
+  EXPECT_EQ(first.at("run_id").as_string(), outcome.runs.front().run_id);
+  EXPECT_EQ(first.at("axes").at("aggregator").as_string(), "cwtm");
+  // The writer rounds to 12 significant digits (same contract as
+  // write_result_json).
+  EXPECT_NEAR(first.at("final_cost").as_number(), outcome.runs.front().result.final_cost,
+              1e-9 * (1.0 + std::abs(outcome.runs.front().result.final_cost)));
+}
+
+TEST(SweepRun, SetBaseMemberOverridesCommittedGrids) {
+  auto spec = parse(kQuadraticGrid);
+  sweep::set_base_member(&spec, "iterations", util::JsonValue::make_number(3));
+  const auto runs = sweep::expand_sweep(spec);
+  for (const auto& run : runs) EXPECT_EQ(run.spec.iterations, 3);
+}
+
+TEST(SweepRun, CommittedSweepSpecsParseAndExpand) {
+  const struct {
+    const char* file;
+    std::size_t grid;
+  } specs[] = {
+      {"sweep_fig2.json", 8},    {"sweep_table1.json", 4}, {"sweep_fig4.json", 6},
+      {"sweep_fig5.json", 6},    {"sweep_epsilon.json", 36}, {"sweep_smoke.json", 8},
+  };
+  for (const auto& entry : specs) {
+    SCOPED_TRACE(entry.file);
+    sweep::SweepSpec spec;
+    ASSERT_NO_THROW(spec = sweep::load_sweep_file(std::string(ABFT_SPEC_DIR "/") + entry.file));
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_EQ(sweep::expand_sweep(spec).size(), entry.grid);
+  }
+}
+
+}  // namespace
