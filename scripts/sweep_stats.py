@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Aggregate a multi-seed abft_run --sweep CSV into per-cell statistics.
+
+Usage: sweep_stats.py SWEEP.csv [--out STATS.csv] [--metrics col1,col2,...]
+
+A sweep over a seed axis produces one row per (grid cell, seed); figures and
+tables want the cell's mean +/- stddev instead.  This collapses the seed
+axis: rows are grouped by every axis column except "seed" (the columns
+between run_id and the metrics), and each metric column becomes three output
+columns <metric>_mean, <metric>_stddev, <metric>_n.
+
+  run_id,f,shards,seed,final_dist,final_loss,eliminated,wall_ms
+  -> f,shards,final_dist_mean,final_dist_stddev,final_dist_n,...
+
+Default metrics: final_dist and final_loss (the summary columns every sweep
+CSV carries).  The stddev is the sample standard deviation (ddof=1), 0.0 for
+a single-seed cell; a metric whose cell holds any nan yields nan mean and
+stddev (a dsgd grid has no closed-form reference — that is data, not an
+error).  Cells appear in first-appearance order, so the output is
+deterministic and diff-stable across reruns of the same sweep.
+
+Exit codes: 0 ok, 2 usage/IO/schema error (no seed column, unknown metric,
+ragged rows) — matching compare_sweep.py's error code.
+"""
+
+import argparse
+import csv
+import math
+import sys
+
+
+def read_sweep(path):
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV")
+        if "run_id" not in header:
+            raise ValueError(f"{path}: no run_id column")
+        if "seed" not in header:
+            raise ValueError(f"{path}: no seed column — nothing to aggregate over")
+        rows = []
+        for line_number, cells in enumerate(reader, start=2):
+            if len(cells) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: {len(cells)} cells, expected {len(header)}"
+                )
+            rows.append(dict(zip(header, cells)))
+        return header, rows
+
+
+def mean_stddev(values):
+    """(mean, sample stddev); stddev 0.0 for n = 1, nan poisons the cell."""
+    if any(math.isnan(v) for v in values):
+        return float("nan"), float("nan")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(variance)
+
+
+def aggregate(header, rows, metrics):
+    """Returns (output_header, output_rows) collapsing the seed axis."""
+    for metric in metrics:
+        if metric not in header:
+            raise ValueError(f"unknown metric column {metric!r}")
+    # Axis columns: everything between run_id and the first metric/summary
+    # column, minus seed.  The sweep CSV contract puts swept axes right
+    # after run_id, so "not run_id, not seed, not a metric, and not one of
+    # the fixed summary tails" is exactly the axis set.
+    summary_tail = {"final_dist", "final_loss", "eliminated", "wall_ms"}
+    group_columns = [
+        column
+        for column in header
+        if column not in {"run_id", "seed"} and column not in summary_tail
+    ]
+    groups = {}  # key tuple -> {"cells": axis values, metric: [floats]}
+    order = []
+    for row in rows:
+        key = tuple(row[column] for column in group_columns)
+        if key not in groups:
+            groups[key] = {metric: [] for metric in metrics}
+            order.append(key)
+        for metric in metrics:
+            try:
+                value = float(row[metric])
+            except ValueError:
+                raise ValueError(
+                    f"non-numeric {metric!r} cell {row[metric]!r} in run {row['run_id']}"
+                )
+            groups[key][metric].append(value)
+    out_header = list(group_columns)
+    for metric in metrics:
+        out_header += [f"{metric}_mean", f"{metric}_stddev", f"{metric}_n"]
+    out_rows = []
+    for key in order:
+        cells = list(key)
+        for metric in metrics:
+            values = groups[key][metric]
+            mean, stddev = mean_stddev(values)
+            cells += [repr(mean), repr(stddev), str(len(values))]
+        out_rows.append(cells)
+    return out_header, out_rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Collapse a multi-seed sweep CSV into mean/stddev per grid cell"
+    )
+    parser.add_argument("sweep_csv")
+    parser.add_argument("--out", default="-", help="output CSV path (default stdout)")
+    parser.add_argument(
+        "--metrics",
+        default="final_dist,final_loss",
+        help="comma-separated metric columns (default final_dist,final_loss)",
+    )
+    args = parser.parse_args(argv)
+    metrics = [m for m in args.metrics.split(",") if m]
+    if not metrics:
+        print("ERROR: no metric columns named")
+        return 2
+    try:
+        header, rows = read_sweep(args.sweep_csv)
+        out_header, out_rows = aggregate(header, rows, metrics)
+    except (OSError, ValueError) as error:
+        print(f"ERROR: {error}")
+        return 2
+    handle = sys.stdout if args.out == "-" else open(args.out, "w", newline="")
+    try:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(out_header)
+        writer.writerows(out_rows)
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

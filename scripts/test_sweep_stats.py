@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Unit tests for sweep_stats.py (invoked from CI ahead of the sweep gates).
+
+Covers the aggregation semantics — seed-axis collapse, sample stddev
+(ddof=1, 0.0 for single-seed cells), nan propagation for reference-free
+grids, first-appearance cell ordering — and the exit-code contract shared
+with compare_sweep.py (2 on schema errors such as a missing seed column).
+"""
+
+import io
+import math
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import sweep_stats  # noqa: E402
+
+HEADER = "run_id,f,shards,seed,final_dist,final_loss,eliminated,wall_ms\n"
+
+
+def run(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = sweep_stats.main(argv)
+    return code, out.getvalue()
+
+
+def parse_csv(text):
+    lines = [line for line in text.strip().split("\n") if line]
+    header = lines[0].split(",")
+    return header, [dict(zip(header, line.split(","))) for line in lines[1:]]
+
+
+class SweepStatsTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, text):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        return path
+
+    def test_collapses_seed_axis_per_cell(self):
+        text = HEADER + (
+            "000_f=1_shards=1_seed=1,1,1,1,0.5,10.0,0,1.0\n"
+            "001_f=1_shards=1_seed=2,1,1,2,0.7,14.0,0,1.0\n"
+            "002_f=1_shards=4_seed=1,1,4,1,0.9,20.0,0,1.0\n"
+            "003_f=1_shards=4_seed=2,1,4,2,0.9,20.0,0,1.0\n"
+        )
+        code, out = run([self.write("s.csv", text)])
+        self.assertEqual(code, 0)
+        header, rows = parse_csv(out)
+        self.assertEqual(
+            header,
+            ["f", "shards", "final_dist_mean", "final_dist_stddev", "final_dist_n",
+             "final_loss_mean", "final_loss_stddev", "final_loss_n"],
+        )
+        self.assertEqual(len(rows), 2)
+        cell = rows[0]
+        self.assertEqual((cell["f"], cell["shards"]), ("1", "1"))
+        self.assertAlmostEqual(float(cell["final_dist_mean"]), 0.6)
+        # Sample stddev of {0.5, 0.7} = sqrt(0.02).
+        self.assertAlmostEqual(float(cell["final_dist_stddev"]), math.sqrt(0.02))
+        self.assertEqual(cell["final_dist_n"], "2")
+        self.assertAlmostEqual(float(rows[1]["final_dist_stddev"]), 0.0)
+
+    def test_single_seed_cell_has_zero_stddev(self):
+        text = HEADER + "000_f=1_shards=1_seed=1,1,1,1,0.5,10.0,0,1.0\n"
+        code, out = run([self.write("s.csv", text)])
+        self.assertEqual(code, 0)
+        _, rows = parse_csv(out)
+        self.assertEqual(float(rows[0]["final_dist_stddev"]), 0.0)
+        self.assertEqual(rows[0]["final_dist_n"], "1")
+
+    def test_nan_metric_propagates_instead_of_failing(self):
+        # dsgd grids have no closed-form reference: final_dist is "nan".
+        text = HEADER + (
+            "000_f=1_shards=1_seed=1,1,1,1,nan,10.0,0,1.0\n"
+            "001_f=1_shards=1_seed=2,1,1,2,nan,14.0,0,1.0\n"
+        )
+        code, out = run([self.write("s.csv", text)])
+        self.assertEqual(code, 0)
+        _, rows = parse_csv(out)
+        self.assertTrue(math.isnan(float(rows[0]["final_dist_mean"])))
+        self.assertAlmostEqual(float(rows[0]["final_loss_mean"]), 12.0)
+
+    def test_cells_keep_first_appearance_order(self):
+        text = HEADER + (
+            "000_f=2_shards=8_seed=1,2,8,1,0.1,1.0,0,1.0\n"
+            "001_f=1_shards=1_seed=1,1,1,1,0.2,2.0,0,1.0\n"
+        )
+        code, out = run([self.write("s.csv", text)])
+        self.assertEqual(code, 0)
+        _, rows = parse_csv(out)
+        self.assertEqual([(r["f"], r["shards"]) for r in rows], [("2", "8"), ("1", "1")])
+
+    def test_custom_metrics_and_out_file(self):
+        text = HEADER + "000_f=1_shards=1_seed=1,1,1,1,0.5,10.0,0,1.0\n"
+        out_path = os.path.join(self.tmp.name, "stats.csv")
+        code, _ = run([self.write("s.csv", text), "--metrics", "final_loss",
+                       "--out", out_path])
+        self.assertEqual(code, 0)
+        with open(out_path) as handle:
+            header, rows = parse_csv(handle.read())
+        self.assertEqual(header, ["f", "shards", "final_loss_mean",
+                                  "final_loss_stddev", "final_loss_n"])
+        self.assertEqual(len(rows), 1)
+
+    def test_missing_seed_column_is_schema_error(self):
+        text = "run_id,f,final_dist,final_loss,eliminated,wall_ms\n" \
+               "000_f=1,1,0.5,10.0,0,1.0\n"
+        code, out = run([self.write("s.csv", text)])
+        self.assertEqual(code, 2)
+        self.assertIn("no seed column", out)
+
+    def test_unknown_metric_and_bad_cells_are_errors(self):
+        text = HEADER + "000_f=1_shards=1_seed=1,1,1,1,0.5,10.0,0,1.0\n"
+        path = self.write("s.csv", text)
+        code, out = run([path, "--metrics", "nope"])
+        self.assertEqual(code, 2)
+        self.assertIn("unknown metric", out)
+        ragged = HEADER + "000_f=1_shards=1_seed=1,1,1\n"
+        code, _ = run([self.write("r.csv", ragged)])
+        self.assertEqual(code, 2)
+        broken = HEADER + "000_f=1_shards=1_seed=1,1,1,1,oops,10.0,0,1.0\n"
+        code, out = run([self.write("b.csv", broken)])
+        self.assertEqual(code, 2)
+        self.assertIn("non-numeric", out)
+
+    def test_missing_file_is_io_error(self):
+        code, _ = run([os.path.join(self.tmp.name, "absent.csv")])
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <thread>
 #include <vector>
@@ -141,6 +142,18 @@ struct AggregatorWorkspace {
   std::vector<int> counts;       ///< selected neighbours in the prefix (n)
   GradientBatch aux_batch;       ///< secondary batch (GMoM buckets, Bulyan)
   GradientBatch clip_batch;      ///< clipped copy for ClippedInputAggregator
+  // Hierarchical (aggregate-of-aggregates) scratch — agg/hierarchy.hpp.  One
+  // sub-workspace / gather batch / output staging vector per parallel worker
+  // group, so the footprint scales with the worker width, not the shard
+  // count (a thousand Gram shards through one workspace would otherwise pin
+  // a thousand pairdist matrices).  unique_ptr keeps the recursive member
+  // representable; it also makes the workspace move-only, which every
+  // driver already satisfies (workspaces are constructed in place).
+  std::vector<std::unique_ptr<AggregatorWorkspace>> hier_groups;
+  std::vector<GradientBatch> hier_gather;  ///< per-group shard input rows
+  std::vector<Vector> hier_out;            ///< per-group shard output staging
+  GradientBatch hier_root;                 ///< S x d shard outputs
+  std::vector<int> hier_perm;              ///< seeded shard assignment (n)
 
   // --- fill helpers --------------------------------------------------------
   /// Transposes the batch into `colmajor` (cache-blocked), so per-coordinate

@@ -16,6 +16,7 @@
 #include "abft/opt/quadratic.hpp"
 #include "abft/regress/generator.hpp"
 #include "abft/opt/schedule.hpp"
+#include "abft/p2p/dolev_strong.hpp"
 #include "abft/p2p/p2p_dgd.hpp"
 #include "abft/regress/problem.hpp"
 #include "abft/sim/dgd.hpp"
@@ -48,6 +49,65 @@ std::uint64_t parse_seed(const util::JsonValue& json, std::string_view key, doub
   return static_cast<std::uint64_t>(value);
 }
 
+/// The aggregator key takes a registry rule name, or an object carrying a
+/// "hierarchy" block; the latter fills spec.hierarchy and stamps the
+/// canonical label into spec.aggregator.
+void parse_aggregator(const util::JsonValue& value, ScenarioSpec* spec) {
+  if (value.is_string()) {
+    spec->aggregator = value.as_string();
+    return;
+  }
+  require_known_keys(value, "aggregator", {"hierarchy"});
+  const auto& hier = value.at("hierarchy");
+  require_known_keys(hier, "hierarchy", {"shards", "leaf_rule", "root_rule", "f_leaf"});
+  agg::HierarchyConfig config;
+  config.shards = int_or(hier, "shards", config.shards);
+  ABFT_REQUIRE(config.shards >= 1, "hierarchy shards must be >= 1");
+  config.leaf_rule = hier.string_or("leaf_rule", config.leaf_rule);
+  config.root_rule = hier.string_or("root_rule", config.root_rule);
+  // Validate the rule names at parse time, so a sweep rejects its grid
+  // before running anything.
+  (void)agg::make_aggregator(config.leaf_rule);
+  (void)agg::make_aggregator(config.root_rule);
+  if (hier.find("f_leaf") != nullptr) {
+    config.f_leaf = int_or(hier, "f_leaf", config.f_leaf);
+    ABFT_REQUIRE(config.f_leaf >= 0, "hierarchy f_leaf must be >= 0 when given");
+  }
+  spec->hierarchy = config;
+  spec->aggregator = agg::hierarchy_label(config);
+}
+
+RelayStrategySpec parse_relay_strategy(const util::JsonValue& json) {
+  require_known_keys(json, "relay_strategy", {"kind", "param"});
+  RelayStrategySpec relay;
+  relay.kind = json.string_or("kind", relay.kind);
+  ABFT_REQUIRE(relay.kind == "honest" || relay.kind == "equivocate" ||
+                   relay.kind == "silent" || relay.kind == "fixed-value",
+               "relay_strategy kind must be honest, equivocate, silent or fixed-value");
+  relay.param = json.number_or("param", relay.param);
+  ABFT_REQUIRE(relay.kind == "equivocate" || relay.kind == "fixed-value" ||
+                   json.find("param") == nullptr,
+               "relay_strategy param applies to the equivocate/fixed-value kinds only");
+  return relay;
+}
+
+DsStrategySpec parse_ds_strategy(const util::JsonValue& json) {
+  require_known_keys(json, "ds_strategy", {"kind", "offset", "forward_probability"});
+  DsStrategySpec ds;
+  ds.kind = json.string_or("kind", ds.kind);
+  ABFT_REQUIRE(ds.kind == "honest" || ds.kind == "equivocate" || ds.kind == "silent",
+               "ds_strategy kind must be honest, equivocate or silent");
+  ds.offset = json.number_or("offset", ds.offset);
+  ds.forward_probability = json.number_or("forward_probability", ds.forward_probability);
+  ABFT_REQUIRE(ds.forward_probability >= 0.0 && ds.forward_probability <= 1.0,
+               "ds_strategy forward_probability must be in [0, 1]");
+  ABFT_REQUIRE(ds.kind == "equivocate" ||
+                   (json.find("offset") == nullptr &&
+                    json.find("forward_probability") == nullptr),
+               "ds_strategy offset/forward_probability apply to the equivocate kind only");
+  return ds;
+}
+
 engine::ScenarioAxes parse_axes(const util::JsonValue& json) {
   require_known_keys(json, "axes",
                      {"participation", "straggler_probability", "perturbation_seed", "churn"});
@@ -74,14 +134,15 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
       {"name",       "driver",   "problem",          "aggregator",    "mode",
        "iterations", "f",        "seed",             "threads",       "schedule",
        "box_halfwidth", "x0",    "agents",           "num_agents",    "dim",
-       "noise_stddev",  "faults", "drop_probability", "axes",         "batch_size",
-       "step_size",  "momentum", "eval_interval",    "model",         "dataset"});
+       "noise_stddev",  "faults", "drop_probability", "relay_strategy",
+       "ds_strategy", "axes",    "batch_size",       "step_size",     "momentum",
+       "eval_interval", "model", "dataset"});
   ScenarioSpec spec;
   spec.specified_keys = json.keys();
   spec.name = json.string_or("name", "");
   spec.driver = json.string_or("driver", spec.driver);
   spec.problem = json.string_or("problem", "");
-  spec.aggregator = json.string_or("aggregator", spec.aggregator);
+  if (const auto* aggregator = json.find("aggregator")) parse_aggregator(*aggregator, &spec);
   spec.mode = agg::agg_mode_from_string(json.string_or("mode", "exact"));
   spec.iterations = int_or(json, "iterations", spec.iterations);
   spec.f = int_or(json, "f", spec.f);
@@ -120,6 +181,10 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
     }
   }
   spec.drop_probability = json.number_or("drop_probability", spec.drop_probability);
+  if (const auto* relay = json.find("relay_strategy")) {
+    spec.relay_strategy = parse_relay_strategy(*relay);
+  }
+  if (const auto* ds = json.find("ds_strategy")) spec.ds_strategy = parse_ds_strategy(*ds);
   if (const auto* axes = json.find("axes")) spec.axes = parse_axes(*axes);
   spec.batch_size = int_or(json, "batch_size", spec.batch_size);
   spec.step_size = json.number_or("step_size", spec.step_size);
@@ -311,6 +376,39 @@ GradientWorkload build_gradient_workload(const ScenarioSpec& spec) {
   return w;
 }
 
+/// Fills result.hierarchy_bounds from the rule the run used (roster_n is
+/// the full roster size — the bookkeeping the paper's 2f/n margin wants).
+void attach_hierarchy_bounds(ScenarioResult* result, const agg::GradientAggregator& rule,
+                             const ScenarioSpec& spec, int roster_n) {
+  if (!spec.hierarchy) return;
+  result->hierarchy_bounds =
+      static_cast<const agg::HierarchicalAggregator&>(rule).bounds(roster_n, spec.f);
+}
+
+/// Builds the p2p relay behaviour a spec names; nullptr = honest relaying.
+std::unique_ptr<p2p::RelayStrategy> make_relay_strategy(const ScenarioSpec& spec, int dim) {
+  if (!spec.relay_strategy || spec.relay_strategy->kind == "honest") return nullptr;
+  const auto& relay = *spec.relay_strategy;
+  const double param = relay.param;
+  if (relay.kind == "equivocate") {
+    return std::make_unique<p2p::EquivocateStrategy>(std::isnan(param) ? 200.0 : param);
+  }
+  if (relay.kind == "silent") return std::make_unique<p2p::SilentStrategy>();
+  // fixed-value: every coordinate of the pushed payload is `param`.
+  return std::make_unique<p2p::FixedValueStrategy>(linalg::Vector(
+      std::vector<double>(static_cast<std::size_t>(dim), std::isnan(param) ? 0.0 : param)));
+}
+
+/// Builds the Dolev-Strong behaviour a spec names; nullptr = honest.
+std::unique_ptr<p2p::DsStrategy> make_ds_strategy(const ScenarioSpec& spec) {
+  if (!spec.ds_strategy || spec.ds_strategy->kind == "honest") return nullptr;
+  const auto& ds = *spec.ds_strategy;
+  if (ds.kind == "equivocate") {
+    return std::make_unique<p2p::EquivocatingDsStrategy>(ds.offset, ds.forward_probability);
+  }
+  return std::make_unique<p2p::SilentDsStrategy>();
+}
+
 std::unique_ptr<opt::StepSchedule> make_schedule(const ScheduleSpec& spec) {
   if (spec.kind == "harmonic") return std::make_unique<opt::HarmonicSchedule>(spec.scale);
   if (spec.kind == "constant") return std::make_unique<opt::ConstantSchedule>(spec.scale);
@@ -338,12 +436,13 @@ double honest_cost_at(const GradientWorkload& w, const Vector& x) {
 }
 
 ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
-  reject_inapplicable_keys(
-      spec, {"batch_size", "step_size", "momentum", "eval_interval", "model", "dataset"},
-      "dgd");
+  reject_inapplicable_keys(spec,
+                           {"batch_size", "step_size", "momentum", "eval_interval", "model",
+                            "dataset", "relay_strategy", "ds_strategy"},
+                           "dgd");
   GradientWorkload w = build_gradient_workload(spec);
   const auto schedule = make_schedule(spec.schedule);
-  const auto aggregator = agg::make_aggregator(spec.aggregator);
+  const auto aggregator = make_scenario_aggregator(spec);
   sim::DgdConfig config{make_x0(spec, w.dim),
                         opt::Box::centered_cube(w.dim, spec.box_halfwidth),
                         schedule.get(),
@@ -368,17 +467,21 @@ ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
   result.departed_agents = trace.departed_agents;
   result.messages_sent = simulation.network().messages_sent();
   result.messages_dropped = simulation.network().messages_dropped();
+  attach_hierarchy_bounds(&result, *aggregator, spec, static_cast<int>(w.costs.size()));
   return result;
 }
 
 ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
   reject_inapplicable_keys(spec,
                            {"batch_size", "step_size", "momentum", "eval_interval", "model",
-                            "dataset", "drop_probability"},
-                           "p2p");
+                            "dataset", "drop_probability",
+                            authenticated ? "relay_strategy" : "ds_strategy"},
+                           authenticated ? "p2p_auth" : "p2p");
   GradientWorkload w = build_gradient_workload(spec);
   const auto schedule = make_schedule(spec.schedule);
-  const auto aggregator = agg::make_aggregator(spec.aggregator);
+  const auto aggregator = make_scenario_aggregator(spec);
+  const auto relay = make_relay_strategy(spec, w.dim);
+  const auto ds = make_ds_strategy(spec);
   p2p::P2pDgdConfig config{make_x0(spec, w.dim),
                            opt::Box::centered_cube(w.dim, spec.box_halfwidth),
                            schedule.get(),
@@ -388,9 +491,9 @@ ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
                            spec.threads,
                            spec.mode,
                            spec.axes};
-  const auto outcome = authenticated
-                           ? p2p::run_p2p_dgd_authenticated(w.roster, config, *aggregator)
-                           : p2p::run_p2p_dgd(w.roster, config, *aggregator);
+  const auto outcome =
+      authenticated ? p2p::run_p2p_dgd_authenticated(w.roster, config, *aggregator, ds.get())
+                    : p2p::run_p2p_dgd(w.roster, config, *aggregator, relay.get());
   ScenarioResult result;
   result.spec = spec;
   result.traces = outcome.traces;
@@ -403,13 +506,15 @@ ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
   result.eliminated_agents = outcome.eliminated_agents;
   result.departed_agents = outcome.departed_agents;
   result.broadcast_messages = outcome.broadcast_messages;
+  attach_hierarchy_bounds(&result, *aggregator, spec, static_cast<int>(w.costs.size()));
   return result;
 }
 
 ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
-  reject_inapplicable_keys(
-      spec, {"schedule", "box_halfwidth", "x0", "drop_probability", "dim", "noise_stddev"},
-      "dsgd");
+  reject_inapplicable_keys(spec,
+                           {"schedule", "box_halfwidth", "x0", "drop_probability", "dim",
+                            "noise_stddev", "relay_strategy", "ds_strategy"},
+                           "dsgd");
   const std::string problem = spec.problem.empty() ? "synthetic" : spec.problem;
   ABFT_REQUIRE(problem == "synthetic", "dsgd supports the synthetic problem only");
   ABFT_REQUIRE(spec.num_agents > 0, "dsgd needs num_agents > 0");
@@ -483,13 +588,14 @@ ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
   config.agg_threads = spec.threads;
   config.agg_mode = spec.mode;
   config.axes = spec.axes;
-  const auto aggregator = agg::make_aggregator(spec.aggregator);
+  const auto aggregator = make_scenario_aggregator(spec);
   ScenarioResult result;
   result.spec = spec;
   result.series =
       learn::run_dsgd(*model, params0, shards, faults, split.test, *aggregator, config);
   result.final_cost = result.series->train_loss.back();
   result.departed_agents = result.series->departed_agents;
+  attach_hierarchy_bounds(&result, *aggregator, spec, roster_size);
   return result;
 }
 
@@ -510,6 +616,17 @@ regress::RegressionProblem random_regression_instance(const ScenarioSpec& spec) 
   // study the same instance.
   util::Rng rng(spec.seed ^ 0xab5eedULL);
   return regress::random_problem(options, rng);
+}
+
+std::unique_ptr<agg::GradientAggregator> make_scenario_aggregator(const ScenarioSpec& spec) {
+  if (!spec.hierarchy) return agg::make_aggregator(spec.aggregator);
+  agg::HierarchyConfig config = *spec.hierarchy;
+  // Derived, documented sub-stream (like the problem/data streams above):
+  // one spec seed pins the shard assignment too.  The xor could land on 0 —
+  // the identity-assignment sentinel — so remap that one value.
+  config.assignment_seed = spec.seed ^ 0x5a2dba5eULL;
+  if (config.assignment_seed == 0) config.assignment_seed = 0x5a2dba5eULL;
+  return std::make_unique<agg::HierarchicalAggregator>(std::move(config));
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
@@ -560,6 +677,15 @@ void write_result_json(const ScenarioResult& result, std::ostream& os) {
   }
   os << "  \"eliminated_agents\": " << result.eliminated_agents << ",\n";
   os << "  \"departed_agents\": " << result.departed_agents << ",\n";
+  if (result.hierarchy_bounds) {
+    const auto& b = *result.hierarchy_bounds;
+    os << "  \"hierarchy\": {\"shards\": " << b.shards << ", \"shard_rows_min\": "
+       << b.shard_rows_min << ", \"shard_rows_max\": " << b.shard_rows_max
+       << ", \"f_leaf\": " << b.f_leaf << ", \"f_root\": " << b.f_root
+       << ", \"tolerated_f\": " << b.tolerated_f << ", \"resilience_margin\": ";
+    write_number(os, b.resilience_margin);
+    os << "},\n";
+  }
   if (result.series) {
     const auto& series = *result.series;
     os << "  \"final_train_loss\": ";
@@ -603,6 +729,13 @@ void print_result(const ScenarioResult& result, std::ostream& os) {
   }
   os << "\n  eliminated " << result.eliminated_agents << ", departed "
      << result.departed_agents;
+  if (result.hierarchy_bounds) {
+    const auto& b = *result.hierarchy_bounds;
+    os << "\n  hierarchy: " << b.shards << " shards of " << b.shard_rows_min << "-"
+       << b.shard_rows_max << " rows, f_leaf " << b.f_leaf << ", f_root " << b.f_root
+       << ", tolerated_f " << b.tolerated_f << " (margin 2f/n = " << b.resilience_margin
+       << ")";
+  }
   if (!result.honest_nodes.empty()) {
     os << ", honest nodes " << result.honest_nodes.size() << ", broadcast messages "
        << result.broadcast_messages;

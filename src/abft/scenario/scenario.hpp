@@ -13,6 +13,14 @@
 //                           "random_regression"
 //                         dsgd: "synthetic"         (driver's natural one)
 //   aggregator            registry rule name                       ("cwtm")
+//                         or {"hierarchy": {"shards": S, "leaf_rule": r,
+//                         "root_rule": r, "f_leaf": k}} — the sharded
+//                         aggregate-of-aggregates tree (agg/hierarchy.hpp;
+//                         leaf_rule/root_rule default "cwtm", f_leaf
+//                         defaults to auto).  The deterministic shard
+//                         assignment is seeded from the spec seed
+//                         (derived stream seed ^ 0x5a2dba5e), and the
+//                         result carries the per-level fault bookkeeping
 //   mode                  "exact" | "fast"                        ("exact")
 //   iterations, f, seed, threads
 //   schedule              {"kind": "harmonic"|"constant"|"polynomial",
@@ -31,6 +39,18 @@
 //         (param = scale, 1), mimic-smallest, silent
 //       dsgd kinds: label-flip, gradient-reverse
 //   drop_probability      dgd network crash injection                (0)
+//   relay_strategy        p2p only: how faulty nodes misbehave INSIDE the
+//                         Oral-Messages broadcast (they always lie at the
+//                         source via their fault kind):
+//                         {"kind": "honest"|"equivocate"|"silent"|
+//                          "fixed-value", "param": x}
+//                         equivocate: param = noise stddev (200);
+//                         fixed-value: param = the coordinate value the
+//                         node pushes to everyone (0)
+//   ds_strategy           p2p_auth only: the Dolev-Strong in-protocol
+//                         misbehaviour {"kind": "honest"|"equivocate"|
+//                         "silent", "offset": o (100),
+//                          "forward_probability": p (0.5)}
 //   axes                  {"participation": p, "straggler_probability": q,
 //                          "perturbation_seed": s,
 //                          "churn": [{"round": r, "agent": i}, ...]}
@@ -52,11 +72,13 @@
 
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "abft/agg/batch.hpp"
+#include "abft/agg/hierarchy.hpp"
 #include "abft/engine/axes.hpp"
 #include "abft/learn/dsgd.hpp"
 #include "abft/sim/trace.hpp"
@@ -81,11 +103,31 @@ struct ScheduleSpec {
   double power = 1.0;  // polynomial only
 };
 
+/// p2p: faulty nodes' in-protocol Oral-Messages relay behaviour.
+struct RelayStrategySpec {
+  std::string kind = "honest";  // honest | equivocate | silent | fixed-value
+  /// equivocate: noise stddev; fixed-value: the broadcast coordinate value;
+  /// NaN = kind default.
+  double param = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// p2p_auth: faulty nodes' in-protocol Dolev-Strong behaviour.
+struct DsStrategySpec {
+  std::string kind = "honest";  // honest | equivocate | silent
+  double offset = 100.0;
+  double forward_probability = 0.5;
+};
+
 struct ScenarioSpec {
   std::string name;
   std::string driver = "dgd";  // dgd | dsgd | p2p | p2p_auth
   std::string problem;         // "" = the driver's natural problem
+  /// Registry rule name — or the hierarchy's stable label when `hierarchy`
+  /// is set (parse_scenario fills both from the aggregator object form).
   std::string aggregator = "cwtm";
+  /// Sharded aggregate-of-aggregates tree (agg/hierarchy.hpp); the
+  /// assignment seed is derived from the spec seed at run time.
+  std::optional<agg::HierarchyConfig> hierarchy;
   agg::AggMode mode = agg::AggMode::exact;
   int iterations = 100;
   int f = 0;
@@ -103,6 +145,9 @@ struct ScenarioSpec {
   double noise_stddev = 0.05;  // random_regression observation noise
   std::vector<FaultSpec> faults;
   double drop_probability = 0.0;
+  /// p2p / p2p_auth in-protocol misbehaviour ("honest" kind = not set).
+  std::optional<RelayStrategySpec> relay_strategy;
+  std::optional<DsStrategySpec> ds_strategy;
   engine::ScenarioAxes axes;
 
   // D-SGD knobs.
@@ -142,6 +187,9 @@ struct ScenarioResult {
   std::optional<double> distance_to_reference;
   int eliminated_agents = 0;
   int departed_agents = 0;
+  /// Per-level fault bookkeeping when the spec runs a hierarchy (computed
+  /// against the full roster size and the declared f).
+  std::optional<agg::HierarchyBounds> hierarchy_bounds;
   long broadcast_messages = 0;  // p2p
   long messages_sent = 0;       // dgd network
   long messages_dropped = 0;
@@ -149,6 +197,11 @@ struct ScenarioResult {
 
 /// Builds the workload named by the spec and runs it on the spec's driver.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The aggregator a spec runs with: the registry rule, or the hierarchy
+/// tree with its shard-assignment seed derived from the spec seed — exposed
+/// so tests/benches can study the exact rule a scenario used.
+std::unique_ptr<agg::GradientAggregator> make_scenario_aggregator(const ScenarioSpec& spec);
 
 /// The deterministic random_regression instance a spec names (problem rng is
 /// derived from the spec seed) — exposed so redundancy / theorem-bound

@@ -109,11 +109,18 @@ void reject_duplicate_labels(const std::vector<std::string>& labels, std::string
 /// Variants are exempt: a patch exists to override, and applies last.
 void reject_base_conflict(const SweepSpec& spec, std::string_view axis, bool swept) {
   if (!swept) return;
-  const bool nested =
-      axis == "participation" || axis == "straggler_probability";
   const JsonValue* collision = nullptr;
-  if (nested) {
+  if (axis == "participation" || axis == "straggler_probability") {
     if (const auto* axes = spec.base.find("axes")) collision = axes->find(axis);
+  } else if (axis == "shards") {
+    // Lives two levels down, at base.aggregator.hierarchy.shards.
+    if (const auto* aggregator = spec.base.find("aggregator")) {
+      if (aggregator->is_object()) {
+        if (const auto* hierarchy = aggregator->find("hierarchy")) {
+          collision = hierarchy->find(axis);
+        }
+      }
+    }
   } else {
     collision = spec.base.find(axis);
   }
@@ -145,6 +152,25 @@ void set_axes_member(Members& members, std::string_view key, double value) {
   }
   set_member(axes_members, key, JsonValue::make_number(value));
   set_member(members, "axes", JsonValue::make_object(std::move(axes_members)));
+}
+
+/// Sets one key inside "aggregator"/"hierarchy" (creating both levels if
+/// absent — an absent base aggregator becomes a default hierarchy) — the
+/// shards axis lives two levels down.  parse_sweep has already rejected a
+/// non-object base aggregator.
+void set_hierarchy_member(Members& members, std::string_view key, double value) {
+  Members aggregator_members;
+  for (const auto& [name, existing] : members) {
+    if (name == "aggregator") aggregator_members = existing.as_object();
+  }
+  Members hierarchy_members;
+  for (const auto& [name, existing] : aggregator_members) {
+    if (name == "hierarchy") hierarchy_members = existing.as_object();
+  }
+  set_member(hierarchy_members, key, JsonValue::make_number(value));
+  set_member(aggregator_members, "hierarchy",
+             JsonValue::make_object(std::move(hierarchy_members)));
+  set_member(members, "aggregator", JsonValue::make_object(std::move(aggregator_members)));
 }
 
 std::string number_token(double value) { return util::format_json_number(value); }
@@ -239,8 +265,8 @@ SweepSpec parse_sweep(const JsonValue& json) {
   const JsonValue& sw = json.at("sweep");
   ABFT_REQUIRE(sw.is_object(), "the sweep block must be an object of axes");
   require_known_keys(sw, "sweep block",
-                     {"aggregator", "mode", "f", "seed", "drop_probability", "participation",
-                      "straggler_probability", "faults", "variants"});
+                     {"aggregator", "mode", "f", "shards", "seed", "drop_probability",
+                      "participation", "straggler_probability", "faults", "variants"});
   reject_duplicate_keys(sw, "sweep block");
 
   if (const auto* axis = sw.find("aggregator")) {
@@ -256,6 +282,22 @@ SweepSpec parse_sweep(const JsonValue& json) {
                    " non-negative integers");
       spec.f.push_back(static_cast<int>(value));
     }
+  }
+  if (const auto* axis = sw.find("shards")) {
+    for (const double value : parse_number_axis(*axis)) {
+      ABFT_REQUIRE(value >= 1.0 && value == std::floor(value),
+                   "shards axis entries must be integers >= 1");
+      spec.shards.push_back(static_cast<int>(value));
+    }
+    ABFT_REQUIRE(spec.aggregator.empty(),
+                 "the shards axis cannot combine with an aggregator axis — the rule strings "
+                 "would clobber the hierarchy object; use variants instead");
+    const auto* base_aggregator = spec.base.find("aggregator");
+    ABFT_REQUIRE(base_aggregator == nullptr ||
+                     (base_aggregator->is_object() &&
+                      base_aggregator->find("hierarchy") != nullptr),
+                 "the shards axis needs the base aggregator to be a {\"hierarchy\": ...} "
+                 "object (or absent, defaulting to one)");
   }
   if (const auto* axis = sw.find("seed")) spec.seed = parse_seed_axis(*axis);
   if (const auto* axis = sw.find("drop_probability")) {
@@ -294,14 +336,16 @@ SweepSpec parse_sweep(const JsonValue& json) {
   }
 
   const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() || !spec.f.empty() ||
-                        !spec.seed.empty() || !spec.drop_probability.empty() ||
-                        !spec.participation.empty() || !spec.straggler_probability.empty() ||
-                        !spec.faults.empty() || !spec.variants.empty();
+                        !spec.shards.empty() || !spec.seed.empty() ||
+                        !spec.drop_probability.empty() || !spec.participation.empty() ||
+                        !spec.straggler_probability.empty() || !spec.faults.empty() ||
+                        !spec.variants.empty();
   ABFT_REQUIRE(any_axis, "the sweep block must sweep at least one axis");
 
   reject_base_conflict(spec, "aggregator", !spec.aggregator.empty());
   reject_base_conflict(spec, "mode", !spec.mode.empty());
   reject_base_conflict(spec, "f", !spec.f.empty());
+  reject_base_conflict(spec, "shards", !spec.shards.empty());
   reject_base_conflict(spec, "seed", !spec.seed.empty());
   reject_base_conflict(spec, "drop_probability", !spec.drop_probability.empty());
   reject_base_conflict(spec, "participation", !spec.participation.empty());
@@ -341,6 +385,12 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
     axes.push_back({"f", spec.f.size(), [&](std::size_t i, Members& m) {
                       set_member(m, "f", JsonValue::make_number(spec.f[i]));
                       return std::to_string(spec.f[i]);
+                    }});
+  }
+  if (!spec.shards.empty()) {
+    axes.push_back({"shards", spec.shards.size(), [&](std::size_t i, Members& m) {
+                      set_hierarchy_member(m, "shards", spec.shards[i]);
+                      return std::to_string(spec.shards[i]);
                     }});
   }
   if (!spec.seed.empty()) {

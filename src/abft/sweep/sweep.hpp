@@ -19,6 +19,12 @@
 //     aggregator             ["cwtm", "cge", ...]       registry rule names
 //     mode                   ["exact", "fast"]
 //     f                      [0, 1, 2]
+//     shards                 [1, 4, 16]        sets aggregator.hierarchy
+//                            .shards; the base aggregator must be (or be
+//                            absent and default to) a {"hierarchy": ...}
+//                            object, and combining with an aggregator axis
+//                            is rejected (the string axis would clobber
+//                            the hierarchy object)
 //     seed                   [1, 2, 3] or {"from": s, "count": n}
 //     drop_probability       [0.0, 0.1]
 //     participation          [1.0, 0.8]        (spec "axes" sub-object keys)
@@ -83,6 +89,7 @@ struct SweepSpec {
   std::vector<std::string> aggregator;
   std::vector<std::string> mode;
   std::vector<int> f;
+  std::vector<int> shards;
   std::vector<std::uint64_t> seed;
   std::vector<double> drop_probability;
   std::vector<double> participation;

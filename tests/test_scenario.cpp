@@ -4,8 +4,10 @@
 // against the driver API, for every driver the layer dispatches to.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "abft/agg/registry.hpp"
 #include "abft/attack/simple_faults.hpp"
@@ -376,6 +378,177 @@ TEST(ScenarioRun, RandomRegressionIsDeterministicAndReferenced) {
   // And the redundancy precondition n - 2f >= d must surface, not hang.
   spec.f = 4;
   EXPECT_THROW(scenario::run_scenario(spec), std::invalid_argument);
+}
+
+// ----------------------- hierarchical aggregator ----------------------------
+
+TEST(ScenarioSpec, HierarchyAggregatorParsesObjectForm) {
+  const auto spec = scenario::parse_scenario(util::parse_json(R"({
+    "driver": "dgd", "problem": "quadratic",
+    "aggregator": {"hierarchy": {"shards": 6, "leaf_rule": "krum",
+                                 "root_rule": "cwmed", "f_leaf": 2}}
+  })"));
+  ASSERT_TRUE(spec.hierarchy.has_value());
+  EXPECT_EQ(spec.hierarchy->shards, 6);
+  EXPECT_EQ(spec.hierarchy->leaf_rule, "krum");
+  EXPECT_EQ(spec.hierarchy->root_rule, "cwmed");
+  EXPECT_EQ(spec.hierarchy->f_leaf, 2);
+  EXPECT_EQ(spec.aggregator, "hier-6-krum-cwmed-fl2");
+
+  // Leaf/root default to cwtm, f_leaf to auto.
+  const auto defaults = scenario::parse_scenario(
+      util::parse_json(R"({"aggregator": {"hierarchy": {"shards": 4}}})"));
+  ASSERT_TRUE(defaults.hierarchy.has_value());
+  EXPECT_EQ(defaults.hierarchy->leaf_rule, "cwtm");
+  EXPECT_EQ(defaults.hierarchy->root_rule, "cwtm");
+  EXPECT_EQ(defaults.hierarchy->f_leaf, -1);
+  EXPECT_EQ(defaults.aggregator, "hier-4-cwtm-cwtm");
+}
+
+TEST(ScenarioSpec, HierarchyAggregatorRejectsMalformedBlocks) {
+  const auto parse = [](const char* text) {
+    return scenario::parse_scenario(util::parse_json(text));
+  };
+  // Unknown key next to (or inside) the hierarchy block.
+  EXPECT_THROW(parse(R"({"aggregator": {"hierarchy": {"shards": 2}, "x": 1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"hierarchy": {"shards": 2, "nope": 1}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"hierarchy": {"shards": 0}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"hierarchy": {"leaf_rule": "nope"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"hierarchy": {"root_rule": "nope"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"hierarchy": {"f_leaf": -1}}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRun, HierarchySpecRunsAndReportsBounds) {
+  auto spec = scenario::parse_scenario(util::parse_json(R"({
+    "name": "hier-run", "driver": "dgd", "problem": "quadratic",
+    "num_agents": 60, "dim": 3, "iterations": 30, "f": 6, "seed": 5,
+    "box_halfwidth": 50.0,
+    "aggregator": {"hierarchy": {"shards": 6, "leaf_rule": "krum",
+                                 "root_rule": "cwtm", "f_leaf": 2}}
+  })"));
+  const auto result = scenario::run_scenario(spec);
+  ASSERT_TRUE(result.hierarchy_bounds.has_value());
+  const auto& b = *result.hierarchy_bounds;
+  EXPECT_EQ(b.n, 60);
+  EXPECT_EQ(b.shards, 6);
+  EXPECT_EQ(b.shard_rows_min, 10);
+  EXPECT_EQ(b.f_leaf, 2);
+  EXPECT_EQ(b.f_root, 2);  // floor(6 / 3), within cwtm(6)'s cap
+  EXPECT_EQ(b.tolerated_f, 8);
+  EXPECT_DOUBLE_EQ(b.resilience_margin, 2.0 * 8 / 60);
+  EXPECT_TRUE(std::isfinite(result.final_cost));
+  std::ostringstream json;
+  scenario::write_result_json(result, json);
+  EXPECT_NE(json.str().find("\"hierarchy\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"tolerated_f\": 8"), std::string::npos);
+
+  // A non-hierarchy run carries no bounds (and no JSON block).
+  const auto flat = scenario::run_scenario(scenario::parse_scenario(util::parse_json(
+      R"({"driver": "dgd", "problem": "quadratic", "iterations": 5})")));
+  EXPECT_FALSE(flat.hierarchy_bounds.has_value());
+}
+
+TEST(ScenarioRun, SingleShardHierarchyMatchesFlatRunBitwise) {
+  const char* common = R"("driver": "dgd", "problem": "quadratic",
+    "num_agents": 21, "dim": 2, "iterations": 40, "f": 2, "seed": 9,
+    "box_halfwidth": 40.0,
+    "faults": [{"agent": 0, "kind": "random"}, {"agent": 1, "kind": "sign-flip-scale"}])";
+  const auto flat = scenario::run_scenario(scenario::parse_scenario(
+      util::parse_json(std::string("{\"aggregator\": \"krum\", ") + common + "}")));
+  const auto hier = scenario::run_scenario(scenario::parse_scenario(util::parse_json(
+      std::string(R"({"aggregator": {"hierarchy": {"shards": 1, "leaf_rule": "krum"}}, )") +
+      common + "}")));
+  ASSERT_EQ(flat.traces.size(), hier.traces.size());
+  EXPECT_EQ(flat.traces.front().final_estimate(), hier.traces.front().final_estimate());
+  EXPECT_EQ(flat.final_cost, hier.final_cost);
+}
+
+// --------------------- p2p in-protocol strategies ----------------------------
+
+TEST(ScenarioSpec, StrategyBlocksParseAndValidate) {
+  const auto spec = scenario::parse_scenario(util::parse_json(R"({
+    "driver": "p2p", "relay_strategy": {"kind": "equivocate", "param": 50.0}
+  })"));
+  ASSERT_TRUE(spec.relay_strategy.has_value());
+  EXPECT_EQ(spec.relay_strategy->kind, "equivocate");
+  EXPECT_DOUBLE_EQ(spec.relay_strategy->param, 50.0);
+
+  const auto ds = scenario::parse_scenario(util::parse_json(R"({
+    "driver": "p2p_auth",
+    "ds_strategy": {"kind": "equivocate", "offset": 7.0, "forward_probability": 0.25}
+  })"));
+  ASSERT_TRUE(ds.ds_strategy.has_value());
+  EXPECT_DOUBLE_EQ(ds.ds_strategy->offset, 7.0);
+  EXPECT_DOUBLE_EQ(ds.ds_strategy->forward_probability, 0.25);
+
+  const auto parse = [](const char* text) {
+    return scenario::parse_scenario(util::parse_json(text));
+  };
+  EXPECT_THROW(parse(R"({"relay_strategy": {"kind": "nope"}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"relay_strategy": {"kind": "honest", "x": 1}})"),
+               std::invalid_argument);
+  // param only makes sense for equivocate / fixed-value.
+  EXPECT_THROW(parse(R"({"relay_strategy": {"kind": "silent", "param": 1.0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"ds_strategy": {"kind": "nope"}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"ds_strategy": {"kind": "equivocate", "forward_probability": 1.5}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"ds_strategy": {"kind": "silent", "offset": 1.0}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRun, StrategyKeysRejectedOnWrongDriver) {
+  const auto run = [](const char* text) {
+    return scenario::run_scenario(scenario::parse_scenario(util::parse_json(text)));
+  };
+  // relay_strategy belongs to the Oral-Messages p2p driver only.
+  EXPECT_THROW(run(R"({"driver": "dgd", "problem": "quadratic", "iterations": 2,
+                       "relay_strategy": {"kind": "silent"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(run(R"({"driver": "p2p_auth", "problem": "quadratic", "iterations": 2,
+                       "relay_strategy": {"kind": "silent"}})"),
+               std::invalid_argument);
+  // ds_strategy belongs to the Dolev-Strong p2p_auth driver only.
+  EXPECT_THROW(run(R"({"driver": "p2p", "problem": "quadratic", "iterations": 2,
+                       "ds_strategy": {"kind": "silent"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(run(R"({"driver": "dsgd", "iterations": 2,
+                       "ds_strategy": {"kind": "silent"}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRun, P2pStrategiesExecuteAndHonestKindIsTransparent) {
+  const char* common = R"("problem": "quadratic", "num_agents": 7, "dim": 2,
+    "iterations": 15, "f": 1, "seed": 3, "box_halfwidth": 40.0,
+    "faults": [{"agent": 0, "kind": "random"}])";
+  const auto run = [&](const std::string& head) {
+    return scenario::run_scenario(
+        scenario::parse_scenario(util::parse_json("{" + head + ", " + common + "}")));
+  };
+  // An explicit honest strategy is bit-identical to leaving the key out.
+  const auto plain = run(R"("driver": "p2p")");
+  const auto honest = run(R"("driver": "p2p", "relay_strategy": {"kind": "honest"})");
+  EXPECT_EQ(plain.traces.front().final_estimate(), honest.traces.front().final_estimate());
+  // Misbehaving relays still yield a finite, converging run.
+  const auto equiv = run(R"("driver": "p2p", "relay_strategy": {"kind": "equivocate"})");
+  EXPECT_TRUE(std::isfinite(equiv.final_cost));
+  EXPECT_GT(equiv.broadcast_messages, 0);
+  const auto fixed =
+      run(R"("driver": "p2p", "relay_strategy": {"kind": "fixed-value", "param": 3.0})");
+  EXPECT_TRUE(std::isfinite(fixed.final_cost));
+
+  const auto ds_plain = run(R"("driver": "p2p_auth")");
+  const auto ds_honest = run(R"("driver": "p2p_auth", "ds_strategy": {"kind": "honest"})");
+  EXPECT_EQ(ds_plain.traces.front().final_estimate(),
+            ds_honest.traces.front().final_estimate());
+  const auto ds_equiv = run(R"("driver": "p2p_auth", "ds_strategy": {"kind": "equivocate"})");
+  EXPECT_TRUE(std::isfinite(ds_equiv.final_cost));
 }
 
 TEST(ScenarioRun, CommittedSpecsParse) {

@@ -129,6 +129,37 @@ TEST(SweepExpand, ParticipationAxisMergesIntoNestedAxes) {
   EXPECT_DOUBLE_EQ(runs[0].spec.axes.straggler_probability, 0.0);
 }
 
+// The shards axis rebuilds the nested aggregator/hierarchy object per run
+// and lands in canonical position (between f and seed) in ids and cells.
+TEST(SweepExpand, ShardsAxisSetsNestedHierarchyMember) {
+  const auto runs = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 24, "dim": 2,
+             "iterations": 4, "f": 2, "box_halfwidth": 40.0,
+             "schedule": {"kind": "harmonic", "scale": 0.4},
+             "aggregator": {"hierarchy": {"leaf_rule": "krum", "root_rule": "cwtm"}}},
+    "sweep": {"shards": [1, 4], "seed": [7, 8]}
+  })"));
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].run_id, "000_shards=1_seed=7");
+  EXPECT_EQ(runs[3].run_id, "003_shards=4_seed=8");
+  ASSERT_TRUE(runs[3].spec.hierarchy.has_value());
+  EXPECT_EQ(runs[3].spec.hierarchy->shards, 4);
+  // The base's other hierarchy keys survive the per-run rebuild.
+  EXPECT_EQ(runs[3].spec.hierarchy->leaf_rule, "krum");
+  EXPECT_EQ(runs[3].spec.aggregator, "hier-4-krum-cwtm");
+  EXPECT_EQ(runs[0].spec.hierarchy->shards, 1);
+  EXPECT_EQ(runs[0].axes.front().axis, "shards");
+  // A base with no aggregator at all defaults to an all-cwtm tree.
+  const auto defaulted = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 12, "dim": 2,
+             "iterations": 3},
+    "sweep": {"shards": [3]}
+  })"));
+  ASSERT_EQ(defaulted.size(), 1u);
+  ASSERT_TRUE(defaulted[0].spec.hierarchy.has_value());
+  EXPECT_EQ(defaulted[0].spec.aggregator, "hier-3-cwtm-cwtm");
+}
+
 // ------------------------------ validation ----------------------------------
 
 TEST(SweepParse, RejectsUnknownAndDuplicateKeys) {
@@ -175,6 +206,25 @@ TEST(SweepParse, RejectsAxesConflictingWithBase) {
   EXPECT_NO_THROW(parse(R"({"base": {"aggregator": "cwtm"},
                             "sweep": {"variants": [{"label": "a",
                                                     "patch": {"aggregator": "cge"}}]}})"));
+}
+
+TEST(SweepParse, ShardsAxisRejectsConflictingAggregatorShapes) {
+  // A string base aggregator has no hierarchy object to patch.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": "cwtm"}, "sweep": {"shards": [2]}})"),
+               std::invalid_argument);
+  // Combining with an aggregator axis would clobber the hierarchy object.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"shards": [2], "aggregator": ["cge"]}})"),
+               std::invalid_argument);
+  // The base already pins shards: the spec contradicts itself.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": {"hierarchy": {"shards": 4}}},
+                         "sweep": {"shards": [2]}})"),
+               std::invalid_argument);
+  // Malformed entries.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"shards": [0]}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"shards": [1.5]}})"), std::invalid_argument);
+  // Other hierarchy keys in the base are fine alongside the axis.
+  EXPECT_NO_THROW(parse(R"({"base": {"aggregator": {"hierarchy": {"leaf_rule": "krum"}}},
+                            "sweep": {"shards": [2]}})"));
 }
 
 TEST(SweepParse, RejectsMalformedAxes) {

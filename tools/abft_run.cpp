@@ -53,12 +53,16 @@ void print_list() {
                "synthetic (dsgd)\n";
   std::cout << "aggregation rules:";
   for (const auto name : abft::agg::aggregator_names()) std::cout << ' ' << name;
-  std::cout << "\nfault kinds (dgd/p2p): gradient-reverse, random, zero, sign-flip-scale,\n"
+  std::cout << "\n  or hierarchical: \"aggregator\": {\"hierarchy\": {\"shards\", \"leaf_rule\","
+               " \"root_rule\", \"f_leaf\"}}\n"
+               "fault kinds (dgd/p2p): gradient-reverse, random, zero, sign-flip-scale,\n"
                "  rotating, little-is-enough, mean-reverse, mimic-smallest, silent\n"
                "fault kinds (dsgd): label-flip, gradient-reverse\n"
+               "p2p relay_strategy kinds: honest, equivocate, silent, fixed-value;\n"
+               "  p2p_auth ds_strategy kinds: honest, equivocate, silent\n"
                "axes: participation, straggler_probability, perturbation_seed, churn\n"
-               "sweep axes: aggregator, mode, f, seed, drop_probability, participation,\n"
-               "  straggler_probability, faults (presets), variants (patches)\n";
+               "sweep axes: aggregator, mode, f, shards, seed, drop_probability,\n"
+               "  participation, straggler_probability, faults (presets), variants (patches)\n";
 }
 
 bool take_value(std::string_view arg, std::string_view flag, std::string* value) {
