@@ -51,9 +51,12 @@ HierarchyBounds HierarchicalAggregator::bounds(int n, int f) const {
   };
   if (b.shards <= 1) {
     // Flat delegation: one level, the leaf rule's own precondition governs.
+    // An explicit f_leaf pins the executed budget here exactly as in the
+    // tree case — aggregate_into runs the leaf with b.f_leaf, never raw f.
     const int cap = leaf_->max_usable_f(n);
     if (cap < leaf_->min_usable_f()) return unusable();
-    b.f_leaf = std::clamp(f, leaf_->min_usable_f(), cap);
+    const int requested = config_.f_leaf >= 0 ? config_.f_leaf : f;
+    b.f_leaf = std::clamp(requested, leaf_->min_usable_f(), cap);
     b.f_root = 0;
     b.tolerated_f = b.f_leaf;
   } else {
@@ -77,7 +80,11 @@ HierarchyBounds HierarchicalAggregator::bounds(int n, int f) const {
 int HierarchicalAggregator::max_usable_f(int n) const noexcept {
   if (n < 1) return -1;
   const int num_shards = std::min(config_.shards, n);
-  if (num_shards <= 1) return leaf_->max_usable_f(n);
+  if (num_shards <= 1) {
+    const int cap = leaf_->max_usable_f(n);
+    if (cap < leaf_->min_usable_f()) return -1;
+    return config_.f_leaf >= 0 ? std::clamp(config_.f_leaf, leaf_->min_usable_f(), cap) : cap;
+  }
   const int rows_min = n / num_shards;
   const int leaf_cap = leaf_->max_usable_f(rows_min);
   if (leaf_cap < leaf_->min_usable_f()) return -1;
@@ -92,9 +99,15 @@ int HierarchicalAggregator::max_usable_f(int n) const noexcept {
 }
 
 int HierarchicalAggregator::min_usable_f() const noexcept {
-  // A real tree runs its leaves/root at their own minimum budgets whatever
-  // the declared f; only the S = 1 delegation inherits the leaf's floor.
-  return config_.shards <= 1 ? leaf_->min_usable_f() : 0;
+  // Any declared f >= 0 is absorbable at every shard count: bounds() clamps
+  // the executed per-level budgets UP to the leaf/root rules' own floors, so
+  // a leaf with a positive minimum (bulyan) still runs with f_leaf at its
+  // floor.  The S = 1 flat delegation follows the same contract — it executes
+  // the clamped b.f_leaf, never raw f — so it no longer inherits the leaf's
+  // floor.  Keeping this at 0 also keeps the cap consistent with
+  // aggregate_into's delegation decision when a thin round shrinks the
+  // delivered row count to 1 (num_shards = min(shards, n)).
+  return 0;
 }
 
 Vector HierarchicalAggregator::aggregate(std::span<const Vector> gradients, int f) const {
@@ -113,7 +126,17 @@ void HierarchicalAggregator::aggregate_into(Vector& out, const GradientBatch& ba
   const int n = batch.rows();
   const int num_shards = std::min(config_.shards, n);
   if (num_shards <= 1) {
-    leaf_->aggregate_into(out, batch, f, ws);
+    // Execute exactly the budget bounds() reports: clamped into the leaf's
+    // usable range and pinned by an explicit f_leaf.  Raw f would desync the
+    // executed filter from the reported bounds (and a leaf with a positive
+    // floor, e.g. bulyan, would throw mid-run on an engine-approved f = 0).
+    const HierarchyBounds flat = bounds(n, f);
+    ABFT_REQUIRE(flat.tolerated_f >= 0,
+                 "hierarchy: the leaf rule cannot run on this row count at all");
+    ABFT_REQUIRE(f <= flat.tolerated_f,
+                 "hierarchy: declared f exceeds the flat-delegation budget — lower f or drop "
+                 "the explicit f_leaf");
+    leaf_->aggregate_into(out, batch, flat.f_leaf, ws);
     return;
   }
   const HierarchyBounds b = bounds(n, f);

@@ -23,7 +23,10 @@
 // are gathered contiguously, and per-shard outputs land in fixed root-batch
 // rows — so the result is a pure function of (batch, f, config), bit
 // identical at every thread count.  An S = 1 tree delegates to the leaf
-// rule outright and is bit-identical to flat aggregation by construction.
+// rule with the same clamped f_leaf budget bounds() reports — bit-identical
+// to flat aggregation whenever the declared f is already in the leaf's
+// usable range, and still runnable (budget clamped up to the leaf's floor)
+// when it is not.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +48,9 @@ struct HierarchyConfig {
   /// Per-shard declared fault budget.  -1 (the default) derives it per call
   /// as min(f, leaf max_usable_f(smallest shard)); an explicit value is
   /// clamped into the leaf rule's usable range, like the engine's own
-  /// usable_fault_bound clamp.
+  /// usable_fault_bound clamp.  Honoured at every effective shard count,
+  /// including the S = 1 flat delegation (where it pins the executed leaf
+  /// budget and max_usable_f accordingly).
   int f_leaf = -1;
   /// Seed of the deterministic row-to-shard assignment permutation; 0 keeps
   /// the identity order (row i lands in shard floor(i * S / n)'s slice).

@@ -1,0 +1,106 @@
+// Bounded lock-free multi-producer ring buffer (Vyukov bounded-queue
+// sequence scheme), used by the async engine's produce phase: pool workers
+// push finished gradient rows concurrently, and the single consumer drains
+// the ring after the parallel emit has joined.
+//
+// Determinism contract: the ring only carries WHICH rows finished — the
+// consumer re-sorts the drained set by virtual arrival time, so the
+// (thread-schedule-dependent) push order never reaches the numerics.  The
+// ring exists to make the concurrent produce phase safe, not ordered.
+//
+// Each slot carries a sequence counter: `seq == pos` means free for the
+// producer claiming `pos`, `seq == pos + 1` means published and readable by
+// the consumer at `pos`, and after consumption the slot is re-armed for the
+// producer one lap ahead (`seq = pos + capacity`).  Producers claim slots
+// with a CAS on tail_; the consumer is single-threaded and uses a plain
+// head cursor.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "abft/util/check.hpp"
+
+namespace abft::engine {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (>= 2).
+  explicit MpscRing(std::size_t min_capacity) {
+    ABFT_REQUIRE(min_capacity >= 1, "mpsc ring needs a positive capacity");
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Thread-safe against concurrent try_push calls.  Returns false when the
+  /// ring is full (the caller decides whether that is an error).
+  bool try_push(const T& value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry against the new slot.
+      } else if (diff < 0) {
+        return false;  // a full lap behind: the ring is full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer drain: calls fn(value) for every published element, in
+  /// push-completion order, and returns how many were consumed.  Must not
+  /// race with try_push on the same elements — the engine drains only after
+  /// the parallel produce phase has joined, so every claimed slot is
+  /// published by the time drain runs.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    std::size_t drained = 0;
+    for (;;) {
+      Cell& cell = cells_[head_ & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) != 0) {
+        break;  // empty (or an unpublished claim, which cannot happen post-join)
+      }
+      fn(std::move(cell.value));
+      cell.seq.store(head_ + capacity_, std::memory_order_release);
+      ++head_;
+      ++drained;
+    }
+    return drained;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> tail_{0};
+  std::size_t head_ = 0;  // single consumer: no atomicity needed
+};
+
+}  // namespace abft::engine

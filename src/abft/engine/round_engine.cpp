@@ -77,7 +77,7 @@ void RoundEngine::ensure_payload() {
 }
 
 int usable_fault_bound(const agg::GradientAggregator& rule, int declared_f, int current_f,
-                       int kept, int roster_n) {
+                       int kept, int members_n, int roster_n) {
   if (kept <= 0) return -1;
   if (declared_f > rule.max_usable_f(roster_n) || declared_f < rule.min_usable_f()) {
     // Misconfigured from the start: the legacy clamp, under which rules
@@ -86,6 +86,12 @@ int usable_fault_bound(const agg::GradientAggregator& rule, int declared_f, int 
     // driver behaviour.
     return std::max(0, std::min(current_f, kept - 1));
   }
+  // A permanently shrunk membership that can no longer tolerate the
+  // adversaries known to remain is unsound to aggregate over at ANY clamped
+  // budget — the filter would run weaker than the adversary count.  Hold.
+  // (Eliminations shrink current_f alongside members_n and never trip this;
+  // honest churn shrinks members_n alone and can.)
+  if (current_f > rule.max_usable_f(members_n)) return -1;
   // A thin round of a valid configuration aggregates with the strongest f
   // the rule tolerates at this row count, or holds position when the rule
   // cannot run that thin at all.
@@ -97,7 +103,8 @@ int usable_fault_bound(const agg::GradientAggregator& rule, int declared_f, int 
 }
 
 bool RoundEngine::aggregate(const agg::GradientAggregator& rule, Vector& out) {
-  const int usable_f = usable_fault_bound(rule, declared_f_, current_f_, kept_, roster_size());
+  const int usable_f = usable_fault_bound(rule, declared_f_, current_f_, kept_,
+                                          static_cast<int>(members_.size()), roster_size());
   if (usable_f < 0) return false;
   rule.aggregate_into(out, ingest_, usable_f, workspace_);
   return true;

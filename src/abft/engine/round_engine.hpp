@@ -80,8 +80,20 @@ using RoundObserver = std::function<void(int round, const Vector& estimate, cons
 /// (above its max, or below its minimum) is a misconfiguration, not a thin
 /// round: it gets the legacy min(current_f, kept - 1) clamp so the rule's
 /// own precondition still fails loudly where it always did.
+///
+/// `members_n` is the CURRENT membership size (after churn/elimination has
+/// permanently shrunk the roster), while `roster_n` stays the size the run
+/// was configured with — the misconfiguration check is judged against
+/// `roster_n` because a config valid at reset never becomes "misconfigured"
+/// later.  But once the surviving membership itself can no longer tolerate
+/// the `current_f` adversaries known to remain
+/// (current_f > rule.max_usable_f(members_n)), no clamp is sound: running
+/// the filter with a weaker budget than the adversary count would hand the
+/// round to the faulty agents, so the engine holds position instead.  A
+/// merely thin round (kept < members_n from stragglers or sit-outs) still
+/// takes the kept-row clamp below.
 int usable_fault_bound(const agg::GradientAggregator& rule, int declared_f, int current_f,
-                       int kept, int roster_n);
+                       int kept, int members_n, int roster_n);
 
 class RoundEngine {
  public:
@@ -237,11 +249,12 @@ class RoundEngine {
   /// Filter phase over the ingest batch: the usable fault bound is
   /// min(current_f, kept - 1, rule.max_usable_f(kept)) clamped at 0, so a
   /// thin round aggregates with the strongest f the rule tolerates.
-  /// Returns false (out untouched) when no rows were delivered or the rule
-  /// cannot run on them at all — the driver holds position that round.  A
-  /// declared f the rule could not support even on the full roster is a
-  /// misconfiguration and is NOT clamped: the rule's own precondition
-  /// throws, as it always did.
+  /// Returns false (out untouched) when no rows were delivered, the rule
+  /// cannot run on them at all, or the surviving membership can no longer
+  /// tolerate current_f adversaries (see usable_fault_bound) — the driver
+  /// holds position that round.  A declared f the rule could not support
+  /// even on the full roster is a misconfiguration and is NOT clamped: the
+  /// rule's own precondition throws, as it always did.
   bool aggregate(const agg::GradientAggregator& rule, Vector& out);
 
  private:

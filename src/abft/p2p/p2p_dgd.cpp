@@ -203,7 +203,8 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
     // message lagged, not their inbound.  A churned node's trace stops
     // growing; a round in which nobody broadcast holds position.
     const int usable_f =
-        engine::usable_fault_bound(aggregator, config.f, eng.current_f(), kept, n);
+        engine::usable_fault_bound(aggregator, config.f, eng.current_f(), kept,
+                                   static_cast<int>(eng.members().size()), n);
     eng.parallel(static_cast<int>(round_honest.size()), [&](int begin, int end) {
       for (int u = begin; u < end; ++u) {
         const auto idx = static_cast<std::size_t>(round_honest[static_cast<std::size_t>(u)]);

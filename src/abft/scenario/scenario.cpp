@@ -108,6 +108,26 @@ DsStrategySpec parse_ds_strategy(const util::JsonValue& json) {
   return ds;
 }
 
+engine::AsyncConfig parse_async(const util::JsonValue& json) {
+  require_known_keys(json, "async", {"quorum", "deadline", "staleness_cap", "arrival"});
+  engine::AsyncConfig async;
+  async.quorum = int_or(json, "quorum", async.quorum);
+  ABFT_REQUIRE(async.quorum >= 0, "async quorum must be >= 0 (0 = full roster)");
+  async.deadline = json.number_or("deadline", async.deadline);
+  ABFT_REQUIRE(async.deadline > 0.0, "async deadline must be > 0");
+  async.staleness_cap = int_or(json, "staleness_cap", async.staleness_cap);
+  ABFT_REQUIRE(async.staleness_cap >= 0, "async staleness_cap must be >= 0");
+  if (const auto* arrival = json.find("arrival")) {
+    require_known_keys(*arrival, "arrival", {"kind", "scale"});
+    async.arrival.kind = arrival->string_or("kind", async.arrival.kind);
+    ABFT_REQUIRE(async.arrival.kind == "uniform" || async.arrival.kind == "exponential",
+                 "async arrival kind must be uniform or exponential");
+    async.arrival.scale = arrival->number_or("scale", async.arrival.scale);
+    ABFT_REQUIRE(async.arrival.scale > 0.0, "async arrival scale must be > 0");
+  }
+  return async;
+}
+
 engine::ScenarioAxes parse_axes(const util::JsonValue& json) {
   require_known_keys(json, "axes",
                      {"participation", "straggler_probability", "perturbation_seed", "churn"});
@@ -135,8 +155,8 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
        "iterations", "f",        "seed",             "threads",       "schedule",
        "box_halfwidth", "x0",    "agents",           "num_agents",    "dim",
        "noise_stddev",  "faults", "drop_probability", "relay_strategy",
-       "ds_strategy", "axes",    "batch_size",       "step_size",     "momentum",
-       "eval_interval", "model", "dataset"});
+       "ds_strategy", "axes",    "async",            "batch_size",    "step_size",
+       "momentum",    "eval_interval", "model",      "dataset"});
   ScenarioSpec spec;
   spec.specified_keys = json.keys();
   spec.name = json.string_or("name", "");
@@ -186,6 +206,16 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
   }
   if (const auto* ds = json.find("ds_strategy")) spec.ds_strategy = parse_ds_strategy(*ds);
   if (const auto* axes = json.find("axes")) spec.axes = parse_axes(*axes);
+  if (const auto* async = json.find("async")) {
+    spec.async = parse_async(*async);
+    // Lateness and loss live in the virtual clock there; the synchronous
+    // perturbation axes and drop injection would be a second, conflicting
+    // realization of the same phenomena.
+    ABFT_REQUIRE(!spec.axes.enabled(),
+                 "async does not compose with the participation/straggler/churn axes");
+    ABFT_REQUIRE(json.number_or("drop_probability", 0.0) == 0.0,
+                 "async does not compose with drop_probability");
+  }
   spec.batch_size = int_or(json, "batch_size", spec.batch_size);
   spec.step_size = json.number_or("step_size", spec.step_size);
   spec.momentum = json.number_or("momentum", spec.momentum);
@@ -453,7 +483,8 @@ ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
                         false,
                         spec.threads,
                         spec.mode,
-                        spec.axes};
+                        spec.axes,
+                        spec.async};
   sim::DgdSimulation simulation(std::move(w.roster), std::move(config));
   ScenarioResult result;
   result.spec = spec;
@@ -467,6 +498,7 @@ ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
   result.departed_agents = trace.departed_agents;
   result.messages_sent = simulation.network().messages_sent();
   result.messages_dropped = simulation.network().messages_dropped();
+  if (const auto* stats = simulation.async_stats()) result.async_stats = *stats;
   attach_hierarchy_bounds(&result, *aggregator, spec, static_cast<int>(w.costs.size()));
   return result;
 }
@@ -474,7 +506,7 @@ ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
 ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
   reject_inapplicable_keys(spec,
                            {"batch_size", "step_size", "momentum", "eval_interval", "model",
-                            "dataset", "drop_probability",
+                            "dataset", "drop_probability", "async",
                             authenticated ? "relay_strategy" : "ds_strategy"},
                            authenticated ? "p2p_auth" : "p2p");
   GradientWorkload w = build_gradient_workload(spec);
@@ -513,7 +545,7 @@ ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
 ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
   reject_inapplicable_keys(spec,
                            {"schedule", "box_halfwidth", "x0", "drop_probability", "dim",
-                            "noise_stddev", "relay_strategy", "ds_strategy"},
+                            "noise_stddev", "relay_strategy", "ds_strategy", "async"},
                            "dsgd");
   const std::string problem = spec.problem.empty() ? "synthetic" : spec.problem;
   ABFT_REQUIRE(problem == "synthetic", "dsgd supports the synthetic problem only");
@@ -686,6 +718,13 @@ void write_result_json(const ScenarioResult& result, std::ostream& os) {
     write_number(os, b.resilience_margin);
     os << "},\n";
   }
+  if (result.async_stats) {
+    const auto& a = *result.async_stats;
+    os << "  \"async\": {\"quorum_fires\": " << a.quorum_fires
+       << ", \"deadline_fires\": " << a.deadline_fires
+       << ", \"stale_dropped\": " << a.stale_dropped << ", \"late_rows\": " << a.late_rows
+       << "},\n";
+  }
   if (result.series) {
     const auto& series = *result.series;
     os << "  \"final_train_loss\": ";
@@ -735,6 +774,12 @@ void print_result(const ScenarioResult& result, std::ostream& os) {
        << b.shard_rows_max << " rows, f_leaf " << b.f_leaf << ", f_root " << b.f_root
        << ", tolerated_f " << b.tolerated_f << " (margin 2f/n = " << b.resilience_margin
        << ")";
+  }
+  if (result.async_stats) {
+    const auto& a = *result.async_stats;
+    os << "\n  async: quorum fires " << a.quorum_fires << ", deadline fires "
+       << a.deadline_fires << ", stale dropped " << a.stale_dropped << ", late rows "
+       << a.late_rows;
   }
   if (!result.honest_nodes.empty()) {
     os << ", honest nodes " << result.honest_nodes.size() << ", broadcast messages "

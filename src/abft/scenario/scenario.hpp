@@ -54,6 +54,22 @@
 //   axes                  {"participation": p, "straggler_probability": q,
 //                          "perturbation_seed": s,
 //                          "churn": [{"round": r, "agent": i}, ...]}
+//   async                 dgd only: event-driven quorum-or-deadline rounds
+//                         (engine/async_engine.hpp) instead of the
+//                         synchronous close:
+//                         {"quorum": q (0 = full roster),
+//                          "deadline": D (1.0, > 0),
+//                          "staleness_cap": c (0, >= 0),
+//                          "arrival": {"kind": "uniform"|"exponential",
+//                                      "scale": s (0.5, > 0)}}
+//                         The filter fires as soon as q rows arrive inside
+//                         the round window [t*D, (t+1)*D), else at the
+//                         close; rows older than c rounds are dropped and
+//                         late-but-fresh rows are scaled by 1/(1+age).
+//                         Does not compose with `axes` or
+//                         `drop_probability` (lateness/loss live in the
+//                         virtual clock); results carry the
+//                         quorum/deadline/staleness counters
 //   dsgd knobs            batch_size (32), step_size (0.01), momentum (0),
 //                         eval_interval (25),
 //                         model {"kind": "softmax"|"mlp",
@@ -79,6 +95,7 @@
 
 #include "abft/agg/batch.hpp"
 #include "abft/agg/hierarchy.hpp"
+#include "abft/engine/async_engine.hpp"
 #include "abft/engine/axes.hpp"
 #include "abft/learn/dsgd.hpp"
 #include "abft/sim/trace.hpp"
@@ -149,6 +166,8 @@ struct ScenarioSpec {
   std::optional<RelayStrategySpec> relay_strategy;
   std::optional<DsStrategySpec> ds_strategy;
   engine::ScenarioAxes axes;
+  /// dgd only: event-driven quorum-or-deadline mode (see schema comment).
+  std::optional<engine::AsyncConfig> async;
 
   // D-SGD knobs.
   int batch_size = 32;
@@ -190,6 +209,8 @@ struct ScenarioResult {
   /// Per-level fault bookkeeping when the spec runs a hierarchy (computed
   /// against the full roster size and the declared f).
   std::optional<agg::HierarchyBounds> hierarchy_bounds;
+  /// Trigger/staleness counters when the spec runs the async engine mode.
+  std::optional<engine::AsyncStats> async_stats;
   long broadcast_messages = 0;  // p2p
   long messages_sent = 0;       // dgd network
   long messages_dropped = 0;

@@ -22,9 +22,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "abft/agg/aggregator.hpp"
+#include "abft/engine/async_engine.hpp"
 #include "abft/engine/round_engine.hpp"
 #include "abft/opt/box.hpp"
 #include "abft/opt/schedule.hpp"
@@ -59,6 +61,11 @@ struct DgdConfig {
   /// Round-perturbation axes (engine/axes.hpp): partial participation,
   /// straggler schedules, churn.  Defaults are a no-op (bit-identical run).
   engine::ScenarioAxes axes;
+  /// Event-driven mode (engine/async_engine.hpp): quorum-or-deadline rounds
+  /// over a virtual clock instead of the synchronous close.  Mutually
+  /// exclusive with the axes and with drop injection — lateness and loss are
+  /// realized through arrival times there.  Empty = synchronous engine.
+  std::optional<engine::AsyncConfig> async;
 };
 
 class DgdSimulation {
@@ -91,15 +98,24 @@ class DgdSimulation {
 
   [[nodiscard]] const SyncNetwork& network() const noexcept { return network_; }
 
+  /// Trigger/staleness counters of the last async run; nullptr in sync mode.
+  [[nodiscard]] const engine::AsyncStats* async_stats() const noexcept {
+    return async_ ? &async_->stats() : nullptr;
+  }
+
  private:
+  Trace run_async(const agg::GradientAggregator& aggregator);
+
   std::vector<AgentSpec> roster_;
   DgdConfig config_;
   SyncNetwork network_;
   HonestGradientWriter honest_writer_;
 
   /// Owns the round state: batches, pool, workspace, rng streams,
-  /// membership/elimination bookkeeping and the scenario plan.
+  /// membership/elimination bookkeeping and the scenario plan.  Exactly one
+  /// of engine_/async_ is constructed, keyed off config_.async.
   std::unique_ptr<engine::RoundEngine> engine_;
+  std::unique_ptr<engine::AsyncRoundEngine> async_;
   Vector filtered_;
 };
 

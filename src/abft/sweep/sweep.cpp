@@ -112,6 +112,9 @@ void reject_base_conflict(const SweepSpec& spec, std::string_view axis, bool swe
   const JsonValue* collision = nullptr;
   if (axis == "participation" || axis == "straggler_probability") {
     if (const auto* axes = spec.base.find("axes")) collision = axes->find(axis);
+  } else if (axis == "quorum" || axis == "staleness_cap") {
+    // Lives one level down, at base.async.{quorum, staleness_cap}.
+    if (const auto* async = spec.base.find("async")) collision = async->find(axis);
   } else if (axis == "shards") {
     // Lives two levels down, at base.aggregator.hierarchy.shards.
     if (const auto* aggregator = spec.base.find("aggregator")) {
@@ -152,6 +155,19 @@ void set_axes_member(Members& members, std::string_view key, double value) {
   }
   set_member(axes_members, key, JsonValue::make_number(value));
   set_member(members, "axes", JsonValue::make_object(std::move(axes_members)));
+}
+
+/// Sets one key inside the spec's "async" sub-object (creating it if the
+/// base has none — an absent async block becomes the default
+/// quorum-or-deadline config) — the quorum / staleness_cap axes live a
+/// level down.
+void set_async_member(Members& members, std::string_view key, double value) {
+  Members async_members;
+  for (const auto& [name, existing] : members) {
+    if (name == "async") async_members = existing.as_object();
+  }
+  set_member(async_members, key, JsonValue::make_number(value));
+  set_member(members, "async", JsonValue::make_object(std::move(async_members)));
 }
 
 /// Sets one key inside "aggregator"/"hierarchy" (creating both levels if
@@ -211,22 +227,41 @@ std::string final_dist_cell(const scenario::ScenarioResult& result) {
                                       : std::string("nan");
 }
 
+/// The async counter columns appear only when the grid ran the async engine
+/// (every run of a grid shares the base driver config, so the front run
+/// decides for the whole table).
+bool has_async_columns(const SweepOutcome& outcome) {
+  return !outcome.runs.empty() && outcome.runs.front().result.async_stats.has_value();
+}
+
 /// One header/row shape shared by the CSV writer and the summary table.
 std::vector<std::string> result_header(const SweepOutcome& outcome) {
   std::vector<std::string> header{"run_id"};
   if (!outcome.runs.empty()) {
     for (const auto& cell : outcome.runs.front().axes) header.push_back(cell.axis);
   }
-  header.insert(header.end(), {"final_dist", "final_loss", "eliminated", "wall_ms"});
+  header.insert(header.end(), {"final_dist", "final_loss", "eliminated"});
+  if (has_async_columns(outcome)) {
+    header.insert(header.end(),
+                  {"quorum_fires", "deadline_fires", "stale_dropped", "late_rows"});
+  }
+  header.push_back("wall_ms");
   return header;
 }
 
-std::vector<std::string> result_row(const SweepRunResult& run) {
+std::vector<std::string> result_row(const SweepRunResult& run, bool with_async) {
   std::vector<std::string> row{run.run_id};
   for (const auto& cell : run.axes) row.push_back(cell.value);
   row.push_back(final_dist_cell(run.result));
   row.push_back(number_token(run.result.final_cost));
   row.push_back(std::to_string(run.result.eliminated_agents));
+  if (with_async) {
+    const auto stats = run.result.async_stats.value_or(engine::AsyncStats{});
+    row.push_back(std::to_string(stats.quorum_fires));
+    row.push_back(std::to_string(stats.deadline_fires));
+    row.push_back(std::to_string(stats.stale_dropped));
+    row.push_back(std::to_string(stats.late_rows));
+  }
   row.push_back(format_wall_ms(run.wall_ms));
   return row;
 }
@@ -265,8 +300,9 @@ SweepSpec parse_sweep(const JsonValue& json) {
   const JsonValue& sw = json.at("sweep");
   ABFT_REQUIRE(sw.is_object(), "the sweep block must be an object of axes");
   require_known_keys(sw, "sweep block",
-                     {"aggregator", "mode", "f", "shards", "seed", "drop_probability",
-                      "participation", "straggler_probability", "faults", "variants"});
+                     {"aggregator", "mode", "f", "shards", "quorum", "staleness_cap", "seed",
+                      "drop_probability", "participation", "straggler_probability", "faults",
+                      "variants"});
   reject_duplicate_keys(sw, "sweep block");
 
   if (const auto* axis = sw.find("aggregator")) {
@@ -298,6 +334,20 @@ SweepSpec parse_sweep(const JsonValue& json) {
                       base_aggregator->find("hierarchy") != nullptr),
                  "the shards axis needs the base aggregator to be a {\"hierarchy\": ...} "
                  "object (or absent, defaulting to one)");
+  }
+  if (const auto* axis = sw.find("quorum")) {
+    for (const double value : parse_number_axis(*axis)) {
+      ABFT_REQUIRE(value >= 0.0 && value == std::floor(value),
+                   "quorum axis entries must be non-negative integers (0 = full roster)");
+      spec.quorum.push_back(static_cast<int>(value));
+    }
+  }
+  if (const auto* axis = sw.find("staleness_cap")) {
+    for (const double value : parse_number_axis(*axis)) {
+      ABFT_REQUIRE(value >= 0.0 && value == std::floor(value),
+                   "staleness_cap axis entries must be non-negative integers");
+      spec.staleness_cap.push_back(static_cast<int>(value));
+    }
   }
   if (const auto* axis = sw.find("seed")) spec.seed = parse_seed_axis(*axis);
   if (const auto* axis = sw.find("drop_probability")) {
@@ -336,7 +386,8 @@ SweepSpec parse_sweep(const JsonValue& json) {
   }
 
   const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() || !spec.f.empty() ||
-                        !spec.shards.empty() || !spec.seed.empty() ||
+                        !spec.shards.empty() || !spec.quorum.empty() ||
+                        !spec.staleness_cap.empty() || !spec.seed.empty() ||
                         !spec.drop_probability.empty() || !spec.participation.empty() ||
                         !spec.straggler_probability.empty() || !spec.faults.empty() ||
                         !spec.variants.empty();
@@ -346,6 +397,8 @@ SweepSpec parse_sweep(const JsonValue& json) {
   reject_base_conflict(spec, "mode", !spec.mode.empty());
   reject_base_conflict(spec, "f", !spec.f.empty());
   reject_base_conflict(spec, "shards", !spec.shards.empty());
+  reject_base_conflict(spec, "quorum", !spec.quorum.empty());
+  reject_base_conflict(spec, "staleness_cap", !spec.staleness_cap.empty());
   reject_base_conflict(spec, "seed", !spec.seed.empty());
   reject_base_conflict(spec, "drop_probability", !spec.drop_probability.empty());
   reject_base_conflict(spec, "participation", !spec.participation.empty());
@@ -391,6 +444,18 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
     axes.push_back({"shards", spec.shards.size(), [&](std::size_t i, Members& m) {
                       set_hierarchy_member(m, "shards", spec.shards[i]);
                       return std::to_string(spec.shards[i]);
+                    }});
+  }
+  if (!spec.quorum.empty()) {
+    axes.push_back({"quorum", spec.quorum.size(), [&](std::size_t i, Members& m) {
+                      set_async_member(m, "quorum", spec.quorum[i]);
+                      return std::to_string(spec.quorum[i]);
+                    }});
+  }
+  if (!spec.staleness_cap.empty()) {
+    axes.push_back({"staleness_cap", spec.staleness_cap.size(), [&](std::size_t i, Members& m) {
+                      set_async_member(m, "staleness_cap", spec.staleness_cap[i]);
+                      return std::to_string(spec.staleness_cap[i]);
                     }});
   }
   if (!spec.seed.empty()) {
@@ -520,7 +585,8 @@ SweepOutcome run_sweep(const SweepSpec& spec, int threads_override) {
 
 void write_sweep_csv(const SweepOutcome& outcome, std::ostream& os) {
   util::CsvWriter csv(os, result_header(outcome));
-  for (const auto& run : outcome.runs) csv.add_row(result_row(run));
+  const bool with_async = has_async_columns(outcome);
+  for (const auto& run : outcome.runs) csv.add_row(result_row(run, with_async));
 }
 
 void write_sweep_json(const SweepOutcome& outcome, std::ostream& os) {
@@ -549,6 +615,13 @@ void write_sweep_json(const SweepOutcome& outcome, std::ostream& os) {
     }
     os << ", \"eliminated_agents\": " << run.result.eliminated_agents;
     os << ", \"departed_agents\": " << run.result.departed_agents;
+    if (run.result.async_stats) {
+      const auto& a = *run.result.async_stats;
+      os << ", \"async\": {\"quorum_fires\": " << a.quorum_fires
+         << ", \"deadline_fires\": " << a.deadline_fires
+         << ", \"stale_dropped\": " << a.stale_dropped
+         << ", \"late_rows\": " << a.late_rows << "}";
+    }
     os << ", \"wall_ms\": " << format_wall_ms(run.wall_ms) << "}";
   }
   os << "\n  ]\n}\n";
@@ -558,7 +631,8 @@ void print_sweep(const SweepOutcome& outcome, std::ostream& os) {
   os << "sweep: " << (outcome.name.empty() ? "(unnamed)" : outcome.name) << " — "
      << outcome.runs.size() << " runs\n";
   util::Table table(result_header(outcome));
-  for (const auto& run : outcome.runs) table.add_row(result_row(run));
+  const bool with_async = has_async_columns(outcome);
+  for (const auto& run : outcome.runs) table.add_row(result_row(run, with_async));
   table.print(os);
 }
 

@@ -25,6 +25,11 @@
 //                            object, and combining with an aggregator axis
 //                            is rejected (the string axis would clobber
 //                            the hierarchy object)
+//     quorum                 [0, 3, 5]         sets async.quorum; the base
+//     staleness_cap          [0, 1, 2]         (resp. async.staleness_cap);
+//                            the base must run the async engine — either
+//                            axis creates the "async" sub-object if absent,
+//                            so a default quorum-or-deadline config applies
 //     seed                   [1, 2, 3] or {"from": s, "count": n}
 //     drop_probability       [0.0, 0.1]
 //     participation          [1.0, 0.8]        (spec "axes" sub-object keys)
@@ -90,6 +95,8 @@ struct SweepSpec {
   std::vector<std::string> mode;
   std::vector<int> f;
   std::vector<int> shards;
+  std::vector<int> quorum;
+  std::vector<int> staleness_cap;
   std::vector<std::uint64_t> seed;
   std::vector<double> drop_probability;
   std::vector<double> participation;
@@ -155,8 +162,11 @@ SweepOutcome run_sweep(const SweepSpec& spec, int threads_override = 0);
 
 /// Aggregated result CSV, one row per run:
 ///   run_id, <one column per swept axis>, final_dist, final_loss,
-///   eliminated, wall_ms
-/// final_dist is "nan" when the run has no closed-form reference (dsgd).
+///   eliminated, [quorum_fires, deadline_fires, stale_dropped, late_rows,]
+///   wall_ms
+/// final_dist is "nan" when the run has no closed-form reference (dsgd);
+/// the async counter columns appear only when the grid runs the async
+/// engine mode.
 void write_sweep_csv(const SweepOutcome& outcome, std::ostream& os);
 
 /// Machine-readable result set: {"name", "runs": [{run_id, axes, summary

@@ -1,0 +1,254 @@
+// The event-driven engine mode: the MPSC ring's concurrency contract, the
+// quorum-or-deadline trigger, staleness weighting/dropping, the sync-parity
+// guarantee (full quorum + zero staleness + bounded arrivals replays the
+// synchronous trace bit for bit), and thread-count/replay determinism
+// through the scenario layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "abft/engine/async_engine.hpp"
+#include "abft/engine/mpsc_ring.hpp"
+#include "abft/scenario/scenario.hpp"
+#include "abft/util/json.hpp"
+
+namespace {
+
+using namespace abft;
+using linalg::Vector;
+
+// ------------------------------- MpscRing -----------------------------------
+
+TEST(MpscRing, SerialPushDrainRoundTrips) {
+  engine::MpscRing<int> ring(5);  // rounds up to a power of two >= 5
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // capacity 8: full
+  std::vector<int> drained;
+  ring.drain([&](int&& value) { drained.push_back(value); });
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // Slots re-arm after a drain: the ring is reusable.
+  EXPECT_TRUE(ring.try_push(42));
+  drained.clear();
+  ring.drain([&](int&& value) { drained.push_back(value); });
+  EXPECT_EQ(drained, (std::vector<int>{42}));
+}
+
+TEST(MpscRing, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 1000;
+  engine::MpscRing<int> ring(kProducers * kPerProducer);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, &failures, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!ring.try_push(p * kPerProducer + i)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::vector<char> seen(kProducers * kPerProducer, 0);
+  int count = 0;
+  ring.drain([&](int&& value) {
+    ASSERT_GE(value, 0);
+    ASSERT_LT(value, kProducers * kPerProducer);
+    seen[static_cast<std::size_t>(value)] += 1;
+    ++count;
+  });
+  EXPECT_EQ(count, kProducers * kPerProducer);
+  for (const char c : seen) EXPECT_EQ(c, 1);  // every value exactly once
+}
+
+// --------------------------- config validation -------------------------------
+
+TEST(AsyncEngine, RejectsInvalidConfigs) {
+  const std::vector<unsigned char> roster{0, 0, 1};
+  auto config = [](auto mutate) {
+    engine::AsyncEngineConfig c;
+    c.seed = 1;
+    mutate(c.async);
+    return c;
+  };
+  EXPECT_NO_THROW(engine::AsyncRoundEngine(roster, 2, config([](auto&) {})));
+  EXPECT_THROW(engine::AsyncRoundEngine(roster, 2, config([](auto& a) { a.quorum = -1; })),
+               std::invalid_argument);
+  EXPECT_THROW(engine::AsyncRoundEngine(roster, 2, config([](auto& a) { a.deadline = 0.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      engine::AsyncRoundEngine(roster, 2, config([](auto& a) { a.staleness_cap = -1; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      engine::AsyncRoundEngine(roster, 2, config([](auto& a) { a.arrival.kind = "bursty"; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      engine::AsyncRoundEngine(roster, 2, config([](auto& a) { a.arrival.scale = 0.0; })),
+      std::invalid_argument);
+}
+
+// ------------------------- trigger + staleness weighting ---------------------
+
+TEST(AsyncEngine, StalenessWeightIsOneOverOnePlusAge) {
+  // One agent with a heavy-tailed compute time: rows routinely span windows,
+  // so consumed ages vary.  The consumed row must equal g / (1 + age), and
+  // an age-0 row must be the unscaled bitwise row.
+  engine::AsyncEngineConfig config;
+  config.seed = 11;
+  config.async.arrival.kind = "exponential";
+  config.async.arrival.scale = 2.0;
+  config.async.staleness_cap = 10;
+  engine::AsyncRoundEngine eng({0}, 1, config);
+  eng.reset(0);
+  int birth = -1;
+  int consumed = 0;
+  for (int t = 0; t < 60; ++t) {
+    eng.begin_round(t);
+    if (!eng.starting_agents().empty()) birth = t;
+    eng.emit_honest([](int, std::span<double> out) { out[0] = 1.0; });
+    if (eng.collect(t) == 1) {
+      ASSERT_GE(birth, 0);
+      const int age = t - birth;
+      const double expected = age == 0 ? 1.0 : 1.0 / (1.0 + static_cast<double>(age));
+      EXPECT_DOUBLE_EQ(eng.ingest().row(0)[0], expected);
+      ++consumed;
+    }
+  }
+  EXPECT_GT(consumed, 0);
+  EXPECT_EQ(eng.stats().quorum_fires + eng.stats().deadline_fires, 60);
+}
+
+TEST(AsyncEngine, QuorumFiresEarlyAndLeftoversCarryOver) {
+  // Uniform scale 0.5 keeps every duration inside the window, so all three
+  // rows always arrive — but quorum 2 fires at the second arrival, leaving
+  // (at least) one row pending to be consumed a round late at weight 1/2.
+  engine::AsyncEngineConfig config;
+  config.seed = 5;
+  config.async.quorum = 2;
+  config.async.staleness_cap = 3;
+  engine::AsyncRoundEngine eng({0, 0, 0}, 1, config);
+  eng.reset(0);
+  for (int t = 0; t < 20; ++t) {
+    eng.begin_round(t);
+    eng.emit_honest([](int agent, std::span<double> out) {
+      out[0] = static_cast<double>(agent + 1);
+    });
+    const int kept = eng.collect(t);
+    EXPECT_GE(kept, t == 0 ? 2 : 1);  // later rounds may consume carried rows
+  }
+  EXPECT_EQ(eng.stats().quorum_fires + eng.stats().deadline_fires, 20);
+  EXPECT_GT(eng.stats().quorum_fires, 0);
+  EXPECT_GT(eng.stats().late_rows, 0);
+  EXPECT_EQ(eng.stats().stale_dropped, 0);  // nothing ever outlives cap 3
+}
+
+TEST(AsyncEngine, StalenessCapDropsWhatItSays) {
+  // Same heavy tail, zero tolerance: any row that misses its own window is
+  // dropped at the next open instead of ever being aggregated late.
+  engine::AsyncEngineConfig config;
+  config.seed = 11;
+  config.async.arrival.kind = "exponential";
+  config.async.arrival.scale = 2.0;
+  engine::AsyncRoundEngine eng({0}, 1, config);
+  eng.reset(0);
+  int held = 0;
+  for (int t = 0; t < 60; ++t) {
+    eng.begin_round(t);
+    eng.emit_honest([](int, std::span<double> out) { out[0] = 1.0; });
+    if (eng.collect(t) == 0) ++held;
+  }
+  EXPECT_EQ(eng.stats().late_rows, 0);
+  EXPECT_GT(eng.stats().stale_dropped, 0);
+  EXPECT_GT(held, 0);  // the dropped rounds held position
+}
+
+// ------------------------------ sync parity ----------------------------------
+
+scenario::ScenarioSpec parse_spec(const std::string& text) {
+  return scenario::parse_scenario(util::parse_json(text));
+}
+
+const char* kSyncBase = R"({
+  "driver": "dgd", "problem": "quadratic", "num_agents": 7, "dim": 3,
+  "iterations": 25, "f": 1, "seed": 3, "box_halfwidth": 50.0,
+  "schedule": {"kind": "harmonic", "scale": 0.6},
+  "faults": [{"agent": 5, "kind": "random", "param": 10.0},
+             {"agent": 6, "kind": "gradient-reverse"}]
+})";
+
+TEST(AsyncParity, FullQuorumZeroStalenessReplaysTheSyncTrace) {
+  // quorum 0 (= full roster), staleness_cap 0 and uniform durations in
+  // [0.25, 0.75) < deadline 1.0: every round consumes exactly the fresh
+  // full batch in roster order — the sync engine's exact schedule.  The
+  // faults include a stream consumer (random) so this also pins the
+  // per-agent fault rng derivation to the synchronous engine's.
+  auto sync_spec = parse_spec(kSyncBase);
+  auto async_spec = parse_spec(kSyncBase);
+  async_spec.async = engine::AsyncConfig{};
+  const auto sync = scenario::run_scenario(sync_spec);
+  const auto async = scenario::run_scenario(async_spec);
+  ASSERT_TRUE(async.async_stats.has_value());
+  EXPECT_FALSE(sync.async_stats.has_value());
+  ASSERT_EQ(sync.traces.front().estimates.size(), async.traces.front().estimates.size());
+  for (std::size_t t = 0; t < sync.traces.front().estimates.size(); ++t) {
+    const auto& a = sync.traces.front().estimates[t];
+    const auto& b = async.traces.front().estimates[t];
+    ASSERT_EQ(a.dim(), b.dim());
+    for (int k = 0; k < a.dim(); ++k) {
+      ASSERT_EQ(a[k], b[k]) << "round " << t << " coord " << k;
+    }
+  }
+  // Full roster always arrives inside the window, so every fire is a quorum
+  // fire with nothing late or dropped.
+  EXPECT_EQ(async.async_stats->quorum_fires, 25);
+  EXPECT_EQ(async.async_stats->deadline_fires, 0);
+  EXPECT_EQ(async.async_stats->late_rows, 0);
+  EXPECT_EQ(async.async_stats->stale_dropped, 0);
+}
+
+// ------------------------------ determinism ----------------------------------
+
+const char* kAsyncScenario = R"({
+  "driver": "dgd", "problem": "quadratic", "num_agents": 8, "dim": 3,
+  "iterations": 40, "f": 1, "seed": 7, "box_halfwidth": 50.0,
+  "schedule": {"kind": "harmonic", "scale": 0.6},
+  "faults": [{"agent": 7, "kind": "random", "param": 10.0}],
+  "async": {"quorum": 5, "staleness_cap": 2,
+            "arrival": {"kind": "exponential", "scale": 0.9}}
+})";
+
+TEST(AsyncDeterminism, ThreadCountAndReplayInvariant) {
+  auto spec1 = parse_spec(kAsyncScenario);
+  auto spec4 = parse_spec(kAsyncScenario);
+  spec4.threads = 4;
+  const auto run1 = scenario::run_scenario(spec1);
+  const auto run4 = scenario::run_scenario(spec4);
+  const auto replay = scenario::run_scenario(spec4);
+  ASSERT_EQ(run1.traces.front().estimates.size(), run4.traces.front().estimates.size());
+  for (std::size_t t = 0; t < run1.traces.front().estimates.size(); ++t) {
+    const auto& a = run1.traces.front().estimates[t];
+    const auto& b = run4.traces.front().estimates[t];
+    const auto& c = replay.traces.front().estimates[t];
+    for (int k = 0; k < a.dim(); ++k) {
+      ASSERT_EQ(a[k], b[k]) << "threads mismatch at round " << t;
+      ASSERT_EQ(b[k], c[k]) << "replay mismatch at round " << t;
+    }
+  }
+  ASSERT_TRUE(run1.async_stats && run4.async_stats && replay.async_stats);
+  EXPECT_EQ(run1.async_stats->quorum_fires, run4.async_stats->quorum_fires);
+  EXPECT_EQ(run1.async_stats->deadline_fires, run4.async_stats->deadline_fires);
+  EXPECT_EQ(run1.async_stats->stale_dropped, run4.async_stats->stale_dropped);
+  EXPECT_EQ(run1.async_stats->late_rows, run4.async_stats->late_rows);
+  // The trigger fires exactly once per round, one way or the other.
+  EXPECT_EQ(run1.async_stats->quorum_fires + run1.async_stats->deadline_fires, 40);
+  // The heavy-tailed arrivals with a tight cap must exercise both the late
+  // and the stale path — otherwise this grid tests nothing.
+  EXPECT_GT(run1.async_stats->late_rows, 0);
+  EXPECT_GT(run1.async_stats->stale_dropped, 0);
+  // Async mode never eliminates: silence is indistinguishable from slowness.
+  EXPECT_EQ(run1.eliminated_agents, 0);
+}
+
+}  // namespace

@@ -11,6 +11,8 @@
 // plus thread-count invariance and run-to-run determinism for each.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "abft/agg/registry.hpp"
@@ -338,6 +340,86 @@ TEST(P2pScenario, ChurnedHonestNodeFreezesItsTrace) {
   const auto threaded = run_p2p(axes, 4);
   for (std::size_t k = 0; k < result.traces.size(); ++k) {
     expect_identical_traces(result.traces[k], threaded.traces[k], "p2p churn threads");
+  }
+}
+
+// -------------------- deliver / straggler / silent interplay ----------------
+
+TEST(EngineDeliver, StragglingByzantineIsLostNotEliminated) {
+  // A Byzantine agent that stays silent is eliminated by step S1 the moment
+  // its (empty) message reaches the round close — but a round in which it
+  // STRAGGLES never reaches the close, so it must be lost-not-eliminated,
+  // however suspicious the silence.  Seeded straggler schedule; transport
+  // rejects empty messages like the sync network does.
+  engine::RoundEngineConfig config;
+  config.seed = 17;
+  config.axes.straggler_probability = 0.9;
+  config.axes.perturbation_seed = 9;
+  engine::RoundEngine eng({0, 0, 0, 1}, 2, config);
+  eng.reset(1);
+  int straggle_rounds = 0;
+  for (int t = 0; t < 100 && eng.eliminated_count() == 0; ++t) {
+    eng.begin_round(t);
+    eng.emit_honest([](int agent, std::span<double> row) {
+      row[0] = agent;
+      row[1] = -agent;
+    });
+    eng.emit_faulty([](int, std::span<double>, const attack::HonestRowsView&) {
+      return false;  // silent every round
+    });
+    const bool straggled = eng.straggles(3);
+    eng.deliver([](int, std::span<const double> message, std::span<double> dst) {
+      if (message.empty()) return false;  // step S1: silence at the close
+      std::copy(message.begin(), message.end(), dst.begin());
+      return true;
+    });
+    if (straggled) {
+      ++straggle_rounds;
+      EXPECT_EQ(eng.eliminated_count(), 0) << "straggled round " << t;
+      EXPECT_TRUE(eng.is_member(3)) << "straggled round " << t;
+    }
+  }
+  // The seed produces both regimes: straggled rounds left the agent alone,
+  // and the first non-straggled round eliminated it.
+  EXPECT_GT(straggle_rounds, 0);
+  EXPECT_EQ(eng.eliminated_count(), 1);
+  EXPECT_FALSE(eng.is_member(3));
+}
+
+TEST(EngineDeliver, SilentMarkDoesNotLeakIntoEmitPresentRounds) {
+  // Round 0 uses the honest/faulty split and the Byzantine agent stays
+  // silent: the transport must see its empty span.  Round 1 uses
+  // emit_present (the dsgd produce path, which never touches the silent
+  // mask): begin_round must have cleared the mark, or agent 1's round-1 row
+  // would be delivered as silence.
+  engine::RoundEngineConfig config;
+  config.seed = 5;
+  engine::RoundEngine eng({0, 1, 0}, 2, config);
+  eng.reset(1);
+  std::vector<int> silent_agents;
+  const auto transport = [&silent_agents](int agent, std::span<const double> message,
+                                          std::span<double> dst) {
+    if (message.empty()) {
+      silent_agents.push_back(agent);
+      std::fill(dst.begin(), dst.end(), 0.0);
+    } else {
+      std::copy(message.begin(), message.end(), dst.begin());
+    }
+    return true;  // tolerate silence so the roster survives into round 1
+  };
+  eng.begin_round(0);
+  eng.emit_honest([](int agent, std::span<double> row) { row[0] = row[1] = agent; });
+  eng.emit_faulty([](int, std::span<double>, const attack::HonestRowsView&) { return false; });
+  EXPECT_EQ(eng.deliver(transport), 3);
+  EXPECT_EQ(silent_agents, std::vector<int>{1});
+
+  silent_agents.clear();
+  eng.begin_round(1);
+  eng.emit_present([](int agent, std::span<double> row) { row[0] = row[1] = 10.0 + agent; });
+  EXPECT_EQ(eng.deliver(transport), 3);
+  EXPECT_TRUE(silent_agents.empty()) << "round-0 silent mark leaked into round 1";
+  for (int row = 0; row < 3; ++row) {
+    EXPECT_EQ(eng.ingest().row(row)[0], 10.0 + row) << "row " << row;
   }
 }
 

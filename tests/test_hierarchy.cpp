@@ -13,6 +13,7 @@
 #include "abft/agg/hierarchy.hpp"
 #include "abft/agg/registry.hpp"
 #include "abft/agg/threads.hpp"
+#include "abft/engine/round_engine.hpp"
 #include "abft/util/rng.hpp"
 
 namespace {
@@ -195,6 +196,81 @@ TEST(Hierarchy, FaultBurstInsideOneShardIsMasked) {
       EXPECT_NEAR(out[j], center[j], 0.5) << "coordinate " << j;
     }
   }
+}
+
+// Regression: the S = 1 flat delegation must execute the clamped budget
+// bounds() reports, not raw f.  With a bulyan leaf and an engine-approved
+// f = 0 the raw path threw mid-run ("relaxed krum scores need at least two
+// gradients"); the clamped path runs bulyan at its floor f_leaf = 1.
+TEST(Hierarchy, FlatDelegationExecutesTheClampedBudget) {
+  const int n = 11, d = 4;
+  const auto batch = random_batch(n, d, 7);
+  const HierarchicalAggregator hier({1, "bulyan", "cwtm", -1, 0});
+  EXPECT_EQ(hier.min_usable_f(), 0);  // any declared f >= 0 is absorbable
+  const auto b = hier.bounds(n, 0);
+  EXPECT_EQ(b.f_leaf, 1);
+  EXPECT_EQ(b.tolerated_f, 1);
+  const auto flat = agg::make_aggregator("bulyan");
+  Vector out;
+  ASSERT_NO_THROW(out = aggregate_batched(hier, batch, 0));
+  EXPECT_EQ(out, aggregate_batched(*flat, batch, 1));
+}
+
+// Regression: an explicit f_leaf config was silently ignored at S = 1 —
+// max_usable_f, bounds() and the executed budget must all honour it.
+TEST(Hierarchy, FlatExplicitFLeafPinsTheExecutedBudget) {
+  const int n = 10, d = 4;
+  const auto batch = random_batch(n, d, 13);
+  const HierarchicalAggregator hier({1, "cwtm", "cwtm", 2, 0});
+  EXPECT_EQ(hier.max_usable_f(n), 2);  // pinned, not cwtm's (n-1)/2 = 4
+  EXPECT_EQ(hier.bounds(n, 1).f_leaf, 2);
+  const auto flat = agg::make_aggregator("cwtm");
+  EXPECT_EQ(aggregate_batched(hier, batch, 1), aggregate_batched(*flat, batch, 2));
+  // Declaring more faults than the pinned budget tolerates fails loudly,
+  // exactly like the tree path's tolerated-bound check.
+  EXPECT_THROW(aggregate_batched(hier, batch, 3), std::invalid_argument);
+}
+
+// Regression (thin rounds): whenever usable_fault_bound approves a budget
+// for a validly-configured tree, aggregate_into must run without throwing —
+// the delegation decision and the usable-f caps agree on the delivered row
+// count, including the num_shards = min(shards, n) <= 1 boundary.
+TEST(Hierarchy, EngineApprovedBudgetNeverThrowsOnThinRounds) {
+  for (const auto name : agg::aggregator_names()) {
+    SCOPED_TRACE(std::string(name));
+    for (int shards : {1, 2, 4}) {
+      const HierarchicalAggregator hier({shards, std::string(name), "cwtm", -1, 0});
+      for (int roster = 1; roster <= 14; ++roster) {
+        const int max_f = hier.max_usable_f(roster);
+        for (int declared_f = 0; declared_f <= std::min(max_f, roster - 1); ++declared_f) {
+          for (int kept = 1; kept <= roster; ++kept) {
+            const int usable = engine::usable_fault_bound(hier, declared_f, declared_f, kept,
+                                                          roster, roster);
+            if (usable < 0) continue;  // hold position — nothing to check
+            const auto batch = random_batch(kept, 3, 1000u * roster + kept);
+            ASSERT_NO_THROW(aggregate_batched(hier, batch, usable))
+                << "shards=" << shards << " roster=" << roster << " f=" << declared_f
+                << " kept=" << kept << " usable=" << usable;
+          }
+        }
+      }
+    }
+  }
+}
+
+// A thin round that shrinks the smallest shard below the leaf's own minimum
+// roster must hold position (usable_fault_bound returns -1), never run.
+TEST(Hierarchy, ThinRoundHoldsWhenLeavesCannotRun) {
+  const HierarchicalAggregator hier({4, "bulyan", "cwtm", -1, 0});
+  const int roster = 28;           // rows_min = 7: bulyan cap 1, tree max 3
+  EXPECT_EQ(hier.max_usable_f(roster), 3);
+  EXPECT_EQ(engine::usable_fault_bound(hier, 3, 3, roster, roster, roster), 3);
+  // kept = 10: rows_min = 2 < bulyan's minimum roster, so the tree reports
+  // unusable and the engine holds instead of letting a leaf throw mid-run.
+  EXPECT_EQ(hier.max_usable_f(10), -1);
+  EXPECT_EQ(engine::usable_fault_bound(hier, 3, 3, 10, roster, roster), -1);
+  // kept = 1 degrades to the flat delegation, which cannot run bulyan either.
+  EXPECT_EQ(engine::usable_fault_bound(hier, 3, 3, 1, roster, roster), -1);
 }
 
 // Honest data: the tree's output stays close to the flat rule's (both

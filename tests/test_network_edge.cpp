@@ -8,6 +8,7 @@
 
 #include "abft/agg/registry.hpp"
 #include "abft/attack/simple_faults.hpp"
+#include "abft/engine/round_engine.hpp"
 #include "abft/opt/quadratic.hpp"
 #include "abft/opt/schedule.hpp"
 #include "abft/sim/dgd.hpp"
@@ -171,6 +172,55 @@ TEST(SyncNetworkEdge, KrumBelowMinimumRosterHoldsPosition) {
     EXPECT_EQ(trace.estimates[t], trace.estimates[0]) << "iteration " << t;
   }
   EXPECT_EQ(trace.final_estimate(), trace.estimates.front());
+}
+
+// Regression: the membership-vs-current_f soundness check.  After honest
+// churn shrinks the membership below what the rule needs for the adversaries
+// known to remain, NO clamped budget is sound — the engine must hold, not
+// run the filter weakened.
+TEST(UsableFaultBound, ShrunkMembershipBelowAdversaryCountHolds) {
+  const auto krum = agg::make_aggregator("krum");
+  // Full roster: declared f = 2 is valid on n = 7 and runs as declared.
+  EXPECT_EQ(engine::usable_fault_bound(*krum, 2, 2, 7, 7, 7), 2);
+  // Honest churn down to 4 members: current_f = 2 > krum's cap at n = 4
+  // (= 0), so the round holds.  (Was: clamped to 0 and ran weakened.)
+  EXPECT_EQ(engine::usable_fault_bound(*krum, 2, 2, 4, 4, 7), -1);
+  // Eliminations shrink current_f alongside the membership and keep running.
+  EXPECT_EQ(engine::usable_fault_bound(*krum, 2, 0, 5, 5, 7), 0);
+  // A merely thin round (stragglers) of an intact membership still clamps.
+  EXPECT_EQ(engine::usable_fault_bound(*krum, 2, 2, 5, 7, 7), 1);
+}
+
+TEST(SyncNetworkEdge, HonestChurnBelowAdversaryCountHoldsPosition) {
+  // Krum with declared f = 2 on n = 7, two gradient-reverse adversaries.
+  // Three HONEST agents churn out at round 3: membership drops to 4 while
+  // current_f stays 2 — krum at n = 4 tolerates 0 < 2 faults, so every
+  // round from then on must hold position instead of running the filter
+  // with a weaker budget than the adversaries present.
+  auto costs = centers(7);
+  std::vector<const opt::CostFunction*> ptrs;
+  for (auto& c : costs) ptrs.push_back(&c);
+  const attack::GradientReverseFault reverse;
+  auto roster = sim::honest_roster(ptrs);
+  sim::assign_fault(roster, 5, reverse);
+  sim::assign_fault(roster, 6, reverse);
+  const opt::HarmonicSchedule schedule(0.4);
+  sim::DgdConfig config{Vector{2.0, 2.0}, opt::Box::centered_cube(2, 10.0), &schedule,
+                        12,              2,
+                        1};
+  config.axes.churn = {{3, 0}, {3, 1}, {3, 2}};
+  sim::DgdSimulation simulation(std::move(roster), std::move(config));
+  const auto aggregator = agg::make_aggregator("krum");
+  const auto trace = simulation.run(*aggregator);
+  EXPECT_EQ(trace.eliminated_agents, 0);
+  EXPECT_EQ(trace.departed_agents, 3);
+  ASSERT_EQ(trace.estimates.size(), 13u);
+  // Rounds before the churn made real progress...
+  EXPECT_NE(trace.estimates[3], trace.estimates[0]);
+  // ...and every round from the churn on held position.
+  for (std::size_t t = 4; t < trace.estimates.size(); ++t) {
+    EXPECT_EQ(trace.estimates[t], trace.estimates[3]) << "iteration " << t;
+  }
 }
 
 }  // namespace

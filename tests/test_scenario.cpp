@@ -551,11 +551,81 @@ TEST(ScenarioRun, P2pStrategiesExecuteAndHonestKindIsTransparent) {
   EXPECT_TRUE(std::isfinite(ds_equiv.final_cost));
 }
 
+// ------------------------- async engine mode ---------------------------------
+
+TEST(ScenarioSpec, AsyncBlockParsesAndValidates) {
+  const auto spec = scenario::parse_scenario(util::parse_json(R"({
+    "driver": "dgd", "problem": "quadratic",
+    "async": {"quorum": 5, "deadline": 2.0, "staleness_cap": 3,
+              "arrival": {"kind": "exponential", "scale": 0.8}}
+  })"));
+  ASSERT_TRUE(spec.async.has_value());
+  EXPECT_EQ(spec.async->quorum, 5);
+  EXPECT_DOUBLE_EQ(spec.async->deadline, 2.0);
+  EXPECT_EQ(spec.async->staleness_cap, 3);
+  EXPECT_EQ(spec.async->arrival.kind, "exponential");
+  EXPECT_DOUBLE_EQ(spec.async->arrival.scale, 0.8);
+
+  // An empty block is the full-quorum zero-staleness default config.
+  const auto defaults =
+      scenario::parse_scenario(util::parse_json(R"({"async": {}})"));
+  ASSERT_TRUE(defaults.async.has_value());
+  EXPECT_EQ(defaults.async->quorum, 0);
+  EXPECT_EQ(defaults.async->staleness_cap, 0);
+
+  const auto parse = [](const char* text) {
+    return scenario::parse_scenario(util::parse_json(text));
+  };
+  EXPECT_THROW(parse(R"({"async": {"qourum": 3}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"async": {"quorum": -1}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"async": {"deadline": 0.0}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"async": {"staleness_cap": -2}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"async": {"arrival": {"kind": "bursty"}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"async": {"arrival": {"scale": 0.0}}})"), std::invalid_argument);
+  // Lateness/loss live in the virtual clock: the synchronous perturbation
+  // axes and drop injection do not compose with async mode.
+  EXPECT_THROW(parse(R"({"async": {}, "axes": {"participation": 0.5}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"async": {}, "drop_probability": 0.1})"), std::invalid_argument);
+}
+
+TEST(ScenarioRun, AsyncKeyRejectedOnWrongDriver) {
+  const auto run = [](const char* text) {
+    return scenario::run_scenario(scenario::parse_scenario(util::parse_json(text)));
+  };
+  EXPECT_THROW(run(R"({"driver": "p2p", "problem": "quadratic", "iterations": 2,
+                       "async": {}})"),
+               std::invalid_argument);
+  EXPECT_THROW(run(R"({"driver": "p2p_auth", "problem": "quadratic", "iterations": 2,
+                       "async": {}})"),
+               std::invalid_argument);
+  EXPECT_THROW(run(R"({"driver": "dsgd", "iterations": 2, "async": {}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRun, AsyncResultCarriesTheCounters) {
+  const auto result = scenario::run_scenario(scenario::parse_scenario(util::parse_json(R"({
+    "driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+    "iterations": 10, "seed": 2, "box_halfwidth": 30.0,
+    "async": {"quorum": 4, "staleness_cap": 2,
+              "arrival": {"kind": "exponential", "scale": 0.7}}
+  })")));
+  ASSERT_TRUE(result.async_stats.has_value());
+  EXPECT_EQ(result.async_stats->quorum_fires + result.async_stats->deadline_fires, 10);
+  std::ostringstream json;
+  scenario::write_result_json(result, json);
+  EXPECT_NE(json.str().find("\"async\": {\"quorum_fires\": "), std::string::npos);
+  std::ostringstream text;
+  scenario::print_result(result, text);
+  EXPECT_NE(text.str().find("async: quorum fires "), std::string::npos);
+}
+
 TEST(ScenarioRun, CommittedSpecsParse) {
   for (const auto* path :
        {"fig2_cwtm_reverse.json", "fig2_cge_random.json", "fig2_fault_free.json",
         "table1_cwtm_reverse.json", "scenario_churn_stragglers.json", "smoke_dgd.json",
-        "smoke_dsgd.json", "smoke_p2p.json"}) {
+        "smoke_dsgd.json", "smoke_p2p.json", "async_smoke.json"}) {
     SCOPED_TRACE(path);
     // ctest runs from the build tree; the specs live in the source tree.
     scenario::ScenarioSpec spec;

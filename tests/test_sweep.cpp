@@ -265,6 +265,82 @@ TEST(SweepParse, RejectsMalformedAxes) {
   }
 }
 
+TEST(SweepParse, AsyncAxesValidateAndRejectBaseConflicts) {
+  // Malformed entries fail at parse, not mid-sweep.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"quorum": [-1]}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"quorum": [1.5]}})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"staleness_cap": [-1]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"staleness_cap": []}})"),
+               std::invalid_argument);
+  // The base already pins the swept key inside its async block: contradiction.
+  EXPECT_THROW(parse(R"({"base": {"async": {"quorum": 3}},
+                         "sweep": {"quorum": [2]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {"async": {"staleness_cap": 1}},
+                         "sweep": {"staleness_cap": [2]}})"),
+               std::invalid_argument);
+  // Other async keys in the base are fine alongside the axes.
+  EXPECT_NO_THROW(parse(R"({"base": {"async": {"arrival": {"scale": 0.8}}},
+                            "sweep": {"quorum": [2], "staleness_cap": [0, 1]}})"));
+}
+
+TEST(SweepExpand, AsyncAxesLandInTheAsyncBlock) {
+  const auto runs = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+             "iterations": 4, "schedule": {"kind": "harmonic", "scale": 0.4},
+             "async": {"arrival": {"kind": "exponential", "scale": 0.9}}},
+    "sweep": {"quorum": [0, 4], "staleness_cap": [0, 2], "seed": [1]}
+  })"));
+  // quorum outermost of the three, seed fastest (canonical order).
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].run_id, "000_quorum=0_staleness_cap=0_seed=1");
+  EXPECT_EQ(runs[3].run_id, "003_quorum=4_staleness_cap=2_seed=1");
+  for (const auto& run : runs) {
+    ASSERT_TRUE(run.spec.async.has_value()) << run.run_id;
+    // The axes merged into the base block without clobbering its arrival.
+    EXPECT_EQ(run.spec.async->arrival.kind, "exponential") << run.run_id;
+  }
+  EXPECT_EQ(runs[0].spec.async->quorum, 0);
+  EXPECT_EQ(runs[3].spec.async->quorum, 4);
+  EXPECT_EQ(runs[3].spec.async->staleness_cap, 2);
+  // Either axis alone creates the async block on a base without one.
+  const auto created = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+             "iterations": 4, "schedule": {"kind": "harmonic", "scale": 0.4}},
+    "sweep": {"staleness_cap": [1]}
+  })"));
+  ASSERT_EQ(created.size(), 1u);
+  ASSERT_TRUE(created[0].spec.async.has_value());
+  EXPECT_EQ(created[0].spec.async->staleness_cap, 1);
+}
+
+TEST(SweepRun, AsyncCountersAppearInCsvAndJson) {
+  const auto outcome = sweep::run_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+             "iterations": 6, "seed": 2, "schedule": {"kind": "harmonic", "scale": 0.4},
+             "async": {"arrival": {"kind": "exponential", "scale": 0.7}}},
+    "sweep": {"quorum": [0, 4]}
+  })"));
+  std::ostringstream csv;
+  sweep::write_sweep_csv(outcome, csv);
+  std::istringstream lines(csv.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header,
+            "run_id,quorum,final_dist,final_loss,eliminated,"
+            "quorum_fires,deadline_fires,stale_dropped,late_rows,wall_ms");
+  std::ostringstream json;
+  sweep::write_sweep_json(outcome, json);
+  const auto parsed = util::parse_json(json.str());
+  for (const auto& run : parsed.at("runs").as_array()) {
+    const auto& async = run.at("async");
+    EXPECT_DOUBLE_EQ(async.at("quorum_fires").as_number() +
+                         async.at("deadline_fires").as_number(),
+                     6.0);
+  }
+}
+
 // ------------------------------ execution -----------------------------------
 
 TEST(SweepRun, MatchesRunByRunScenarioBitIdentically) {
@@ -341,6 +417,7 @@ TEST(SweepRun, CommittedSweepSpecsParseAndExpand) {
   } specs[] = {
       {"sweep_fig2.json", 8},    {"sweep_table1.json", 4}, {"sweep_fig4.json", 6},
       {"sweep_fig5.json", 6},    {"sweep_epsilon.json", 36}, {"sweep_smoke.json", 8},
+      {"sweep_async.json", 27},
   };
   for (const auto& entry : specs) {
     SCOPED_TRACE(entry.file);

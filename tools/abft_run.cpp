@@ -61,8 +61,11 @@ void print_list() {
                "p2p relay_strategy kinds: honest, equivocate, silent, fixed-value;\n"
                "  p2p_auth ds_strategy kinds: honest, equivocate, silent\n"
                "axes: participation, straggler_probability, perturbation_seed, churn\n"
-               "sweep axes: aggregator, mode, f, shards, seed, drop_probability,\n"
-               "  participation, straggler_probability, faults (presets), variants (patches)\n";
+               "async (dgd): quorum, deadline, staleness_cap, arrival {kind: uniform |\n"
+               "  exponential, scale} — event-driven quorum-or-deadline rounds\n"
+               "sweep axes: aggregator, mode, f, shards, quorum, staleness_cap, seed,\n"
+               "  drop_probability, participation, straggler_probability, faults (presets),\n"
+               "  variants (patches)\n";
 }
 
 bool take_value(std::string_view arg, std::string_view flag, std::string* value) {
