@@ -27,6 +27,7 @@ regressed RELATIVE to its peers does.  Raw deltas still drive the warnings.
 
 import argparse
 import json
+import math
 import statistics
 import sys
 
@@ -89,8 +90,20 @@ def main(argv=None):
     matched_keys = []
     regressions = []
     improvements = []
+    nan_mismatches = []
     for key in sorted(baseline.keys() & current.keys()):
         old, new = baseline[key], current[key]
+        # Non-finite values would sail through every comparison below (nan
+        # fails <=, >= and abs() thresholds alike) and poison the gate's
+        # median.  Both-nan is a match (same failure on both sides); a
+        # one-sided nan is a real mismatch the gate must see.
+        if not math.isfinite(old) and not math.isfinite(new):
+            continue
+        if not math.isfinite(old) or not math.isfinite(new):
+            warn(f"{describe(key)}: non-finite on one side only "
+                 f"({old} -> {new}), treated as a mismatch")
+            nan_mismatches.append((key, old, new))
+            continue
         if old <= 0:
             warn(f"{describe(key)}: non-positive baseline value {old}, skipped")
             continue
@@ -137,6 +150,10 @@ def main(argv=None):
         for key, old, new, delta in gate_failures:
             print(f"FAIL: {describe(key)}: {old:.1f} -> {new:.1f} ns/op "
                   f"({delta:+.1f}% after speed normalization) exceeds the gate")
+        return 1
+    if nan_mismatches and args.fail_threshold is not None:
+        for key, old, new in nan_mismatches:
+            print(f"FAIL: {describe(key)}: non-finite on one side only ({old} -> {new})")
         return 1
     return 0
 

@@ -144,6 +144,57 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("improved", out)
 
+    def test_both_sided_nan_is_a_match(self):
+        # A measurement that failed the same way on both sides is not a
+        # regression; before the nan handling this pair silently inflated
+        # nothing but a one-sided nan ALSO passed — see the next test.
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("cge", "batched", 10, 10, 2, float("nan")),
+                          result("cwtm", "legacy", 10, 10, 2, 100.0)])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("cge", "batched", 10, 10, 2, float("nan")),
+                         result("cwtm", "legacy", 10, 10, 2, 100.0)])
+        code, out = run([base, cur, "--fail-threshold", "25"])
+        self.assertEqual(code, 0)
+        self.assertNotIn("FAIL", out)
+
+    def test_one_sided_nan_fails_the_gate(self):
+        # nan sails through every numeric comparison (<=, >=, abs()
+        # thresholds are all False), so before the fix a kernel whose
+        # current measurement went nan passed the gate silently and
+        # poisoned the normalization median.
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("bulyan", "batched", 50, 10000, 10, 100.0),
+                          result("geomed", "batched", 50, 10000, 10, 100.0)])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("bulyan", "batched", 50, 10000, 10, float("nan")),
+                         result("geomed", "batched", 50, 10000, 10, 100.0)])
+        code, out = run([base, cur, "--fail-threshold", "25"])
+        self.assertEqual(code, 1)
+        self.assertIn("non-finite on one side only", out)
+        # Warn-only mode still surfaces it without failing.
+        code, out = run([base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("non-finite on one side only", out)
+
+    def test_nan_does_not_poison_the_gate_median(self):
+        # One nan pair plus one genuine 40% regression: the median over the
+        # gated ratios must exclude the nan pair, so the regression still
+        # trips the gate (a nan median would mask it).
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("cge", "batched", 10, 10, 2, float("nan")),
+                          result("bulyan", "batched", 50, 10000, 10, 100.0),
+                          result("geomed", "batched", 50, 10000, 10, 100.0),
+                          result("cwtm", "legacy", 50, 10000, 10, 100.0)])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("cge", "batched", 10, 10, 2, float("nan")),
+                         result("bulyan", "batched", 50, 10000, 10, 140.0),
+                         result("geomed", "batched", 50, 10000, 10, 101.0),
+                         result("cwtm", "legacy", 50, 10000, 10, 99.0)])
+        code, out = run([base, cur, "--fail-threshold", "25"])
+        self.assertEqual(code, 1)
+        self.assertIn("bulyan", out)
+
     def test_non_positive_baseline_is_skipped(self):
         base = write_doc(self.tmp.name, "base.json",
                          [result("cge", "batched", 10, 10, 2, 0.0)])

@@ -72,6 +72,29 @@ class CompareSweepTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("aggregator", out)
 
+    def test_quoted_comma_bearing_labels_round_trip(self):
+        # The sweep CSV writer RFC-4180-quotes cells; a fault/variant label
+        # like "sign-flip, strong" must parse back as ONE cell, and a label
+        # differing only inside the quotes must mismatch (not shift columns).
+        header = "run_id,faults,seed,final_dist,final_loss,eliminated,wall_ms\n"
+        golden = header + '000_faults=sign-flip--strong_seed=1,"sign-flip, strong",1,0.5,2.25,0,1.0\n'
+        same = header + '000_faults=sign-flip--strong_seed=1,"sign-flip, strong",1,0.5,2.25,0,9.0\n'
+        relabeled = header + '000_faults=sign-flip--strong_seed=1,"sign-flip, weak",1,0.5,2.25,0,1.0\n'
+        g = self.write("g.csv", golden)
+        code, _ = run([g, self.write("same.csv", same)])
+        self.assertEqual(code, 0)
+        code, out = run([g, self.write("relabeled.csv", relabeled)])
+        self.assertEqual(code, 1)
+        self.assertIn("faults", out)
+
+    def test_embedded_quotes_in_labels_parse(self):
+        # A doubled quote inside a quoted cell is one literal quote.
+        header = "run_id,variants,seed,final_dist,final_loss,eliminated,wall_ms\n"
+        text = header + '000_variants=the--fast--run_seed=1,"the ""fast"" run",1,0.5,2.25,0,1.0\n'
+        path = self.write("q.csv", text)
+        code, _ = run([path, path])
+        self.assertEqual(code, 0)
+
     def test_grid_shape_mismatch_fails(self):
         golden = HEADER + "000_aggregator=cwtm_seed=1,cwtm,1,0.5,2.25,0,1.0\n"
         extra = (

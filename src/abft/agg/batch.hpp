@@ -154,6 +154,20 @@ struct AggregatorWorkspace {
   std::vector<Vector> hier_out;            ///< per-group shard output staging
   GradientBatch hier_root;                 ///< S x d shard outputs
   std::vector<int> hier_perm;              ///< seeded shard assignment (n)
+  // Coreset pre-reduction scratch — agg/coreset.hpp.  The greedy k-center
+  // pass keeps per-row nearest-center state in the n-sized buffers, the
+  // bounded farthest-point queue in coreset_heap, and the selected rows /
+  // multiplicity weights in the m-sized buffers; all grow monotonically so
+  // the reduction is allocation-free after warmup.
+  std::vector<double> coreset_dist;    ///< sq dist to nearest center (n)
+  std::vector<int> coreset_assign;     ///< nearest center slot (n)
+  std::vector<int> coreset_heap;       ///< bounded top-(z+1) farthest queue
+  std::vector<int> coreset_ids;        ///< selected row ids (m)
+  std::vector<double> coreset_weights; ///< multiplicity weights, sum = n (m)
+  std::vector<double> coreset_vec;     ///< d-sized scratch (median pivot)
+  std::vector<std::pair<double, double>> coreset_pairs;  ///< (value, weight)
+  GradientBatch coreset_batch;         ///< m x d packed coreset rows
+  GradientBatch coreset_rep;           ///< replication fallback (n x d)
 
   // --- fill helpers --------------------------------------------------------
   /// Transposes the batch into `colmajor` (cache-blocked), so per-coordinate

@@ -1,0 +1,559 @@
+#include "abft/agg/coreset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "abft/agg/registry.hpp"
+#include "abft/util/check.hpp"
+
+namespace abft::agg {
+
+namespace {
+
+// Weighted-kernel dispatch tags.  kReplicate marks the rules whose weighted
+// form is not implemented (gmom, bulyan): they run the registry rule on the
+// materialized replicated batch — exact, but not sublinear.
+enum Kind : int {
+  kAverage,
+  kCge,
+  kCwtm,
+  kCwmed,
+  kKrum,
+  kMultiKrum,
+  kGeomed,
+  kNormclip,
+  kCclip,
+  kReplicate,
+};
+
+int kind_for(std::string_view rule) {
+  if (rule == "average") return kAverage;
+  if (rule == "cge") return kCge;
+  if (rule == "cwtm") return kCwtm;
+  if (rule == "cwmed") return kCwmed;
+  if (rule == "krum") return kKrum;
+  if (rule == "multikrum") return kMultiKrum;
+  if (rule == "geomed") return kGeomed;
+  if (rule == "normclip") return kNormclip;
+  if (rule == "cclip") return kCclip;
+  return kReplicate;
+}
+
+double sqdist_rows(const double* a, const double* b, int d) {
+  double sum = 0.0;
+  for (int k = 0; k < d; ++k) {
+    const double diff = a[k] - b[k];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Value at 0-indexed replicated rank r of the multiset {(value, weight)},
+/// pairs sorted ascending by value, integer weights.
+double value_at_rank(const std::vector<std::pair<double, double>>& pairs, long long r) {
+  long long cum = 0;
+  for (const auto& [v, w] : pairs) {
+    cum += static_cast<long long>(w);
+    if (r < cum) return v;
+  }
+  return pairs.back().first;
+}
+
+/// Replicated-multiset median (n odd: middle element; n even: mean of the
+/// two middle elements) — the same contract as median_inplace.
+double weighted_median(std::vector<std::pair<double, double>>& pairs, long long n) {
+  std::sort(pairs.begin(), pairs.end());
+  const double hi = value_at_rank(pairs, n / 2);
+  if (n % 2 == 1) return hi;
+  return 0.5 * (value_at_rank(pairs, n / 2 - 1) + hi);
+}
+
+/// out = (sum_i w_i * g_i) / n — the replicated mean.
+void weighted_average(Vector& out, const GradientBatch& cs, const std::vector<double>& w,
+                      int n) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  resize_output(out, d);
+  auto acc = out.coefficients();
+  std::fill(acc.begin(), acc.end(), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double* row = cs.row(i).data();
+    const double wi = w[static_cast<std::size_t>(i)];
+    for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] += wi * row[k];
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] *= inv;
+}
+
+/// Replicated CGE: sum (not mean) of the n - f smallest-norm replicated
+/// rows, ascending-norm order with ties kept in slot order.
+void weighted_cge(Vector& out, const GradientBatch& cs, const std::vector<double>& w, int n,
+                  int f, AggregatorWorkspace& ws) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  ws.fill_norms(cs);
+  ws.order.resize(static_cast<std::size_t>(m));
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  std::stable_sort(ws.order.begin(), ws.order.end(), [&ws](int a, int b) {
+    return ws.norms[static_cast<std::size_t>(a)] < ws.norms[static_cast<std::size_t>(b)];
+  });
+  resize_output(out, d);
+  auto acc = out.coefficients();
+  std::fill(acc.begin(), acc.end(), 0.0);
+  long long budget = n - f;
+  for (int s = 0; s < m && budget > 0; ++s) {
+    const int i = ws.order[static_cast<std::size_t>(s)];
+    const long long take =
+        std::min(budget, static_cast<long long>(w[static_cast<std::size_t>(i)]));
+    const double* row = cs.row(i).data();
+    const double tw = static_cast<double>(take);
+    for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] += tw * row[k];
+    budget -= take;
+  }
+}
+
+/// Replicated CWTM: per coordinate, the mean of the replicated values whose
+/// sorted positions fall in [f, n - f).
+void weighted_cwtm(Vector& out, const GradientBatch& cs, const std::vector<double>& w, int n,
+                   int f, AggregatorWorkspace& ws) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  ABFT_REQUIRE(n > 2 * f, "cwtm needs n > 2f");
+  resize_output(out, d);
+  auto result = out.coefficients();
+  const double inv = 1.0 / static_cast<double>(n - 2 * f);
+  auto& pairs = ws.coreset_pairs;
+  for (int k = 0; k < d; ++k) {
+    pairs.clear();
+    for (int i = 0; i < m; ++i) {
+      pairs.emplace_back(cs.row(i)[static_cast<std::size_t>(k)],
+                         w[static_cast<std::size_t>(i)]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    double sum = 0.0;
+    long long cum = 0;
+    for (const auto& [v, wv] : pairs) {
+      const long long lo = std::max(cum, static_cast<long long>(f));
+      const long long hi = std::min(cum + static_cast<long long>(wv),
+                                    static_cast<long long>(n - f));
+      if (hi > lo) sum += v * static_cast<double>(hi - lo);
+      cum += static_cast<long long>(wv);
+    }
+    result[static_cast<std::size_t>(k)] = sum * inv;
+  }
+}
+
+/// Replicated CWMED: per-coordinate weighted median.
+void weighted_cwmed(Vector& out, const GradientBatch& cs, const std::vector<double>& w, int n,
+                    AggregatorWorkspace& ws) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  resize_output(out, d);
+  auto result = out.coefficients();
+  auto& pairs = ws.coreset_pairs;
+  for (int k = 0; k < d; ++k) {
+    pairs.clear();
+    for (int i = 0; i < m; ++i) {
+      pairs.emplace_back(cs.row(i)[static_cast<std::size_t>(k)],
+                         w[static_cast<std::size_t>(i)]);
+    }
+    result[static_cast<std::size_t>(k)] = weighted_median(pairs, n);
+  }
+}
+
+/// Replicated Krum scores into ws.scores: row i's replicated copies see
+/// w_i - 1 zero distances to each other plus d(i, j) with multiplicity w_j,
+/// and sum their n - f - 2 smallest entries.
+void weighted_krum_scores(const GradientBatch& cs, const std::vector<double>& w, int n, int f,
+                          AggregatorWorkspace& ws) {
+  const int m = cs.rows();
+  ABFT_REQUIRE(n > 2 * f + 2, "krum needs n > 2f + 2");
+  ws.fill_pairwise_sqdist(cs);
+  const long long neighbors = n - f - 2;
+  ws.scores.resize(static_cast<std::size_t>(m));
+  auto& pairs = ws.coreset_pairs;
+  for (int i = 0; i < m; ++i) {
+    // The w_i - 1 own-copy distances are zero, hence always the smallest.
+    long long rem = neighbors - (static_cast<long long>(w[static_cast<std::size_t>(i)]) - 1);
+    double score = 0.0;
+    if (rem > 0) {
+      pairs.clear();
+      const double* row =
+          ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
+      for (int j = 0; j < m; ++j) {
+        if (j != i) pairs.emplace_back(row[j], w[static_cast<std::size_t>(j)]);
+      }
+      std::sort(pairs.begin(), pairs.end());
+      for (const auto& [dv, wv] : pairs) {
+        const long long take = std::min(rem, static_cast<long long>(wv));
+        score += dv * static_cast<double>(take);
+        rem -= take;
+        if (rem == 0) break;
+      }
+    }
+    ws.scores[static_cast<std::size_t>(i)] = score;
+  }
+}
+
+void weighted_krum(Vector& out, const GradientBatch& cs, const std::vector<double>& w, int n,
+                   int f, AggregatorWorkspace& ws) {
+  weighted_krum_scores(cs, w, n, f, ws);
+  const int m = cs.rows();
+  const auto best = static_cast<int>(
+      std::min_element(ws.scores.begin(), ws.scores.begin() + m) - ws.scores.begin());
+  resize_output(out, cs.cols());
+  const auto row = cs.row(best);
+  std::copy(row.begin(), row.end(), out.coefficients().begin());
+}
+
+/// Replicated Multi-Krum (canonical m = n - f): mean of the n - f
+/// lowest-score replicated rows, score ties kept in slot order.
+void weighted_multikrum(Vector& out, const GradientBatch& cs, const std::vector<double>& w,
+                        int n, int f, AggregatorWorkspace& ws) {
+  weighted_krum_scores(cs, w, n, f, ws);
+  const int m = cs.rows();
+  const int d = cs.cols();
+  ws.order.resize(static_cast<std::size_t>(m));
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  std::stable_sort(ws.order.begin(), ws.order.end(), [&ws](int a, int b) {
+    return ws.scores[static_cast<std::size_t>(a)] < ws.scores[static_cast<std::size_t>(b)];
+  });
+  resize_output(out, d);
+  auto acc = out.coefficients();
+  std::fill(acc.begin(), acc.end(), 0.0);
+  const long long msel = n - f;
+  long long budget = msel;
+  for (int s = 0; s < m && budget > 0; ++s) {
+    const int i = ws.order[static_cast<std::size_t>(s)];
+    const long long take =
+        std::min(budget, static_cast<long long>(w[static_cast<std::size_t>(i)]));
+    const double* row = cs.row(i).data();
+    const double tw = static_cast<double>(take);
+    for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] += tw * row[k];
+    budget -= take;
+  }
+  const double inv = 1.0 / static_cast<double>(msel);
+  for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] *= inv;
+}
+
+/// Weighted damped Weiszfeld: same init (replicated mean), damping floor,
+/// tolerance and iteration schedule as geometric_median_into.
+void weighted_geomed(Vector& out, const GradientBatch& cs, const std::vector<double>& w,
+                     int n, AggregatorWorkspace& ws, double tolerance = 1e-10,
+                     int max_iterations = 200) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  weighted_average(out, cs, w, n);
+  auto cur = out.coefficients();
+  double sq = 0.0;
+  for (int k = 0; k < d; ++k) sq += cur[static_cast<std::size_t>(k)] * cur[static_cast<std::size_t>(k)];
+  const double scale = std::max(1.0, std::sqrt(sq));
+  const double floor = 1e-12 * scale;
+  ws.vecbuf.resize(static_cast<std::size_t>(d));
+  double* num = ws.vecbuf.data();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(num, num + d, 0.0);
+    double denominator = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const double* row = cs.row(i).data();
+      const double dist = std::max(std::sqrt(sqdist_rows(cur.data(), row, d)), floor);
+      const double wq = w[static_cast<std::size_t>(i)] / dist;
+      for (int k = 0; k < d; ++k) num[k] += wq * row[k];
+      denominator += wq;
+    }
+    const double inv = 1.0 / denominator;
+    double moved_sq = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double next_k = num[k] * inv;
+      const double diff = next_k - cur[static_cast<std::size_t>(k)];
+      moved_sq += diff * diff;
+      cur[static_cast<std::size_t>(k)] = next_k;
+    }
+    if (std::sqrt(moved_sq) <= tolerance * scale) break;
+  }
+}
+
+/// Replicated norm clipping: clip threshold is the replicated median norm,
+/// clipped rows are averaged with their multiplicities.
+void weighted_normclip(Vector& out, const GradientBatch& cs, const std::vector<double>& w,
+                       int n, AggregatorWorkspace& ws) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  ws.fill_norms(cs);
+  auto& pairs = ws.coreset_pairs;
+  pairs.clear();
+  for (int i = 0; i < m; ++i) {
+    pairs.emplace_back(ws.norms[static_cast<std::size_t>(i)], w[static_cast<std::size_t>(i)]);
+  }
+  const double clip = weighted_median(pairs, n);
+  resize_output(out, d);
+  auto acc = out.coefficients();
+  std::fill(acc.begin(), acc.end(), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double norm = ws.norms[static_cast<std::size_t>(i)];
+    const double wi = w[static_cast<std::size_t>(i)];
+    const double s = (norm > clip && norm > 0.0) ? wi * clip / norm : wi;
+    const double* row = cs.row(i).data();
+    for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] += s * row[k];
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (int k = 0; k < d; ++k) acc[static_cast<std::size_t>(k)] *= inv;
+}
+
+/// Replicated centered clipping with the registry defaults (adaptive tau,
+/// 3 iterations): weighted cwmed pivot, weighted median clipping radius,
+/// weighted correction averaged over n.
+void weighted_cclip(Vector& out, const GradientBatch& cs, const std::vector<double>& w, int n,
+                    AggregatorWorkspace& ws, int iterations = 3) {
+  const int m = cs.rows();
+  const int d = cs.cols();
+  weighted_cwmed(out, cs, w, n, ws);
+  auto pivot = out.coefficients();
+  ws.vecbuf.resize(static_cast<std::size_t>(d));
+  double* correction = ws.vecbuf.data();
+  auto& pairs = ws.coreset_pairs;
+  for (int iter = 0; iter < iterations; ++iter) {
+    pairs.clear();
+    for (int i = 0; i < m; ++i) {
+      pairs.emplace_back(std::sqrt(sqdist_rows(cs.row(i).data(), pivot.data(), d)),
+                         w[static_cast<std::size_t>(i)]);
+    }
+    const double tau = weighted_median(pairs, n);
+    if (tau <= 0.0) return;  // all replicated gradients equal the pivot
+    std::fill(correction, correction + d, 0.0);
+    for (int i = 0; i < m; ++i) {
+      const double* row = cs.row(i).data();
+      const double norm = std::sqrt(sqdist_rows(row, pivot.data(), d));
+      const double s = (norm > tau ? tau / norm : 1.0) * w[static_cast<std::size_t>(i)];
+      for (int k = 0; k < d; ++k) {
+        correction[k] += s * (row[k] - pivot[static_cast<std::size_t>(k)]);
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(n);
+    for (int k = 0; k < d; ++k) pivot[static_cast<std::size_t>(k)] += inv * correction[k];
+  }
+}
+
+}  // namespace
+
+std::string coreset_label(const CoresetConfig& config, std::string_view rule) {
+  std::string label = "coreset-";
+  label += config.size > 0 ? std::to_string(config.size) : "auto";
+  label += "-";
+  label += rule;
+  return label;
+}
+
+CoresetReducer::CoresetReducer(std::string_view rule, CoresetConfig config)
+    : config_(config),
+      rule_(rule),
+      inner_(make_aggregator(rule)),
+      label_(coreset_label(config, rule)),
+      kind_(kind_for(rule)) {
+  ABFT_REQUIRE(config_.size >= 0, "coreset: size must be >= 1, or 0 for auto");
+}
+
+int CoresetReducer::centers_for(int n, int f) const noexcept {
+  if (config_.size > 0) return config_.size;
+  return f + static_cast<int>(std::ceil(std::sqrt(static_cast<double>(std::max(n, 0)))));
+}
+
+bool CoresetReducer::would_reduce(int n, int f) const noexcept {
+  if (n <= 0 || f < 0) return false;
+  const long long k = centers_for(n, f);
+  return k + static_cast<long long>(f) < static_cast<long long>(n);
+}
+
+int CoresetReducer::max_usable_f(int n) const noexcept { return inner_->max_usable_f(n); }
+
+int CoresetReducer::min_usable_f() const noexcept { return inner_->min_usable_f(); }
+
+int CoresetReducer::reduce(const GradientBatch& batch, int f, AggregatorWorkspace& ws) const {
+  const int d = validate_batch(batch, f);
+  const int n = batch.rows();
+  ABFT_REQUIRE(would_reduce(n, f),
+               "coreset: (n, f) shape does not reduce — delegate to the inner rule");
+  const int k = centers_for(n, f);
+  const int z = f;
+
+  // Seed center: the row nearest the coordinate-wise median pivot.  The
+  // pivot is computed on the workspace transpose (scratch: median_inplace
+  // reorders each column copy in place).
+  ws.fill_colmajor(batch);
+  ws.coreset_vec.resize(static_cast<std::size_t>(d));
+  for (int kk = 0; kk < d; ++kk) {
+    double* col =
+        ws.colmajor.data() + static_cast<std::size_t>(kk) * static_cast<std::size_t>(n);
+    ws.coreset_vec[static_cast<std::size_t>(kk)] = median_inplace(col, col + n);
+  }
+  int seed = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const double dsq = sqdist_rows(batch.row(i).data(), ws.coreset_vec.data(), d);
+    if (dsq < best) {
+      best = dsq;
+      seed = i;
+    }
+  }
+
+  // dist[i] tracks the squared distance to the nearest selected center; -1
+  // marks a selected center (sorts "nearest", so it can never be reselected
+  // while z + 1 non-centers remain, which would_reduce guarantees).
+  ws.coreset_dist.resize(static_cast<std::size_t>(n));
+  ws.coreset_assign.resize(static_cast<std::size_t>(n));
+  ws.coreset_ids.clear();
+  ws.coreset_ids.push_back(seed);
+  const double* seed_row = batch.row(seed).data();
+  for (int i = 0; i < n; ++i) {
+    ws.coreset_dist[static_cast<std::size_t>(i)] =
+        sqdist_rows(batch.row(i).data(), seed_row, d);
+    ws.coreset_assign[static_cast<std::size_t>(i)] = 0;
+  }
+  ws.coreset_dist[static_cast<std::size_t>(seed)] = -1.0;
+
+  // a strictly farther than b: primary on distance, ties to the lower row
+  // id, so selection is a deterministic pure function of the batch.
+  const auto farther = [&ws](int a, int b) {
+    const double da = ws.coreset_dist[static_cast<std::size_t>(a)];
+    const double db = ws.coreset_dist[static_cast<std::size_t>(b)];
+    return da > db || (da == db && a < b);
+  };
+
+  auto& heap = ws.coreset_heap;
+  while (static_cast<int>(ws.coreset_ids.size()) < k) {
+    // Bounded farthest-point queue: keep the top z + 1 farthest rows; the
+    // queue front (least far of them) is the (z + 1)-th farthest overall —
+    // stepping z rows in from the far end keeps up to z planted outliers
+    // from steering center placement.
+    heap.clear();
+    for (int i = 0; i < n; ++i) {
+      if (static_cast<int>(heap.size()) <= z) {
+        heap.push_back(i);
+        std::push_heap(heap.begin(), heap.end(), farther);
+      } else if (farther(i, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), farther);
+        heap.back() = i;
+        std::push_heap(heap.begin(), heap.end(), farther);
+      }
+    }
+    const int next = heap.front();
+    if (ws.coreset_dist[static_cast<std::size_t>(next)] <= 0.0) break;  // only duplicates left
+    const int slot = static_cast<int>(ws.coreset_ids.size());
+    ws.coreset_ids.push_back(next);
+    ws.coreset_dist[static_cast<std::size_t>(next)] = -1.0;
+    ws.coreset_assign[static_cast<std::size_t>(next)] = slot;
+    const double* center_row = batch.row(next).data();
+    for (int i = 0; i < n; ++i) {
+      double& di = ws.coreset_dist[static_cast<std::size_t>(i)];
+      if (di <= 0.0) continue;  // centers and exact duplicates keep their slot
+      const double dsq = sqdist_rows(batch.row(i).data(), center_row, d);
+      if (dsq < di) {
+        di = dsq;
+        ws.coreset_assign[static_cast<std::size_t>(i)] = slot;
+      }
+    }
+  }
+  const int centers = static_cast<int>(ws.coreset_ids.size());
+
+  // Outlier budget: the z farthest non-center rows ride along verbatim as
+  // weight-1 singletons (ascending row id for a stable layout), so up to
+  // z = f attack rows cannot fold into any center's weight.
+  if (z > 0) {
+    ws.order.resize(static_cast<std::size_t>(n));
+    std::iota(ws.order.begin(), ws.order.end(), 0);
+    std::nth_element(ws.order.begin(), ws.order.begin() + z, ws.order.end(), farther);
+    std::sort(ws.order.begin(), ws.order.begin() + z);
+    for (int o = 0; o < z; ++o) {
+      const int id = ws.order[static_cast<std::size_t>(o)];
+      ws.coreset_ids.push_back(id);
+      ws.coreset_assign[static_cast<std::size_t>(id)] = centers + o;
+    }
+  }
+  const int m = centers + z;
+
+  // Every row contributes exactly one unit to its slot, so the integer
+  // multiplicity weights sum to n by construction.
+  ws.coreset_weights.assign(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < n; ++i) {
+    ws.coreset_weights[static_cast<std::size_t>(ws.coreset_assign[static_cast<std::size_t>(i)])] +=
+        1.0;
+  }
+  ws.coreset_batch.reshape(m, d);
+  for (int s = 0; s < m; ++s) {
+    ws.coreset_batch.set_row(s, batch.row(ws.coreset_ids[static_cast<std::size_t>(s)]));
+  }
+  return m;
+}
+
+Vector CoresetReducer::aggregate(std::span<const Vector> gradients, int f) const {
+  validate_gradients(gradients, f);
+  GradientBatch batch;
+  batch.pack(gradients);
+  AggregatorWorkspace workspace;
+  Vector out;
+  aggregate_into(out, batch, f, workspace);
+  return out;
+}
+
+void CoresetReducer::aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                                    AggregatorWorkspace& ws) const {
+  const int d = validate_batch(batch, f);
+  const int n = batch.rows();
+  if (!would_reduce(n, f)) {
+    // Reduction cannot shrink this shape: run the inner rule on the original
+    // batch, bit-identical to flat aggregation.
+    inner_->aggregate_into(out, batch, f, ws);
+    return;
+  }
+  const int m = reduce(batch, f, ws);
+  const GradientBatch& cs = ws.coreset_batch;
+  const std::vector<double>& w = ws.coreset_weights;
+  switch (kind_) {
+    case kAverage:
+      weighted_average(out, cs, w, n);
+      return;
+    case kCge:
+      weighted_cge(out, cs, w, n, f, ws);
+      return;
+    case kCwtm:
+      weighted_cwtm(out, cs, w, n, f, ws);
+      return;
+    case kCwmed:
+      weighted_cwmed(out, cs, w, n, ws);
+      return;
+    case kKrum:
+      weighted_krum(out, cs, w, n, f, ws);
+      return;
+    case kMultiKrum:
+      weighted_multikrum(out, cs, w, n, f, ws);
+      return;
+    case kGeomed:
+      weighted_geomed(out, cs, w, n, ws);
+      return;
+    case kNormclip:
+      weighted_normclip(out, cs, w, n, ws);
+      return;
+    case kCclip:
+      weighted_cclip(out, cs, w, n, ws);
+      return;
+    default: {
+      // Replication fallback (gmom, bulyan): materialize the replicated
+      // multiset and run the registry rule on it — exact, not sublinear.
+      ws.coreset_rep.reshape(n, d);
+      int r = 0;
+      for (int i = 0; i < m; ++i) {
+        const auto row = cs.row(i);
+        const auto copies = static_cast<long long>(w[static_cast<std::size_t>(i)]);
+        for (long long c = 0; c < copies; ++c) ws.coreset_rep.set_row(r++, row);
+      }
+      inner_->aggregate_into(out, ws.coreset_rep, f, ws);
+      return;
+    }
+  }
+}
+
+}  // namespace abft::agg

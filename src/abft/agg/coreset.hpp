@@ -1,0 +1,97 @@
+// Coreset pre-reduction: a greedy k-center pass with an outlier budget that
+// shrinks an n-row GradientBatch to a weighted coreset of m = k + z rows
+// (z = f) before the exact registry rule runs, taking the per-round cost of
+// the Gram-based family from O(n^2 d) to O(n k d + m^2 d).
+//
+// Construction (farthest-point-queue greedy k-center with outliers, after
+// Ding et al.):
+//   1. the seed center is the row nearest the coordinate-wise median of the
+//      batch (a robust pivot an adversary cannot drag far with f rows);
+//   2. each further center is the (z+1)-th farthest row from the selected
+//      centers, found with a bounded size-(z+1) queue over the incrementally
+//      maintained nearest-center distances — stepping z rows in from the far
+//      end means up to z adversarial outliers cannot steer center placement;
+//   3. after k centers, the z farthest remaining rows are carried verbatim
+//      as weight-1 singletons, and every other row folds into its nearest
+//      center's multiplicity weight.  Weights are integers summing to
+//      exactly n.
+//
+// Semantics: the inner rule is evaluated on the *replicated multiset* — the
+// virtual batch where coreset row i appears weight_i times (centers first in
+// selection order, then the singletons in ascending row order).  Mean-like
+// rules (average, cge, normclip, cclip, geomed) and the rank-based family
+// (cwtm, cwmed, krum, multikrum) run weight-aware kernels that reproduce the
+// replicated-multiset result exactly (up to floating-point summation order);
+// gmom and bulyan materialize the replicated batch and run the registry rule
+// on it — exact, but not sublinear (documented fallback).  The reduction is
+// lossy by design: the weighted result drifts from the flat exact rule by at
+// most the aggregation's Lipschitz constant times the k-center radius; the
+// seeded tolerance suite in tests/test_coreset.cpp bounds that drift per
+// rule.  When reduction cannot help (k + z >= n), the reducer delegates to
+// the inner rule on the original batch bit-identically.
+//
+// Determinism: selection ties break on the lowest row id, assignment ties on
+// the earliest center, and both the construction pass and the weighted
+// kernels are single-threaded (m is small), so the reduced aggregate is a
+// pure function of (batch, f, config) — bit-identical at every thread count.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abft/agg/aggregator.hpp"
+
+namespace abft::agg {
+
+struct CoresetConfig {
+  /// Number of k-center rows (the coreset additionally carries z = f
+  /// singleton rows).  0 (the default) derives k = f + ceil(sqrt(n)) per
+  /// call, the size at which construction and reduced aggregation balance.
+  int size = 0;
+};
+
+/// Stable label, e.g. "coreset-64-krum" ("coreset-auto-krum" for the derived
+/// size).  Doubles as the spec-layer aggregator spelling; uses only
+/// run-id/CSV-safe characters.
+std::string coreset_label(const CoresetConfig& config, std::string_view rule);
+
+class CoresetReducer final : public GradientAggregator {
+ public:
+  /// Wraps the named registry rule.  Throws std::invalid_argument on an
+  /// unknown rule name or config.size < 0.
+  explicit CoresetReducer(std::string_view rule, CoresetConfig config = {});
+
+  [[nodiscard]] Vector aggregate(std::span<const Vector> gradients, int f) const override;
+  void aggregate_into(Vector& out, const GradientBatch& batch, int f,
+                      AggregatorWorkspace& workspace) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return label_; }
+  /// Forwarded from the inner rule: preconditions are stated on the
+  /// replicated multiset, whose size is exactly n.
+  [[nodiscard]] int max_usable_f(int n) const noexcept override;
+  [[nodiscard]] int min_usable_f() const noexcept override;
+
+  [[nodiscard]] const CoresetConfig& config() const noexcept { return config_; }
+
+  /// True when the (n, f) shape actually reduces: k(n, f) + f < n.
+  /// Otherwise aggregate_into delegates to the inner rule bit-identically.
+  [[nodiscard]] bool would_reduce(int n, int f) const noexcept;
+
+  /// The k-center count for an (n, f) call (config.size, or the derived
+  /// f + ceil(sqrt(n)) when size == 0).
+  [[nodiscard]] int centers_for(int n, int f) const noexcept;
+
+  /// Runs the construction pass only: fills ws.coreset_batch (m x d),
+  /// ws.coreset_ids and ws.coreset_weights, and returns m.  Exposed so the
+  /// property suite can audit selection, weights and outlier exclusion
+  /// directly.  Requires would_reduce(n, f).
+  int reduce(const GradientBatch& batch, int f, AggregatorWorkspace& ws) const;
+
+ private:
+  CoresetConfig config_;
+  std::string rule_;
+  std::unique_ptr<GradientAggregator> inner_;
+  std::string label_;
+  int kind_;  // weighted-kernel dispatch tag (see coreset.cpp)
+};
+
+}  // namespace abft::agg

@@ -20,16 +20,41 @@ int shard_boundary(int n, int num_shards, int shard) {
 
 }  // namespace
 
+namespace {
+
+/// Leaf factory: the plain registry rule, or the coreset-wrapped rule when
+/// per-shard reduction is configured.  CoresetReducer forwards
+/// max_usable_f/min_usable_f to the inner rule, so every piece of the
+/// (n_s, f_s) bookkeeping above is untouched by the wrapping.
+std::unique_ptr<GradientAggregator> make_leaf(const HierarchyConfig& config) {
+  if (config.coreset.has_value()) {
+    return std::make_unique<CoresetReducer>(config.leaf_rule, *config.coreset);
+  }
+  return make_aggregator(config.leaf_rule);
+}
+
+}  // namespace
+
 std::string hierarchy_label(const HierarchyConfig& config) {
   std::string label =
       "hier-" + std::to_string(config.shards) + "-" + config.leaf_rule + "-" + config.root_rule;
   if (config.f_leaf >= 0) label += "-fl" + std::to_string(config.f_leaf);
+  if (config.coreset.has_value()) {
+    label += "-cs" + (config.coreset->size > 0 ? std::to_string(config.coreset->size)
+                                               : std::string("auto"));
+  }
   return label;
+}
+
+std::string hierarchy_label(const HierarchyConfig& config, int n) {
+  HierarchyConfig effective = config;
+  effective.shards = std::min(config.shards, std::max(n, 1));
+  return hierarchy_label(effective);
 }
 
 HierarchicalAggregator::HierarchicalAggregator(HierarchyConfig config)
     : config_(std::move(config)),
-      leaf_(make_aggregator(config_.leaf_rule)),
+      leaf_(make_leaf(config_)),
       root_(make_aggregator(config_.root_rule)),
       label_(hierarchy_label(config_)) {
   ABFT_REQUIRE(config_.shards >= 1, "hierarchy: shards must be >= 1");

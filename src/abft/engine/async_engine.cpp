@@ -12,7 +12,7 @@ namespace {
 constexpr std::uint64_t kArrivalSeedTag = 0xa11c10c4a55a1edULL;
 
 bool arrival_kind_known(const std::string& kind) {
-  return kind == "uniform" || kind == "exponential";
+  return kind == "uniform" || kind == "exponential" || kind == "fixed";
 }
 
 }  // namespace
@@ -31,7 +31,7 @@ AsyncRoundEngine::AsyncRoundEngine(std::vector<unsigned char> faulty, int dim,
                "async deadline must be positive and finite");
   ABFT_REQUIRE(a.staleness_cap >= 0, "async staleness_cap must be non-negative");
   ABFT_REQUIRE(arrival_kind_known(a.arrival.kind),
-               "async arrival kind must be 'uniform' or 'exponential'");
+               "async arrival kind must be 'uniform', 'exponential' or 'fixed'");
   ABFT_REQUIRE(a.arrival.scale > 0.0 && std::isfinite(a.arrival.scale),
                "async arrival scale must be positive and finite");
   threads_ = std::max(1, config_.threads);
@@ -70,6 +70,10 @@ void AsyncRoundEngine::reset(int declared_f) {
 }
 
 double AsyncRoundEngine::draw_duration(int agent) {
+  // "fixed": every computation takes exactly `scale`, consuming no
+  // randomness — the deterministic model the window-boundary and staleness
+  // contract tests pin their arithmetic on.
+  if (config_.async.arrival.kind == "fixed") return config_.async.arrival.scale;
   util::Rng& rng = arrival_rng_[static_cast<std::size_t>(agent)];
   const double u = rng.uniform();
   if (config_.async.arrival.kind == "exponential") {
@@ -124,10 +128,14 @@ int AsyncRoundEngine::collect(int round) {
     return a.birth_round != b.birth_round ? a.birth_round < b.birth_round : a.agent < b.agent;
   });
 
+  // The round window is half-open, [t*D, (t+1)*D): a row arriving exactly at
+  // the close belongs to the NEXT window — it neither counts toward this
+  // round's quorum nor gets consumed at the deadline fire below.  (The old
+  // `<=` here let a boundary row jump its window, skewing both.)
   const double window_close = static_cast<double>(round + 1) * config_.async.deadline;
   arrived_.clear();
   for (const PendingRow& p : pending_) {
-    if (p.arrival_time <= window_close) arrived_.push_back(p);
+    if (p.arrival_time < window_close) arrived_.push_back(p);
   }
   std::sort(arrived_.begin(), arrived_.end(), [](const PendingRow& a, const PendingRow& b) {
     return a.arrival_time != b.arrival_time ? a.arrival_time < b.arrival_time
@@ -150,7 +158,9 @@ int AsyncRoundEngine::collect(int round) {
   ingest_.reshape(roster_size(), dim_);
   int kept = 0;
   std::erase_if(pending_, [&](const PendingRow& p) {
-    if (p.arrival_time > fire_time) return false;
+    // A deadline fire has fire_time == window_close, which the half-open
+    // window excludes — hence the second guard.
+    if (p.arrival_time > fire_time || p.arrival_time >= window_close) return false;
     const int age = round - p.birth_round;
     const auto src = payload_.row(p.agent);
     const auto dst = ingest_.row(kept);

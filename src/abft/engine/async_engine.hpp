@@ -10,12 +10,20 @@
 //   * if at least `quorum` pending rows have arrived inside the window, the
 //     filter fires at the quorum-th arrival time and aggregates every row
 //     arrived by then (quorum 0 = the full roster); otherwise it fires at
-//     the window close with whatever arrived — nothing blocks;
+//     the window close with whatever arrived — nothing blocks.  The window
+//     is genuinely half-open: a row arriving exactly at (t+1)*D belongs to
+//     window t+1 — it neither counts toward round t's quorum nor is
+//     consumed by round t's deadline fire;
 //   * a consumed row of age a = round - birth_round enters the batch scaled
 //     by the staleness weight 1/(1+a) (age 0 rows are bit-identical to the
 //     unscaled row); un-consumed rows stay pending for later rounds;
-//   * rows older than `staleness_cap` rounds are dropped at the window open
-//     and the agent starts afresh.
+//   * rows STRICTLY older than `staleness_cap` rounds are dropped at the
+//     window open and the agent starts afresh: at exactly age ==
+//     staleness_cap the row is kept and consumable at weight
+//     1/(1 + staleness_cap);
+//   * an agent has at most one row in flight (it only starts computing once
+//     its previous row is consumed or dropped), so one filter call can never
+//     ingest two rows from the same agent.
 //
 // Unlike the synchronous engine there is NO step-S1 elimination: a missing
 // reply is indistinguishable from slowness without a synchronous close, so
@@ -50,7 +58,10 @@ namespace abft::engine {
 /// Per-agent virtual compute-time model.
 struct ArrivalModel {
   /// "uniform": duration = scale * (0.5 + U[0,1)) in [0.5*scale, 1.5*scale);
-  /// "exponential": duration = scale * Exp(1) (mean scale, unbounded tail).
+  /// "exponential": duration = scale * Exp(1) (mean scale, unbounded tail);
+  /// "fixed": duration = scale exactly, consuming no randomness — the
+  /// deterministic model for pinning window-boundary and staleness
+  /// arithmetic in tests.
   std::string kind = "uniform";
   double scale = 0.5;
 };

@@ -49,15 +49,45 @@ std::uint64_t parse_seed(const util::JsonValue& json, std::string_view key, doub
   return static_cast<std::uint64_t>(value);
 }
 
-/// The aggregator key takes a registry rule name, or an object carrying a
-/// "hierarchy" block; the latter fills spec.hierarchy and stamps the
-/// canonical label into spec.aggregator.
+/// The optional "reduction" block of the aggregator object: currently one
+/// strategy, {"coreset": {"size": k}} (size 0/absent = auto).
+agg::CoresetConfig parse_reduction(const util::JsonValue& value) {
+  require_known_keys(value, "reduction", {"coreset"});
+  const auto& coreset = value.at("coreset");
+  require_known_keys(coreset, "coreset", {"size"});
+  agg::CoresetConfig config;
+  config.size = int_or(coreset, "size", config.size);
+  ABFT_REQUIRE(config.size >= 0, "coreset size must be >= 1, or 0 for auto");
+  return config;
+}
+
+/// The aggregator key takes a registry rule name, or an object composing a
+/// "rule" or "hierarchy" layer with an optional "reduction" layer; the
+/// object forms fill spec.hierarchy / spec.coreset and stamp the canonical
+/// label into spec.aggregator.
 void parse_aggregator(const util::JsonValue& value, ScenarioSpec* spec) {
   if (value.is_string()) {
     spec->aggregator = value.as_string();
     return;
   }
-  require_known_keys(value, "aggregator", {"hierarchy"});
+  require_known_keys(value, "aggregator", {"rule", "hierarchy", "reduction"});
+  std::optional<agg::CoresetConfig> reduction;
+  if (const auto* red = value.find("reduction")) reduction = parse_reduction(*red);
+  if (value.find("hierarchy") == nullptr) {
+    const std::string rule = value.string_or("rule", "cwtm");
+    (void)agg::make_aggregator(rule);  // validate the name at parse time
+    if (reduction) {
+      spec->coreset = *reduction;
+      spec->coreset_rule = rule;
+      spec->aggregator = agg::coreset_label(*reduction, rule);
+    } else {
+      spec->aggregator = rule;
+    }
+    return;
+  }
+  ABFT_REQUIRE(value.find("rule") == nullptr,
+               "aggregator: \"rule\" and \"hierarchy\" are mutually exclusive — the "
+               "hierarchy block names its own leaf_rule/root_rule");
   const auto& hier = value.at("hierarchy");
   require_known_keys(hier, "hierarchy", {"shards", "leaf_rule", "root_rule", "f_leaf"});
   agg::HierarchyConfig config;
@@ -73,6 +103,7 @@ void parse_aggregator(const util::JsonValue& value, ScenarioSpec* spec) {
     config.f_leaf = int_or(hier, "f_leaf", config.f_leaf);
     ABFT_REQUIRE(config.f_leaf >= 0, "hierarchy f_leaf must be >= 0 when given");
   }
+  config.coreset = reduction;  // per-shard reduction rides inside the tree
   spec->hierarchy = config;
   spec->aggregator = agg::hierarchy_label(config);
 }
@@ -120,8 +151,9 @@ engine::AsyncConfig parse_async(const util::JsonValue& json) {
   if (const auto* arrival = json.find("arrival")) {
     require_known_keys(*arrival, "arrival", {"kind", "scale"});
     async.arrival.kind = arrival->string_or("kind", async.arrival.kind);
-    ABFT_REQUIRE(async.arrival.kind == "uniform" || async.arrival.kind == "exponential",
-                 "async arrival kind must be uniform or exponential");
+    ABFT_REQUIRE(async.arrival.kind == "uniform" || async.arrival.kind == "exponential" ||
+                     async.arrival.kind == "fixed",
+                 "async arrival kind must be uniform, exponential or fixed");
     async.arrival.scale = arrival->number_or("scale", async.arrival.scale);
     ABFT_REQUIRE(async.arrival.scale > 0.0, "async arrival scale must be > 0");
   }
@@ -413,6 +445,11 @@ void attach_hierarchy_bounds(ScenarioResult* result, const agg::GradientAggregat
   if (!spec.hierarchy) return;
   result->hierarchy_bounds =
       static_cast<const agg::HierarchicalAggregator&>(rule).bounds(roster_n, spec.f);
+  // n < requested S clamps the tree (bounds() reports the effective count);
+  // restamp the label so outputs never advertise shards that never ran.
+  if (result->hierarchy_bounds->shards != spec.hierarchy->shards) {
+    result->spec.aggregator = agg::hierarchy_label(*spec.hierarchy, roster_n);
+  }
 }
 
 /// Builds the p2p relay behaviour a spec names; nullptr = honest relaying.
@@ -651,7 +688,12 @@ regress::RegressionProblem random_regression_instance(const ScenarioSpec& spec) 
 }
 
 std::unique_ptr<agg::GradientAggregator> make_scenario_aggregator(const ScenarioSpec& spec) {
-  if (!spec.hierarchy) return agg::make_aggregator(spec.aggregator);
+  if (!spec.hierarchy) {
+    if (spec.coreset) {
+      return std::make_unique<agg::CoresetReducer>(spec.coreset_rule, *spec.coreset);
+    }
+    return agg::make_aggregator(spec.aggregator);
+  }
   agg::HierarchyConfig config = *spec.hierarchy;
   // Derived, documented sub-stream (like the problem/data streams above):
   // one spec seed pins the shard assignment too.  The xor could land on 0 —
@@ -678,7 +720,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
 namespace {
 
-void write_number(std::ostream& os, double value) { os << util::format_json_number(value); }
+// JSON-safe: non-finite values (a diverged run's nan cost) emit null.
+void write_number(std::ostream& os, double value) { util::write_json_number(os, value); }
 
 void write_string(std::ostream& os, std::string_view text) {
   util::write_json_string(os, text);
@@ -711,9 +754,12 @@ void write_result_json(const ScenarioResult& result, std::ostream& os) {
   os << "  \"departed_agents\": " << result.departed_agents << ",\n";
   if (result.hierarchy_bounds) {
     const auto& b = *result.hierarchy_bounds;
-    os << "  \"hierarchy\": {\"shards\": " << b.shards << ", \"shard_rows_min\": "
-       << b.shard_rows_min << ", \"shard_rows_max\": " << b.shard_rows_max
-       << ", \"f_leaf\": " << b.f_leaf << ", \"f_root\": " << b.f_root
+    // "shards" is the effective count the run executed (min(requested, n));
+    // "requested_shards" preserves the spec's asked-for S.
+    os << "  \"hierarchy\": {\"shards\": " << b.shards
+       << ", \"requested_shards\": " << result.spec.hierarchy->shards
+       << ", \"shard_rows_min\": " << b.shard_rows_min << ", \"shard_rows_max\": "
+       << b.shard_rows_max << ", \"f_leaf\": " << b.f_leaf << ", \"f_root\": " << b.f_root
        << ", \"tolerated_f\": " << b.tolerated_f << ", \"resilience_margin\": ";
     write_number(os, b.resilience_margin);
     os << "},\n";
@@ -770,10 +816,13 @@ void print_result(const ScenarioResult& result, std::ostream& os) {
      << result.departed_agents;
   if (result.hierarchy_bounds) {
     const auto& b = *result.hierarchy_bounds;
-    os << "\n  hierarchy: " << b.shards << " shards of " << b.shard_rows_min << "-"
-       << b.shard_rows_max << " rows, f_leaf " << b.f_leaf << ", f_root " << b.f_root
-       << ", tolerated_f " << b.tolerated_f << " (margin 2f/n = " << b.resilience_margin
-       << ")";
+    os << "\n  hierarchy: " << b.shards << " shards";
+    if (result.spec.hierarchy && result.spec.hierarchy->shards != b.shards) {
+      os << " (requested " << result.spec.hierarchy->shards << ", clamped to the roster)";
+    }
+    os << " of " << b.shard_rows_min << "-" << b.shard_rows_max << " rows, f_leaf "
+       << b.f_leaf << ", f_root " << b.f_root << ", tolerated_f " << b.tolerated_f
+       << " (margin 2f/n = " << b.resilience_margin << ")";
   }
   if (result.async_stats) {
     const auto& a = *result.async_stats;

@@ -13,14 +13,27 @@
 //                           "random_regression"
 //                         dsgd: "synthetic"         (driver's natural one)
 //   aggregator            registry rule name                       ("cwtm")
-//                         or {"hierarchy": {"shards": S, "leaf_rule": r,
+//                         or an object composing up to three layers:
+//                         {"rule": r} — the flat registry rule;
+//                         {"hierarchy": {"shards": S, "leaf_rule": r,
 //                         "root_rule": r, "f_leaf": k}} — the sharded
 //                         aggregate-of-aggregates tree (agg/hierarchy.hpp;
 //                         leaf_rule/root_rule default "cwtm", f_leaf
 //                         defaults to auto).  The deterministic shard
 //                         assignment is seeded from the spec seed
 //                         (derived stream seed ^ 0x5a2dba5e), and the
-//                         result carries the per-level fault bookkeeping
+//                         result carries the per-level fault bookkeeping.
+//                         When the roster is smaller than the requested S
+//                         the tree clamps to min(S, n) shards; the result
+//                         label and JSON report the *effective* count
+//                         (requested_shards keeps the asked-for one);
+//                         {"reduction": {"coreset": {"size": k}}} — the
+//                         greedy k-center coreset pre-reduction
+//                         (agg/coreset.hpp; size 0/absent = auto
+//                         f + ceil(sqrt(n))).  Composes with "rule" (the
+//                         whole batch is reduced) or with "hierarchy"
+//                         (each shard is reduced before its leaf rule);
+//                         "rule" and "hierarchy" are mutually exclusive
 //   mode                  "exact" | "fast"                        ("exact")
 //   iterations, f, seed, threads
 //   schedule              {"kind": "harmonic"|"constant"|"polynomial",
@@ -60,12 +73,19 @@
 //                         {"quorum": q (0 = full roster),
 //                          "deadline": D (1.0, > 0),
 //                          "staleness_cap": c (0, >= 0),
-//                          "arrival": {"kind": "uniform"|"exponential",
-//                                      "scale": s (0.5, > 0)}}
+//                          "arrival": {"kind": "uniform"|"exponential"|
+//                                      "fixed", "scale": s (0.5, > 0)}}
+//                         ("fixed" makes every computation take exactly
+//                         `scale` — deterministic, for boundary tests.)
 //                         The filter fires as soon as q rows arrive inside
 //                         the round window [t*D, (t+1)*D), else at the
-//                         close; rows older than c rounds are dropped and
-//                         late-but-fresh rows are scaled by 1/(1+age).
+//                         close.  The window is half-open: a row arriving
+//                         exactly at (t+1)*D belongs to window t+1, never
+//                         t.  Staleness is measured in whole windows
+//                         (age = consuming round - birth round): a row is
+//                         purged only when age > c — at exactly age == c it
+//                         is kept and, like every late-but-fresh row
+//                         (age >= 1), scaled by 1/(1+age).
 //                         Does not compose with `axes` or
 //                         `drop_probability` (lateness/loss live in the
 //                         virtual clock); results carry the
@@ -143,8 +163,14 @@ struct ScenarioSpec {
   /// is set (parse_scenario fills both from the aggregator object form).
   std::string aggregator = "cwtm";
   /// Sharded aggregate-of-aggregates tree (agg/hierarchy.hpp); the
-  /// assignment seed is derived from the spec seed at run time.
+  /// assignment seed is derived from the spec seed at run time.  A
+  /// per-shard coreset reduction rides inside the config.
   std::optional<agg::HierarchyConfig> hierarchy;
+  /// Flat coreset pre-reduction (agg/coreset.hpp) wrapping coreset_rule;
+  /// parse_scenario fills both from the aggregator object's "reduction"
+  /// block (hierarchy specs carry theirs in hierarchy->coreset instead).
+  std::optional<agg::CoresetConfig> coreset;
+  std::string coreset_rule = "cwtm";
   agg::AggMode mode = agg::AggMode::exact;
   int iterations = 100;
   int f = 0;

@@ -124,6 +124,17 @@ void reject_base_conflict(const SweepSpec& spec, std::string_view axis, bool swe
         }
       }
     }
+  } else if (axis == "coreset_size") {
+    // Lives three levels down, at base.aggregator.reduction.coreset.size.
+    if (const auto* aggregator = spec.base.find("aggregator")) {
+      if (aggregator->is_object()) {
+        if (const auto* reduction = aggregator->find("reduction")) {
+          if (const auto* coreset = reduction->find("coreset")) {
+            collision = coreset->find("size");
+          }
+        }
+      }
+    }
   } else {
     collision = spec.base.find(axis);
   }
@@ -189,6 +200,32 @@ void set_hierarchy_member(Members& members, std::string_view key, double value) 
   set_member(members, "aggregator", JsonValue::make_object(std::move(aggregator_members)));
 }
 
+/// Sets "aggregator"/"reduction"/"coreset"/"size" (creating every level if
+/// absent — an absent base aggregator becomes a default-rule coreset
+/// reduction) — the coreset_size axis lives three levels down.  parse_sweep
+/// has already rejected a non-object base aggregator.  Existing aggregator
+/// members (e.g. a hierarchy block the shards axis writes) are preserved,
+/// so the two axes compose into per-shard coresets.
+void set_coreset_member(Members& members, double value) {
+  Members aggregator_members;
+  for (const auto& [name, existing] : members) {
+    if (name == "aggregator") aggregator_members = existing.as_object();
+  }
+  Members reduction_members;
+  for (const auto& [name, existing] : aggregator_members) {
+    if (name == "reduction") reduction_members = existing.as_object();
+  }
+  Members coreset_members;
+  for (const auto& [name, existing] : reduction_members) {
+    if (name == "coreset") coreset_members = existing.as_object();
+  }
+  set_member(coreset_members, "size", JsonValue::make_number(value));
+  set_member(reduction_members, "coreset", JsonValue::make_object(std::move(coreset_members)));
+  set_member(aggregator_members, "reduction",
+             JsonValue::make_object(std::move(reduction_members)));
+  set_member(members, "aggregator", JsonValue::make_object(std::move(aggregator_members)));
+}
+
 std::string number_token(double value) { return util::format_json_number(value); }
 
 /// Run-id / CSV token: labels are free-form, ids must stay shell- and
@@ -234,6 +271,24 @@ bool has_async_columns(const SweepOutcome& outcome) {
   return !outcome.runs.empty() && outcome.runs.front().result.async_stats.has_value();
 }
 
+/// The hierarchy bookkeeping columns appear only when the grid ran a
+/// hierarchical aggregator.  eff_shards is the EFFECTIVE shard count the
+/// tree ran with — on a roster of n < S agents it clamps to n, so it can
+/// legitimately differ from the swept "shards" axis cell.
+bool has_hierarchy_columns(const SweepOutcome& outcome) {
+  return !outcome.runs.empty() && outcome.runs.front().result.hierarchy_bounds.has_value();
+}
+
+/// Which optional column groups a table carries.
+struct RowShape {
+  bool hierarchy = false;
+  bool async_stats = false;
+};
+
+RowShape row_shape(const SweepOutcome& outcome) {
+  return RowShape{has_hierarchy_columns(outcome), has_async_columns(outcome)};
+}
+
 /// One header/row shape shared by the CSV writer and the summary table.
 std::vector<std::string> result_header(const SweepOutcome& outcome) {
   std::vector<std::string> header{"run_id"};
@@ -241,7 +296,11 @@ std::vector<std::string> result_header(const SweepOutcome& outcome) {
     for (const auto& cell : outcome.runs.front().axes) header.push_back(cell.axis);
   }
   header.insert(header.end(), {"final_dist", "final_loss", "eliminated"});
-  if (has_async_columns(outcome)) {
+  const RowShape shape = row_shape(outcome);
+  if (shape.hierarchy) {
+    header.insert(header.end(), {"eff_shards", "tolerated_f", "resilience_margin"});
+  }
+  if (shape.async_stats) {
     header.insert(header.end(),
                   {"quorum_fires", "deadline_fires", "stale_dropped", "late_rows"});
   }
@@ -249,13 +308,19 @@ std::vector<std::string> result_header(const SweepOutcome& outcome) {
   return header;
 }
 
-std::vector<std::string> result_row(const SweepRunResult& run, bool with_async) {
+std::vector<std::string> result_row(const SweepRunResult& run, RowShape shape) {
   std::vector<std::string> row{run.run_id};
   for (const auto& cell : run.axes) row.push_back(cell.value);
   row.push_back(final_dist_cell(run.result));
   row.push_back(number_token(run.result.final_cost));
   row.push_back(std::to_string(run.result.eliminated_agents));
-  if (with_async) {
+  if (shape.hierarchy) {
+    const auto bounds = run.result.hierarchy_bounds.value_or(agg::HierarchyBounds{});
+    row.push_back(std::to_string(bounds.shards));
+    row.push_back(std::to_string(bounds.tolerated_f));
+    row.push_back(number_token(bounds.resilience_margin));
+  }
+  if (shape.async_stats) {
     const auto stats = run.result.async_stats.value_or(engine::AsyncStats{});
     row.push_back(std::to_string(stats.quorum_fires));
     row.push_back(std::to_string(stats.deadline_fires));
@@ -300,9 +365,9 @@ SweepSpec parse_sweep(const JsonValue& json) {
   const JsonValue& sw = json.at("sweep");
   ABFT_REQUIRE(sw.is_object(), "the sweep block must be an object of axes");
   require_known_keys(sw, "sweep block",
-                     {"aggregator", "mode", "f", "shards", "quorum", "staleness_cap", "seed",
-                      "drop_probability", "participation", "straggler_probability", "faults",
-                      "variants"});
+                     {"aggregator", "mode", "f", "shards", "coreset_size", "quorum",
+                      "staleness_cap", "seed", "drop_probability", "participation",
+                      "straggler_probability", "faults", "variants"});
   reject_duplicate_keys(sw, "sweep block");
 
   if (const auto* axis = sw.find("aggregator")) {
@@ -334,6 +399,20 @@ SweepSpec parse_sweep(const JsonValue& json) {
                       base_aggregator->find("hierarchy") != nullptr),
                  "the shards axis needs the base aggregator to be a {\"hierarchy\": ...} "
                  "object (or absent, defaulting to one)");
+  }
+  if (const auto* axis = sw.find("coreset_size")) {
+    for (const double value : parse_number_axis(*axis)) {
+      ABFT_REQUIRE(value >= 0.0 && value == std::floor(value),
+                   "coreset_size axis entries must be non-negative integers (0 = auto)");
+      spec.coreset_size.push_back(static_cast<int>(value));
+    }
+    ABFT_REQUIRE(spec.aggregator.empty(),
+                 "the coreset_size axis cannot combine with an aggregator axis — the rule "
+                 "strings would clobber the reduction object; use variants instead");
+    const auto* base_aggregator = spec.base.find("aggregator");
+    ABFT_REQUIRE(base_aggregator == nullptr || base_aggregator->is_object(),
+                 "the coreset_size axis needs the base aggregator to be an object "
+                 "(or absent, defaulting to the default rule)");
   }
   if (const auto* axis = sw.find("quorum")) {
     for (const double value : parse_number_axis(*axis)) {
@@ -386,17 +465,18 @@ SweepSpec parse_sweep(const JsonValue& json) {
   }
 
   const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() || !spec.f.empty() ||
-                        !spec.shards.empty() || !spec.quorum.empty() ||
-                        !spec.staleness_cap.empty() || !spec.seed.empty() ||
-                        !spec.drop_probability.empty() || !spec.participation.empty() ||
-                        !spec.straggler_probability.empty() || !spec.faults.empty() ||
-                        !spec.variants.empty();
+                        !spec.shards.empty() || !spec.coreset_size.empty() ||
+                        !spec.quorum.empty() || !spec.staleness_cap.empty() ||
+                        !spec.seed.empty() || !spec.drop_probability.empty() ||
+                        !spec.participation.empty() || !spec.straggler_probability.empty() ||
+                        !spec.faults.empty() || !spec.variants.empty();
   ABFT_REQUIRE(any_axis, "the sweep block must sweep at least one axis");
 
   reject_base_conflict(spec, "aggregator", !spec.aggregator.empty());
   reject_base_conflict(spec, "mode", !spec.mode.empty());
   reject_base_conflict(spec, "f", !spec.f.empty());
   reject_base_conflict(spec, "shards", !spec.shards.empty());
+  reject_base_conflict(spec, "coreset_size", !spec.coreset_size.empty());
   reject_base_conflict(spec, "quorum", !spec.quorum.empty());
   reject_base_conflict(spec, "staleness_cap", !spec.staleness_cap.empty());
   reject_base_conflict(spec, "seed", !spec.seed.empty());
@@ -415,23 +495,27 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
   ABFT_REQUIRE(spec.base.is_object(), "sweep base must be a scenario object");
 
   // Active axes in canonical order; each knows how to apply one position
-  // onto the merged member list and to name its value token.
+  // onto the merged member list and to name its value.  apply returns the
+  // RAW human-readable value: it lands verbatim in the AxisCell (the CSV
+  // layer quotes commas and quotes per RFC 4180), and the expansion loop
+  // sanitizes it separately for the run-id token.  Sanitizing here used to
+  // mangle comma-bearing fault/variant labels in the CSV cells themselves.
   struct Axis {
     std::string name;
     std::size_t size;
-    std::function<std::string(std::size_t, Members&)> apply;  // returns value token
+    std::function<std::string(std::size_t, Members&)> apply;  // returns raw value
   };
   std::vector<Axis> axes;
   if (!spec.aggregator.empty()) {
     axes.push_back({"aggregator", spec.aggregator.size(), [&](std::size_t i, Members& m) {
                       set_member(m, "aggregator", JsonValue::make_string(spec.aggregator[i]));
-                      return sanitize_token(spec.aggregator[i]);
+                      return spec.aggregator[i];
                     }});
   }
   if (!spec.mode.empty()) {
     axes.push_back({"mode", spec.mode.size(), [&](std::size_t i, Members& m) {
                       set_member(m, "mode", JsonValue::make_string(spec.mode[i]));
-                      return sanitize_token(spec.mode[i]);
+                      return spec.mode[i];
                     }});
   }
   if (!spec.f.empty()) {
@@ -444,6 +528,12 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
     axes.push_back({"shards", spec.shards.size(), [&](std::size_t i, Members& m) {
                       set_hierarchy_member(m, "shards", spec.shards[i]);
                       return std::to_string(spec.shards[i]);
+                    }});
+  }
+  if (!spec.coreset_size.empty()) {
+    axes.push_back({"coreset_size", spec.coreset_size.size(), [&](std::size_t i, Members& m) {
+                      set_coreset_member(m, spec.coreset_size[i]);
+                      return std::to_string(spec.coreset_size[i]);
                     }});
   }
   if (!spec.quorum.empty()) {
@@ -489,7 +579,7 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
   if (!spec.faults.empty()) {
     axes.push_back({"faults", spec.faults.size(), [&](std::size_t i, Members& m) {
                       set_member(m, "faults", spec.faults[i].faults);
-                      return sanitize_token(spec.faults[i].label);
+                      return spec.faults[i].label;
                     }});
   }
   if (!spec.variants.empty()) {
@@ -497,7 +587,7 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
                       for (const auto& [key, value] : spec.variants[i].patch.as_object()) {
                         set_member(m, key, value);
                       }
-                      return sanitize_token(spec.variants[i].label);
+                      return spec.variants[i].label;
                     }});
   }
   ABFT_REQUIRE(!axes.empty(), "the sweep block must sweep at least one axis");
@@ -524,9 +614,9 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
     Members members = spec.base.as_object();
     std::string run_id = pad_index(index, total);
     for (std::size_t a = 0; a < axes.size(); ++a) {
-      const std::string token = axes[a].apply(position[a], members);
-      run.axes.push_back(AxisCell{axes[a].name, token});
-      run_id += '_' + axes[a].name + '=' + token;
+      std::string value = axes[a].apply(position[a], members);
+      run_id += '_' + axes[a].name + '=' + sanitize_token(value);
+      run.axes.push_back(AxisCell{axes[a].name, std::move(value)});
     }
     run.run_id = std::move(run_id);
     try {
@@ -585,8 +675,8 @@ SweepOutcome run_sweep(const SweepSpec& spec, int threads_override) {
 
 void write_sweep_csv(const SweepOutcome& outcome, std::ostream& os) {
   util::CsvWriter csv(os, result_header(outcome));
-  const bool with_async = has_async_columns(outcome);
-  for (const auto& run : outcome.runs) csv.add_row(result_row(run, with_async));
+  const RowShape shape = row_shape(outcome);
+  for (const auto& run : outcome.runs) csv.add_row(result_row(run, shape));
 }
 
 void write_sweep_json(const SweepOutcome& outcome, std::ostream& os) {
@@ -609,12 +699,25 @@ void write_sweep_json(const SweepOutcome& outcome, std::ostream& os) {
     os << ", \"aggregator\": ";
     write_json_string(os, run.result.spec.aggregator);
     os << ", \"mode\": \"" << agg::to_string(run.result.spec.mode) << "\"";
-    os << ", \"final_cost\": " << number_token(run.result.final_cost);
+    // A diverged run's final_cost/distance can be nan or inf, which have no
+    // JSON spelling; write_json_number emits null instead of an unparseable
+    // bare token.
+    os << ", \"final_cost\": ";
+    util::write_json_number(os, run.result.final_cost);
     if (run.result.distance_to_reference) {
-      os << ", \"distance_to_reference\": " << number_token(*run.result.distance_to_reference);
+      os << ", \"distance_to_reference\": ";
+      util::write_json_number(os, *run.result.distance_to_reference);
     }
     os << ", \"eliminated_agents\": " << run.result.eliminated_agents;
     os << ", \"departed_agents\": " << run.result.departed_agents;
+    if (run.result.hierarchy_bounds) {
+      const auto& b = *run.result.hierarchy_bounds;
+      os << ", \"hierarchy\": {\"shards\": " << b.shards
+         << ", \"requested_shards\": " << run.result.spec.hierarchy->shards
+         << ", \"f_leaf\": " << b.f_leaf << ", \"f_root\": " << b.f_root
+         << ", \"tolerated_f\": " << b.tolerated_f
+         << ", \"resilience_margin\": " << number_token(b.resilience_margin) << "}";
+    }
     if (run.result.async_stats) {
       const auto& a = *run.result.async_stats;
       os << ", \"async\": {\"quorum_fires\": " << a.quorum_fires
@@ -631,8 +734,8 @@ void print_sweep(const SweepOutcome& outcome, std::ostream& os) {
   os << "sweep: " << (outcome.name.empty() ? "(unnamed)" : outcome.name) << " — "
      << outcome.runs.size() << " runs\n";
   util::Table table(result_header(outcome));
-  const bool with_async = has_async_columns(outcome);
-  for (const auto& run : outcome.runs) table.add_row(result_row(run, with_async));
+  const RowShape shape = row_shape(outcome);
+  for (const auto& run : outcome.runs) table.add_row(result_row(run, shape));
   table.print(os);
 }
 

@@ -25,6 +25,12 @@
 //                            object, and combining with an aggregator axis
 //                            is rejected (the string axis would clobber
 //                            the hierarchy object)
+//     coreset_size           [16, 64, 0]       sets aggregator.reduction
+//                            .coreset.size (0 = the auto budget f+ceil(sqrt n));
+//                            the base aggregator must be an object or absent,
+//                            and an aggregator string axis is rejected for the
+//                            same clobbering reason as shards; composes with
+//                            the shards axis (per-shard coresets)
 //     quorum                 [0, 3, 5]         sets async.quorum; the base
 //     staleness_cap          [0, 1, 2]         (resp. async.staleness_cap);
 //                            the base must run the async engine — either
@@ -49,9 +55,11 @@
 // both base keys and earlier axes (that is its purpose) — and is then
 // parsed/validated exactly like a standalone scenario spec.  Run ids are
 // deterministic: a zero-padded grid index followed by axis=value tokens,
-// e.g. "003_aggregator=cge_faults=random".  An axis naming a key the base
-// already sets is rejected (the spec would silently contradict itself);
-// unknown or duplicate sweep keys are rejected.
+// e.g. "003_aggregator=cge_faults=random".  Axis cells keep the author's
+// raw label (the CSV layer RFC-4180-quotes commas and quotes); only the
+// run-id token is sanitized.  An axis naming a key the base already sets
+// is rejected (the spec would silently contradict itself); unknown or
+// duplicate sweep keys are rejected.
 //
 // Determinism: expansion is a pure function of the spec, each expanded run
 // is bit-deterministic given its ScenarioSpec, and results land in
@@ -95,6 +103,7 @@ struct SweepSpec {
   std::vector<std::string> mode;
   std::vector<int> f;
   std::vector<int> shards;
+  std::vector<int> coreset_size;
   std::vector<int> quorum;
   std::vector<int> staleness_cap;
   std::vector<std::uint64_t> seed;
@@ -162,9 +171,12 @@ SweepOutcome run_sweep(const SweepSpec& spec, int threads_override = 0);
 
 /// Aggregated result CSV, one row per run:
 ///   run_id, <one column per swept axis>, final_dist, final_loss,
-///   eliminated, [quorum_fires, deadline_fires, stale_dropped, late_rows,]
-///   wall_ms
+///   eliminated, [eff_shards, tolerated_f, resilience_margin,]
+///   [quorum_fires, deadline_fires, stale_dropped, late_rows,] wall_ms
 /// final_dist is "nan" when the run has no closed-form reference (dsgd);
+/// the hierarchy columns appear only when the grid runs a hierarchical
+/// aggregator (eff_shards is the clamped shard count the tree actually
+/// ran, which can differ from a swept "shards" axis cell when n < S);
 /// the async counter columns appear only when the grid runs the async
 /// engine mode.
 void write_sweep_csv(const SweepOutcome& outcome, std::ostream& os);

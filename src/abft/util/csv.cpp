@@ -9,7 +9,9 @@
 namespace abft::util {
 
 std::string csv_escape(const std::string& field) {
-  const bool needs_quoting = field.find_first_of(",\"\n") != std::string::npos;
+  // RFC 4180: a field containing the separator, a quote, or a line break
+  // (either half of CRLF) must be quoted, with embedded quotes doubled.
+  const bool needs_quoting = field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quoting) return field;
   std::string out = "\"";
   for (char ch : field) {

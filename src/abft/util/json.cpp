@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -363,6 +364,22 @@ std::string format_json_number(double value) {
   os.precision(12);
   os << value;
   return os.str();
+}
+
+void write_json_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no nan/inf literal; a bare "nan" token would make the whole
+    // document unparseable.  null is the lossless-enough stand-in the
+    // comparators treat as "non-finite here".
+    os << "null";
+    return;
+  }
+  os << format_json_number(value);
+}
+
+bool numbers_match(double a, double b, double rtol) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return std::abs(a - b) <= rtol * std::max({std::abs(a), std::abs(b), 1.0});
 }
 
 void require_known_keys(const JsonValue& object, std::string_view layer,

@@ -86,7 +86,20 @@ void write_json_string(std::ostream& os, std::string_view text);
 /// Number formatted to 12 significant digits — the stable contract of every
 /// machine summary (write_result_json, the sweep CSV/JSON writers) and of
 /// the tolerances in scripts/compare_scenario.py / compare_sweep.py.
+/// Non-finite values render as "nan"/"inf" — fine inside a CSV cell, NOT
+/// valid JSON; JSON emitters must go through write_json_number instead.
 std::string format_json_number(double value);
+
+/// format_json_number for JSON documents: non-finite values (a diverged
+/// run's nan final_dist, an inf cost) are emitted as `null`, which JSON can
+/// carry and parse_json round-trips; finite values are unchanged.
+void write_json_number(std::ostream& os, double value);
+
+/// The one numeric comparison contract shared by abft_run --compare and the
+/// Python comparators (compare_scenario / compare_sweep / bench_diff):
+/// nan matches nan (a reproducibly diverged run is a *match*, a one-sided
+/// nan is a mismatch), otherwise |a - b| <= rtol * max(|a|, |b|, 1).
+bool numbers_match(double a, double b, double rtol);
 
 /// Throws std::invalid_argument naming the first key of `object` not in
 /// `allowed`, as "<layer>: unknown key \"k\" in <where>".

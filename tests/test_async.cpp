@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -164,6 +165,107 @@ TEST(AsyncEngine, StalenessCapDropsWhatItSays) {
   EXPECT_GT(held, 0);  // the dropped rounds held position
 }
 
+// --------------------------- window boundary ---------------------------------
+
+// The round window is half-open, [t*D, (t+1)*D): a row arriving EXACTLY at
+// the close belongs to the next window.  The "fixed" arrival kind pins the
+// arithmetic: scale == deadline puts every arrival exactly on a boundary.
+// (Before the fix, the `<=` window filter consumed the boundary row in its
+// birth round at age 0 — the round it provably had not arrived within.)
+TEST(AsyncEngine, RowAtExactWindowCloseBelongsToTheNextWindow) {
+  engine::AsyncEngineConfig config;
+  config.seed = 3;
+  config.async.deadline = 1.0;
+  config.async.arrival.kind = "fixed";
+  config.async.arrival.scale = 1.0;  // arrival lands exactly on the close
+  config.async.staleness_cap = 1;
+  engine::AsyncRoundEngine eng({0}, 1, config);
+  eng.reset(0);
+
+  eng.begin_round(0);
+  ASSERT_EQ(eng.starting_agents().size(), 1u);
+  eng.emit_honest([](int, std::span<double> out) { out[0] = 1.0; });
+  // Round 0: the row arrives at t = 1.0 == the close — NOT consumable here,
+  // neither by quorum (full roster) nor by the deadline fire.
+  EXPECT_EQ(eng.collect(0), 0);
+  EXPECT_EQ(eng.stats().deadline_fires, 1);
+  EXPECT_EQ(eng.stats().quorum_fires, 0);
+
+  // Round 1: the agent still has the row in flight (it never restarts), and
+  // the row is now age 1 == staleness_cap — kept, consumed at weight 1/2.
+  eng.begin_round(1);
+  EXPECT_TRUE(eng.starting_agents().empty());
+  eng.emit_honest([](int, std::span<double> out) { out[0] = 99.0; });  // no starter
+  ASSERT_EQ(eng.collect(1), 1);
+  EXPECT_DOUBLE_EQ(eng.ingest().row(0)[0], 0.5);
+  EXPECT_EQ(eng.stats().late_rows, 1);
+  EXPECT_EQ(eng.stats().stale_dropped, 0);
+}
+
+// The staleness contract is strict: a row is dropped only when age > cap.
+// With cap 0 the boundary row above ages to 1 at the next open and is
+// purged — every round drops and holds, nothing is ever aggregated late.
+TEST(AsyncEngine, CapZeroDropsTheBoundaryRowAtTheNextOpen) {
+  engine::AsyncEngineConfig config;
+  config.seed = 3;
+  config.async.deadline = 1.0;
+  config.async.arrival.kind = "fixed";
+  config.async.arrival.scale = 1.0;
+  config.async.staleness_cap = 0;
+  engine::AsyncRoundEngine eng({0}, 1, config);
+  eng.reset(0);
+  for (int t = 0; t < 5; ++t) {
+    eng.begin_round(t);
+    eng.emit_honest([](int, std::span<double> out) { out[0] = 1.0; });
+    EXPECT_EQ(eng.collect(t), 0) << "round " << t;
+  }
+  // Round 0's row is dropped at open 1, round 1's at open 2, ...
+  EXPECT_EQ(eng.stats().stale_dropped, 4);
+  EXPECT_EQ(eng.stats().late_rows, 0);
+  EXPECT_EQ(eng.stats().deadline_fires, 5);
+}
+
+// An agent has at most one row in flight, so one filter call can never
+// ingest two rows from the same agent — pinned by recovering the agent id
+// from each consumed row ((agent+1) * w in coord 0, the weight probe w in
+// coord 1) and checking per-collect distinctness under heavy-tailed
+// arrivals that routinely carry rows across windows.
+TEST(AsyncEngine, OneCollectNeverIngestsTwoRowsFromOneAgent) {
+  engine::AsyncEngineConfig config;
+  config.seed = 17;
+  config.async.quorum = 2;
+  config.async.staleness_cap = 3;
+  config.async.arrival.kind = "exponential";
+  config.async.arrival.scale = 2.0;
+  engine::AsyncRoundEngine eng({0, 0, 0}, 2, config);
+  eng.reset(0);
+  long long consumed = 0;
+  for (int t = 0; t < 80; ++t) {
+    eng.begin_round(t);
+    eng.emit_honest([](int agent, std::span<double> out) {
+      out[0] = static_cast<double>(agent + 1);
+      out[1] = 1.0;
+    });
+    const int kept = eng.collect(t);
+    std::vector<int> agents;
+    for (int r = 0; r < kept; ++r) {
+      const auto row = eng.ingest().row(r);
+      ASSERT_GT(row[1], 0.0);
+      const int agent = static_cast<int>(std::lround(row[0] / row[1])) - 1;
+      ASSERT_GE(agent, 0);
+      ASSERT_LT(agent, 3);
+      for (const int seen : agents) {
+        ASSERT_NE(agent, seen) << "round " << t << " consumed agent " << agent << " twice";
+      }
+      agents.push_back(agent);
+    }
+    consumed += kept;
+  }
+  // The shape exercised the carry-over path, not just fresh rows.
+  EXPECT_GT(eng.stats().late_rows, 0);
+  EXPECT_GT(consumed, 0);
+}
+
 // ------------------------------ sync parity ----------------------------------
 
 scenario::ScenarioSpec parse_spec(const std::string& text) {
@@ -206,6 +308,33 @@ TEST(AsyncParity, FullQuorumZeroStalenessReplaysTheSyncTrace) {
   EXPECT_EQ(async.async_stats->deadline_fires, 0);
   EXPECT_EQ(async.async_stats->late_rows, 0);
   EXPECT_EQ(async.async_stats->stale_dropped, 0);
+}
+
+TEST(AsyncParity, FixedArrivalsInsideTheWindowReplayTheSyncTrace) {
+  // The deterministic arrival kind through the scenario layer: durations of
+  // exactly 0.5 < deadline 1.0 with full quorum and zero staleness replay
+  // the synchronous trace bit for bit, like the uniform-bounded case.
+  auto sync_spec = parse_spec(kSyncBase);
+  auto async_spec = parse_spec(kSyncBase);
+  async_spec.async = engine::AsyncConfig{};
+  async_spec.async->arrival.kind = "fixed";
+  async_spec.async->arrival.scale = 0.5;
+  const auto sync = scenario::run_scenario(sync_spec);
+  const auto async = scenario::run_scenario(async_spec);
+  ASSERT_EQ(sync.traces.front().estimates.size(), async.traces.front().estimates.size());
+  for (std::size_t t = 0; t < sync.traces.front().estimates.size(); ++t) {
+    const auto& a = sync.traces.front().estimates[t];
+    const auto& b = async.traces.front().estimates[t];
+    for (int k = 0; k < a.dim(); ++k) ASSERT_EQ(a[k], b[k]) << "round " << t;
+  }
+  // The spec layer accepts the spelling too (schema round trip).
+  const auto spec = parse_spec(R"({
+    "driver": "dgd", "problem": "quadratic", "num_agents": 4, "dim": 2,
+    "iterations": 2, "schedule": {"kind": "harmonic", "scale": 0.4},
+    "async": {"arrival": {"kind": "fixed", "scale": 0.25}}
+  })");
+  ASSERT_TRUE(spec.async.has_value());
+  EXPECT_EQ(spec.async->arrival.kind, "fixed");
 }
 
 // ------------------------------ determinism ----------------------------------

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "abft/sweep/sweep.hpp"
@@ -160,6 +161,43 @@ TEST(SweepExpand, ShardsAxisSetsNestedHierarchyMember) {
   EXPECT_EQ(defaulted[0].spec.aggregator, "hier-3-cwtm-cwtm");
 }
 
+// The coreset_size axis rebuilds aggregator/reduction/coreset per run, lands
+// after shards in canonical order, and composes with the shards axis into
+// per-shard coresets.
+TEST(SweepExpand, CoresetSizeAxisSetsNestedReductionMember) {
+  const auto runs = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 30, "dim": 2,
+             "iterations": 4, "f": 2, "box_halfwidth": 40.0,
+             "schedule": {"kind": "harmonic", "scale": 0.4},
+             "aggregator": {"rule": "cwtm"}},
+    "sweep": {"coreset_size": [8, 0], "seed": [7, 8]}
+  })"));
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].run_id, "000_coreset_size=8_seed=7");
+  EXPECT_EQ(runs[3].run_id, "003_coreset_size=0_seed=8");
+  ASSERT_TRUE(runs[0].spec.coreset.has_value());
+  EXPECT_EQ(runs[0].spec.coreset->size, 8);
+  EXPECT_EQ(runs[0].spec.coreset_rule, "cwtm");
+  EXPECT_EQ(runs[0].spec.aggregator, "coreset-8-cwtm");
+  // size 0 = the auto budget f + ceil(sqrt n).
+  EXPECT_EQ(runs[2].spec.coreset->size, 0);
+  EXPECT_EQ(runs[2].spec.aggregator, "coreset-auto-cwtm");
+  // Composing with the shards axis: the reduction object lands beside the
+  // hierarchy object and becomes the per-shard leaf coreset.
+  const auto composed = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 30, "dim": 2,
+             "iterations": 3, "f": 2,
+             "aggregator": {"hierarchy": {"leaf_rule": "cwtm", "root_rule": "cwtm"}}},
+    "sweep": {"shards": [2], "coreset_size": [6]}
+  })"));
+  ASSERT_EQ(composed.size(), 1u);
+  EXPECT_EQ(composed[0].run_id, "000_shards=2_coreset_size=6");
+  ASSERT_TRUE(composed[0].spec.hierarchy.has_value());
+  ASSERT_TRUE(composed[0].spec.hierarchy->coreset.has_value());
+  EXPECT_EQ(composed[0].spec.hierarchy->coreset->size, 6);
+  EXPECT_EQ(composed[0].spec.aggregator, "hier-2-cwtm-cwtm-cs6");
+}
+
 // ------------------------------ validation ----------------------------------
 
 TEST(SweepParse, RejectsUnknownAndDuplicateKeys) {
@@ -225,6 +263,31 @@ TEST(SweepParse, ShardsAxisRejectsConflictingAggregatorShapes) {
   // Other hierarchy keys in the base are fine alongside the axis.
   EXPECT_NO_THROW(parse(R"({"base": {"aggregator": {"hierarchy": {"leaf_rule": "krum"}}},
                             "sweep": {"shards": [2]}})"));
+}
+
+TEST(SweepParse, CoresetSizeAxisValidates) {
+  // Malformed entries fail at parse, not mid-sweep.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"coreset_size": [-1]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"coreset_size": [1.5]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"coreset_size": []}})"),
+               std::invalid_argument);
+  // A string base aggregator has no reduction object to patch.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": "cwtm"},
+                         "sweep": {"coreset_size": [8]}})"),
+               std::invalid_argument);
+  // Combining with an aggregator axis would clobber the reduction object.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"coreset_size": [8],
+                                               "aggregator": ["cge"]}})"),
+               std::invalid_argument);
+  // The base already pins the size: the spec contradicts itself.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": {"reduction": {"coreset": {"size": 4}}}},
+                         "sweep": {"coreset_size": [8]}})"),
+               std::invalid_argument);
+  // An object base aggregator with just a rule is fine alongside the axis.
+  EXPECT_NO_THROW(parse(R"({"base": {"aggregator": {"rule": "cge"}},
+                            "sweep": {"coreset_size": [8]}})"));
 }
 
 TEST(SweepParse, RejectsMalformedAxes) {
@@ -403,6 +466,107 @@ TEST(SweepRun, CsvAndJsonCarryTheGrid) {
               1e-9 * (1.0 + std::abs(outcome.runs.front().result.final_cost)));
 }
 
+// A comma-bearing fault/variant label must reach the CSV as ONE quoted cell
+// carrying the author's exact text; only the run id gets sanitized.  (The
+// expansion layer used to sanitize the AxisCell value itself, mangling the
+// label before the RFC-4180 writer ever saw it.)
+TEST(SweepRun, RawLabelsSurviveToCsvCells) {
+  const auto spec = parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 6, "dim": 2,
+             "iterations": 3, "f": 1, "seed": 4,
+             "schedule": {"kind": "harmonic", "scale": 0.4}},
+    "sweep": {"faults": [
+      {"label": "sign-flip, strong", "faults": [{"agent": 0, "kind": "gradient-reverse"}]}
+    ]}
+  })");
+  const auto runs = sweep::expand_sweep(spec);
+  ASSERT_EQ(runs.size(), 1u);
+  // Raw label in the cell, sanitized token in the id.
+  EXPECT_EQ(runs[0].axes.front().value, "sign-flip, strong");
+  EXPECT_EQ(runs[0].run_id, "000_faults=sign-flip--strong");
+
+  const auto outcome = sweep::run_sweep(spec);
+  std::ostringstream csv;
+  sweep::write_sweep_csv(outcome, csv);
+  std::istringstream lines(csv.str());
+  std::string header;
+  std::string row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  // The label cell is quoted, so the row still splits into header-many
+  // columns at the unquoted commas.
+  EXPECT_NE(row.find("\"sign-flip, strong\""), std::string::npos) << row;
+  const auto count_unquoted_commas = [](const std::string& line) {
+    std::size_t count = 0;
+    bool quoted = false;
+    for (const char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_unquoted_commas(row), count_unquoted_commas(header)) << row;
+}
+
+// A diverged run's final_cost is nan, which has no JSON spelling; the sweep
+// JSON writer must emit null there and stay parseable end to end.
+TEST(SweepRun, NonFiniteSummaryFieldsWriteParseableJson) {
+  sweep::SweepOutcome outcome;
+  outcome.name = "nan-run";
+  sweep::SweepRunResult run;
+  run.run_id = "000_f=1";
+  run.axes.push_back(sweep::AxisCell{"f", "1"});
+  run.result.final_cost = std::nan("");
+  run.result.distance_to_reference = std::numeric_limits<double>::infinity();
+  outcome.runs.push_back(std::move(run));
+
+  std::ostringstream json;
+  sweep::write_sweep_json(outcome, json);
+  util::JsonValue parsed;
+  ASSERT_NO_THROW(parsed = util::parse_json(json.str())) << json.str();
+  const auto& first = parsed.at("runs").as_array().front();
+  EXPECT_TRUE(first.at("final_cost").is_null());
+  EXPECT_TRUE(first.at("distance_to_reference").is_null());
+}
+
+// Hierarchical grids carry the tree bookkeeping: the EFFECTIVE shard count
+// (clamped to the roster when n < S), the end-to-end tolerated f and the
+// paper's 2f/n resilience margin — in the CSV columns and the JSON block.
+TEST(SweepRun, HierarchyColumnsReportEffectiveShards) {
+  const auto outcome = sweep::run_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 4, "dim": 2,
+             "iterations": 3, "f": 0, "seed": 5,
+             "schedule": {"kind": "harmonic", "scale": 0.4},
+             "aggregator": {"hierarchy": {"leaf_rule": "cwtm", "root_rule": "cwtm"}}},
+    "sweep": {"shards": [8]}
+  })"));
+  ASSERT_EQ(outcome.runs.size(), 1u);
+  std::ostringstream csv;
+  sweep::write_sweep_csv(outcome, csv);
+  std::istringstream lines(csv.str());
+  std::string header;
+  std::string row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  EXPECT_EQ(header,
+            "run_id,shards,final_dist,final_loss,eliminated,"
+            "eff_shards,tolerated_f,resilience_margin,wall_ms");
+  // The requested S = 8 exceeds the 4-agent roster: the axis cell keeps the
+  // requested value, the eff_shards column reports the clamped tree.
+  EXPECT_NE(row.find("000_shards=8,8,"), std::string::npos) << row;
+  EXPECT_NE(row.find(",4,"), std::string::npos) << row;
+
+  std::ostringstream json;
+  sweep::write_sweep_json(outcome, json);
+  const auto parsed = util::parse_json(json.str());
+  const auto& first = parsed.at("runs").as_array().front();
+  const auto& hierarchy = first.at("hierarchy");
+  EXPECT_EQ(hierarchy.at("shards").as_number(), 4.0);
+  EXPECT_EQ(hierarchy.at("requested_shards").as_number(), 8.0);
+  // The label is restamped to the tree that actually ran.
+  EXPECT_EQ(first.at("aggregator").as_string(), "hier-4-cwtm-cwtm");
+}
+
 TEST(SweepRun, SetBaseMemberOverridesCommittedGrids) {
   auto spec = parse(kQuadraticGrid);
   sweep::set_base_member(&spec, "iterations", util::JsonValue::make_number(3));
@@ -417,7 +581,8 @@ TEST(SweepRun, CommittedSweepSpecsParseAndExpand) {
   } specs[] = {
       {"sweep_fig2.json", 8},    {"sweep_table1.json", 4}, {"sweep_fig4.json", 6},
       {"sweep_fig5.json", 6},    {"sweep_epsilon.json", 36}, {"sweep_smoke.json", 8},
-      {"sweep_async.json", 27},
+      {"sweep_async.json", 27},  {"sweep_hier_smoke.json", 4},
+      {"sweep_coreset_smoke.json", 4},
   };
   for (const auto& entry : specs) {
     SCOPED_TRACE(entry.file);

@@ -118,10 +118,9 @@ std::map<std::string, OutcomeRow> execute_for_compare(const std::string& path, i
   return rows;
 }
 
-bool numbers_match(double a, double b, double rtol) {
-  if (std::isnan(a) && std::isnan(b)) return true;
-  return std::abs(a - b) <= rtol * std::max({std::abs(a), std::abs(b), 1.0});
-}
+// The shared nan-matches-nan contract (util::numbers_match) keeps --compare
+// in lockstep with compare_sweep.py / compare_scenario.py / bench_diff.py.
+using abft::util::numbers_match;
 
 int compare_specs(const std::string& path_a, const std::string& path_b, double rtol,
                   int threads) {
