@@ -15,11 +15,21 @@
 //
 // Emits BENCH_coreset.json:
 //
-//   {"results": [{"rule", "path": "flat"|"coreset"|"hier", "n", "d", "f",
-//                 "ns_per_op", "iters"}, ...],
-//    "comparisons": {"<rule>/<n>x<d>": {"flat_ns", "coreset_ns", "hier_ns",
-//                 "speedup_vs_flat", "speedup_vs_hier", "drift_inf",
-//                 "centers", "coreset_rows"}}}
+//   {"results": [{"rule", "path": "flat"|"coreset"|"coreset-construct"|
+//                 "coreset-kernel"|"sample"|"sample-construct"|"hier",
+//                 "n", "d", "f", "ns_per_op", "iters"}, ...],
+//    "comparisons": {"<rule>/<n>x<d>": {"flat_ns", "coreset_ns",
+//                 "construct_ns", "kernel_ns", "sample_ns",
+//                 "sample_construct_ns", "hier_ns", "speedup_vs_flat",
+//                 "speedup_vs_hier", "drift_inf", "centers",
+//                 "coreset_rows"}}}
+//
+// The construct/kernel split makes the cost attributable: "*-construct"
+// times CoresetReducer::reduce alone (the k-center / sampling pass), and
+// "coreset-kernel" is total minus construction — the weighted-native rule on
+// the m reduced rows (derived, iters 0).  A flat baseline that is infeasible
+// at the shape (krum past 10^5) writes null, never 0, for flat_ns and
+// speedup_vs_flat, so the nan-aware bench_diff.py gate treats it as absent.
 //
 // "results" matches the scripts/bench_diff.py schema, so the JSON slots into
 // the warn-only regression gate next to BENCH_agg.json.  drift_inf is the
@@ -30,9 +40,10 @@
 // Flags:
 //   --quick       n = {10^3, 10^4} only (CI smoke)
 //   --out=FILE    JSON destination (default BENCH_coreset.json)
-//   --threads=N   dispatch hier shards over a persistent N-thread pool
-//                 (default 1 keeps the JSON shape diff-stable; the coreset
-//                 path itself is serial by design)
+//   --threads=N   dispatch hier shards and the blocked coreset construction
+//                 over a persistent N-thread pool (default 1 keeps the JSON
+//                 shape diff-stable; construction is bit-identical at every
+//                 width by design)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -51,6 +62,7 @@
 #include "abft/agg/hierarchy.hpp"
 #include "abft/agg/registry.hpp"
 #include "abft/agg/threads.hpp"
+#include "abft/util/json.hpp"
 #include "abft/util/rng.hpp"
 
 namespace {
@@ -112,8 +124,13 @@ struct BenchResult {
 };
 
 struct Comparison {
-  double flat_ns = 0.0;  // 0 = flat not measured at this shape
+  // NaN = flat not measured at this shape (serialized as null).
+  double flat_ns = std::numeric_limits<double>::quiet_NaN();
   double coreset_ns = 0.0;
+  double construct_ns = 0.0;  // k-center construction alone
+  double kernel_ns = 0.0;     // total minus construction (derived)
+  double sample_ns = 0.0;
+  double sample_construct_ns = 0.0;
   double hier_ns = 0.0;
   double drift_inf = 0.0;
   int centers = 0;
@@ -208,6 +225,8 @@ int run(bool quick, const std::string& out_path, int threads) {
       cmp.coreset_rows = k + f;
 
       agg::AggregatorWorkspace cs_ws;
+      cs_ws.parallel_threads = std::max(1, threads);
+      cs_ws.pool = &pool;
       Vector cs_out;
       reducer.aggregate_into(cs_out, batch, f, cs_ws);  // untimed: warm allocation
       BenchResult cs_result{rule, "coreset", n, d, f, 0.0, 0};
@@ -220,8 +239,54 @@ int run(bool quick, const std::string& out_path, int threads) {
           cs_result.iters, min_seconds);
       results.push_back(cs_result);
       cmp.coreset_ns = cs_result.ns_per_op;
+
+      // Construction alone (the k-center pass into the warm workspace); the
+      // kernel share is the remainder of the total.
+      BenchResult construct_result{rule, "coreset-construct", n, d, f, 0.0, 0};
+      construct_result.ns_per_op = time_ns_per_op(
+          [&] {
+            const int m = reducer.reduce(batch, f, cs_ws);
+            volatile int sink = m;
+            (void)sink;
+          },
+          construct_result.iters, min_seconds);
+      results.push_back(construct_result);
+      cmp.construct_ns = construct_result.ns_per_op;
+      cmp.kernel_ns = std::max(0.0, cs_result.ns_per_op - construct_result.ns_per_op);
+      BenchResult kernel_result{rule, "coreset-kernel", n, d, f, cmp.kernel_ns, 0};
+      results.push_back(kernel_result);
+
+      // The sampling reducer at the same budget k.
+      const agg::CoresetReducer sampler(
+          rule, {k, agg::CoresetConfig::Kind::sample, 0});
+      agg::AggregatorWorkspace sm_ws;
+      Vector sm_out;
+      sampler.aggregate_into(sm_out, batch, f, sm_ws);  // untimed: warm allocation
+      BenchResult sm_result{rule, "sample", n, d, f, 0.0, 0};
+      sm_result.ns_per_op = time_ns_per_op(
+          [&] {
+            sampler.aggregate_into(sm_out, batch, f, sm_ws);
+            volatile double sink = sm_out[0];
+            (void)sink;
+          },
+          sm_result.iters, min_seconds);
+      results.push_back(sm_result);
+      cmp.sample_ns = sm_result.ns_per_op;
+      BenchResult sm_construct_result{rule, "sample-construct", n, d, f, 0.0, 0};
+      sm_construct_result.ns_per_op = time_ns_per_op(
+          [&] {
+            const int m = sampler.reduce(batch, f, sm_ws);
+            volatile int sink = m;
+            (void)sink;
+          },
+          sm_construct_result.iters, min_seconds);
+      results.push_back(sm_construct_result);
+      cmp.sample_construct_ns = sm_construct_result.ns_per_op;
+
       std::cout << key << "  coreset(k=" << k << ", m=" << cmp.coreset_rows << ") "
-                << static_cast<long>(cs_result.ns_per_op) << " ns/op";
+                << static_cast<long>(cs_result.ns_per_op) << " ns/op (construct "
+                << static_cast<long>(cmp.construct_ns) << ")  sample "
+                << static_cast<long>(sm_result.ns_per_op) << " ns/op";
 
       agg::AggregatorWorkspace hier_ws;
       hier_ws.parallel_threads = std::max(1, threads);
@@ -296,11 +361,15 @@ int run(bool quick, const std::string& out_path, int threads) {
   json << "  ],\n  \"comparisons\": {\n";
   for (std::size_t i = 0; i < comparisons.size(); ++i) {
     const auto& [key, cmp] = comparisons[i];
-    json << "    \"" << key << "\": {\"flat_ns\": " << cmp.flat_ns
-         << ", \"coreset_ns\": " << cmp.coreset_ns << ", \"hier_ns\": " << cmp.hier_ns
-         << ", \"speedup_vs_flat\": "
-         << (cmp.flat_ns > 0.0 ? cmp.flat_ns / cmp.coreset_ns : 0.0)
-         << ", \"speedup_vs_hier\": " << cmp.hier_ns / cmp.coreset_ns
+    json << "    \"" << key << "\": {\"flat_ns\": ";
+    util::write_json_number(json, cmp.flat_ns);  // NaN (flat infeasible) -> null
+    json << ", \"coreset_ns\": " << cmp.coreset_ns << ", \"construct_ns\": "
+         << cmp.construct_ns << ", \"kernel_ns\": " << cmp.kernel_ns
+         << ", \"sample_ns\": " << cmp.sample_ns << ", \"sample_construct_ns\": "
+         << cmp.sample_construct_ns << ", \"hier_ns\": " << cmp.hier_ns
+         << ", \"speedup_vs_flat\": ";
+    util::write_json_number(json, cmp.flat_ns / cmp.coreset_ns);
+    json << ", \"speedup_vs_hier\": " << cmp.hier_ns / cmp.coreset_ns
          << ", \"drift_inf\": " << cmp.drift_inf << ", \"centers\": " << cmp.centers
          << ", \"coreset_rows\": " << cmp.coreset_rows << "}"
          << (i + 1 < comparisons.size() ? "," : "") << "\n";

@@ -54,6 +54,11 @@ def load(path):
         try:
             key = (record["rule"], record["path"], int(record["n"]),
                    int(record["d"]), int(record["f"]))
+            # An explicit null ns_per_op means "deliberately not measured at
+            # this shape" (e.g. the O(n^2 d) flat baseline past its limit):
+            # treat the entry as absent, not malformed.
+            if record["ns_per_op"] is None:
+                continue
             out[key] = float(record["ns_per_op"])
         except (KeyError, TypeError, ValueError):
             skipped += 1

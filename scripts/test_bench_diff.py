@@ -195,6 +195,32 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("bulyan", out)
 
+    def test_null_ns_per_op_is_treated_as_absent(self):
+        # bench_coreset writes null (not 0) when a baseline is deliberately
+        # not measured (the O(n^2 d) flat krum past 10^5): the entry must
+        # count as absent — a "new entry" warning at most — never as a
+        # malformed record or a gate mismatch.
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("krum", "flat", 1000000, 8, 10000, None),
+                          result("krum", "coreset", 1000000, 8, 10000, 100.0)])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("krum", "flat", 1000000, 8, 10000, None),
+                         result("krum", "coreset", 1000000, 8, 10000, 101.0)])
+        code, out = run([base, cur, "--fail-threshold", "25"])
+        self.assertEqual(code, 0)
+        self.assertNotIn("malformed", out)
+        self.assertNotIn("FAIL", out)
+        self.assertIn("1 matched entries", out)
+        # One-sided null: the measured side surfaces as a one-sided key
+        # (warn-only), not a crash or a nan mismatch.
+        cur_measured = write_doc(
+            self.tmp.name, "cur2.json",
+            [result("krum", "flat", 1000000, 8, 10000, 500.0),
+             result("krum", "coreset", 1000000, 8, 10000, 100.0)])
+        code, out = run([base, cur_measured, "--fail-threshold", "25"])
+        self.assertEqual(code, 0)
+        self.assertIn("new entry absent from the baseline", out)
+
     def test_non_positive_baseline_is_skipped(self):
         base = write_doc(self.tmp.name, "base.json",
                          [result("cge", "batched", 10, 10, 2, 0.0)])

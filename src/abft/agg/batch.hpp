@@ -154,20 +154,27 @@ struct AggregatorWorkspace {
   std::vector<Vector> hier_out;            ///< per-group shard output staging
   GradientBatch hier_root;                 ///< S x d shard outputs
   std::vector<int> hier_perm;              ///< seeded shard assignment (n)
-  // Coreset pre-reduction scratch — agg/coreset.hpp.  The greedy k-center
-  // pass keeps per-row nearest-center state in the n-sized buffers, the
-  // bounded farthest-point queue in coreset_heap, and the selected rows /
-  // multiplicity weights in the m-sized buffers; all grow monotonically so
-  // the reduction is allocation-free after warmup.
+  // Coreset pre-reduction scratch — agg/coreset.hpp.  The blocked k-center
+  // pass keeps per-row nearest-center state in the n-sized buffers (its
+  // column-major distance kernel runs on `colmajor` with `scratch` as the
+  // per-round candidate-distance buffer), one bounded farthest-point epoch
+  // queue per row block in coreset_cand (strided, counts in
+  // coreset_cand_count, -1 marking a queue due for refill, epoch bounds in
+  // coreset_qbound), the merged live (distance, id) candidate pairs in
+  // coreset_merged, and the selected rows / multiplicity weights in the
+  // m-sized buffers; all grow monotonically so the reduction is
+  // allocation-free after warmup.
   std::vector<double> coreset_dist;    ///< sq dist to nearest center (n)
   std::vector<int> coreset_assign;     ///< nearest center slot (n)
-  std::vector<int> coreset_heap;       ///< bounded top-(z+1) farthest queue
+  std::vector<std::pair<double, int>> coreset_merged;  ///< live candidate pairs
+  std::vector<std::pair<double, int>> coreset_qbound;  ///< per-block epoch bounds
+  std::vector<int> coreset_cand;       ///< per-block top-(z+1) queues
+  std::vector<int> coreset_cand_count; ///< per-block queue sizes (-1: refill)
   std::vector<int> coreset_ids;        ///< selected row ids (m)
   std::vector<double> coreset_weights; ///< multiplicity weights, sum = n (m)
   std::vector<double> coreset_vec;     ///< d-sized scratch (median pivot)
   std::vector<std::pair<double, double>> coreset_pairs;  ///< (value, weight)
   GradientBatch coreset_batch;         ///< m x d packed coreset rows
-  GradientBatch coreset_rep;           ///< replication fallback (n x d)
 
   // --- fill helpers --------------------------------------------------------
   /// Transposes the batch into `colmajor` (cache-blocked), so per-coordinate

@@ -40,8 +40,13 @@ std::string hierarchy_label(const HierarchyConfig& config) {
       "hier-" + std::to_string(config.shards) + "-" + config.leaf_rule + "-" + config.root_rule;
   if (config.f_leaf >= 0) label += "-fl" + std::to_string(config.f_leaf);
   if (config.coreset.has_value()) {
-    label += "-cs" + (config.coreset->size > 0 ? std::to_string(config.coreset->size)
-                                               : std::string("auto"));
+    label += config.coreset->kind == CoresetConfig::Kind::sample ? "-sm" : "-cs";
+    if (config.coreset->size == CoresetConfig::kAdaptiveSize) {
+      label += "adaptive";
+    } else {
+      label += config.coreset->size > 0 ? std::to_string(config.coreset->size)
+                                        : std::string("auto");
+    }
   }
   return label;
 }

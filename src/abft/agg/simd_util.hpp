@@ -7,9 +7,17 @@
 // cover the FMA latency chain) so the compiler vectorizes them at -O2 and
 // the result is deterministic for a given (d, ISA) — just not bit-equal to
 // the sequential exact-mode order.  Exact-mode kernels must NOT call these.
+// (The coreset construction pass in agg/coreset.cpp vectorizes differently —
+// across rows on a column-major layout, which keeps each row's summation
+// sequential in k; only its runtime-dispatched AVX-512 colmajor variant
+// below, whose FMA contraction can round differently, is fast-mode-gated.)
 #pragma once
 
 #include <cstddef>
+
+#if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
 
 namespace abft::agg::detail {
 
@@ -44,6 +52,70 @@ inline double laned_sqdist(const double* a, const double* b, int d) {
   }
   for (int t = 0; t < kReduceLanes; ++t) sum += l0[t] + l1[t];
   return sum;
+}
+
+#if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+/// sum_k (a[k] - b[k])^2 with 8-wide FMA accumulation and a masked tail.
+/// Summation order differs from laned_sqdist, so callers must be under a
+/// tolerance contract (AggMode::fast), never exact mode.
+inline double avx512_sqdist(const double* a, const double* b, int d) {
+  __m512d acc = _mm512_setzero_pd();
+  int k = 0;
+  for (; k + 8 <= d; k += 8) {
+    const __m512d diff = _mm512_sub_pd(_mm512_loadu_pd(a + k), _mm512_loadu_pd(b + k));
+    acc = _mm512_fmadd_pd(diff, diff, acc);
+  }
+  const int rem = d - k;
+  if (rem > 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    const __m512d diff = _mm512_sub_pd(_mm512_maskz_loadu_pd(mask, a + k),
+                                       _mm512_maskz_loadu_pd(mask, b + k));
+    acc = _mm512_fmadd_pd(diff, diff, acc);
+  }
+  return _mm512_reduce_add_pd(acc);
+}
+
+/// Column-major squared-distance block: out[i] = sum_k (cols[k*stride + i]
+/// - center[k])^2 for i in [lo, hi), vectorized 8 rows wide with the k loop
+/// innermost (one register accumulator per row group, scalar row tail).
+/// Each row's sum runs in ascending-k order like the portable loop, but FMA
+/// contraction can round differently — fast mode only.
+inline void avx512_colmajor_sqdist(const double* cols, std::size_t stride,
+                                   const double* center, int d, int lo, int hi,
+                                   double* out) {
+  int i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const double* col = cols + i;
+    __m512d diff = _mm512_sub_pd(_mm512_loadu_pd(col), _mm512_set1_pd(center[0]));
+    __m512d acc = _mm512_mul_pd(diff, diff);
+    for (int k = 1; k < d; ++k) {
+      diff = _mm512_sub_pd(_mm512_loadu_pd(col + static_cast<std::size_t>(k) * stride),
+                           _mm512_set1_pd(center[k]));
+      acc = _mm512_fmadd_pd(diff, diff, acc);
+    }
+    _mm512_storeu_pd(out + i, acc);
+  }
+  for (; i < hi; ++i) {  // scalar row tail (< 8 rows)
+    const double diff0 = cols[i] - center[0];
+    double acc = diff0 * diff0;
+    for (int k = 1; k < d; ++k) {
+      const double diff = cols[static_cast<std::size_t>(k) * stride + i] - center[k];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+#endif
+
+/// Runtime probe for the AVX-512 sqdist path (compile-time support AND the
+/// running CPU advertises avx512f) — mirrors batch.cpp's Gram dispatch.
+inline bool sqdist_avx512_available() {
+#if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool available = __builtin_cpu_supports("avx512f") != 0;
+  return available;
+#else
+  return false;
+#endif
 }
 
 /// sum_k a[k], laned.

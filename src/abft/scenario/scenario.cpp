@@ -49,15 +49,40 @@ std::uint64_t parse_seed(const util::JsonValue& json, std::string_view key, doub
   return static_cast<std::uint64_t>(value);
 }
 
-/// The optional "reduction" block of the aggregator object: currently one
-/// strategy, {"coreset": {"size": k}} (size 0/absent = auto).
+/// The optional "reduction" block of the aggregator object: exactly one of
+/// {"coreset": {"size": k | "adaptive"}} (greedy k-center; size 0/absent =
+/// auto, "adaptive" = radius-driven growth) or
+/// {"sample": {"size": k, "strata": s}} (norm-stratified weighted sampling;
+/// size/strata 0/absent = auto).
 agg::CoresetConfig parse_reduction(const util::JsonValue& value) {
-  require_known_keys(value, "reduction", {"coreset"});
-  const auto& coreset = value.at("coreset");
-  require_known_keys(coreset, "coreset", {"size"});
+  require_known_keys(value, "reduction", {"coreset", "sample"});
+  const auto* kcenter = value.find("coreset");
+  const auto* sample = value.find("sample");
+  ABFT_REQUIRE((kcenter != nullptr) != (sample != nullptr),
+               "reduction needs exactly one of \"coreset\" or \"sample\"");
   agg::CoresetConfig config;
-  config.size = int_or(coreset, "size", config.size);
-  ABFT_REQUIRE(config.size >= 0, "coreset size must be >= 1, or 0 for auto");
+  if (kcenter != nullptr) {
+    require_known_keys(*kcenter, "coreset", {"size"});
+    if (const auto* size = kcenter->find("size"); size != nullptr && size->is_string()) {
+      ABFT_REQUIRE(size->as_string() == "adaptive",
+                   "coreset size must be a number or the string \"adaptive\"");
+      config.size = agg::CoresetConfig::kAdaptiveSize;
+    } else {
+      config.size = int_or(*kcenter, "size", config.size);
+      ABFT_REQUIRE(config.size >= 0,
+                   "coreset size must be >= 1, 0 for auto, or \"adaptive\"");
+    }
+    return config;
+  }
+  require_known_keys(*sample, "sample", {"size", "strata"});
+  config.kind = agg::CoresetConfig::Kind::sample;
+  const auto* sample_size = sample->find("size");
+  ABFT_REQUIRE(sample_size == nullptr || !sample_size->is_string(),
+               "sample size must be a number (adaptive is k-center only)");
+  config.size = int_or(*sample, "size", config.size);
+  ABFT_REQUIRE(config.size >= 0, "sample size must be >= 1, or 0 for auto");
+  config.strata = int_or(*sample, "strata", config.strata);
+  ABFT_REQUIRE(config.strata >= 0, "sample strata must be >= 1, or 0 for auto");
   return config;
 }
 

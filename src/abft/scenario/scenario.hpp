@@ -30,10 +30,16 @@
 //                         {"reduction": {"coreset": {"size": k}}} — the
 //                         greedy k-center coreset pre-reduction
 //                         (agg/coreset.hpp; size 0/absent = auto
-//                         f + ceil(sqrt(n))).  Composes with "rule" (the
-//                         whole batch is reduced) or with "hierarchy"
-//                         (each shard is reduced before its leaf rule);
-//                         "rule" and "hierarchy" are mutually exclusive
+//                         f + ceil(sqrt(n)), size "adaptive" = grow k
+//                         until the covering radius stops improving) — or
+//                         {"reduction": {"sample": {"size": k,
+//                         "strata": s}}} — norm-stratified weighted
+//                         sampling (strata 0/absent = auto min(8, k));
+//                         exactly one of "coreset"/"sample".  Composes
+//                         with "rule" (the whole batch is reduced) or
+//                         with "hierarchy" (each shard is reduced before
+//                         its leaf rule); "rule" and "hierarchy" are
+//                         mutually exclusive
 //   mode                  "exact" | "fast"                        ("exact")
 //   iterations, f, seed, threads
 //   schedule              {"kind": "harmonic"|"constant"|"polynomial",

@@ -135,6 +135,12 @@ void reject_base_conflict(const SweepSpec& spec, std::string_view axis, bool swe
         }
       }
     }
+  } else if (axis == "reduction_kind") {
+    // Re-keys base.aggregator.reduction wholesale, so any base reduction
+    // block conflicts (the base kind would be silently replaced).
+    if (const auto* aggregator = spec.base.find("aggregator")) {
+      if (aggregator->is_object()) collision = aggregator->find("reduction");
+    }
   } else {
     collision = spec.base.find(axis);
   }
@@ -223,6 +229,29 @@ void set_coreset_member(Members& members, double value) {
   set_member(reduction_members, "coreset", JsonValue::make_object(std::move(coreset_members)));
   set_member(aggregator_members, "reduction",
              JsonValue::make_object(std::move(reduction_members)));
+  set_member(members, "aggregator", JsonValue::make_object(std::move(aggregator_members)));
+}
+
+/// Re-keys "aggregator"/"reduction" to {"<kind>": {inner config}} (creating
+/// every level if absent) — the reduction_kind axis.  The inner config
+/// object a coreset_size axis wrote earlier in the canonical order is
+/// carried over under the new key, so the two axes compose (the size axis
+/// picks k, the kind axis picks the construction).  parse_sweep has already
+/// rejected a non-object base aggregator and a base reduction block.
+void set_reduction_kind_member(Members& members, std::string_view kind) {
+  Members aggregator_members;
+  for (const auto& [name, existing] : members) {
+    if (name == "aggregator") aggregator_members = existing.as_object();
+  }
+  Members reduction_members;
+  for (const auto& [name, existing] : aggregator_members) {
+    if (name == "reduction") reduction_members = existing.as_object();
+  }
+  Members inner;
+  if (!reduction_members.empty()) inner = reduction_members.front().second.as_object();
+  Members rekeyed;
+  set_member(rekeyed, kind, JsonValue::make_object(std::move(inner)));
+  set_member(aggregator_members, "reduction", JsonValue::make_object(std::move(rekeyed)));
   set_member(members, "aggregator", JsonValue::make_object(std::move(aggregator_members)));
 }
 
@@ -365,8 +394,8 @@ SweepSpec parse_sweep(const JsonValue& json) {
   const JsonValue& sw = json.at("sweep");
   ABFT_REQUIRE(sw.is_object(), "the sweep block must be an object of axes");
   require_known_keys(sw, "sweep block",
-                     {"aggregator", "mode", "f", "shards", "coreset_size", "quorum",
-                      "staleness_cap", "seed", "drop_probability", "participation",
+                     {"aggregator", "mode", "f", "shards", "coreset_size", "reduction_kind",
+                      "quorum", "staleness_cap", "seed", "drop_probability", "participation",
                       "straggler_probability", "faults", "variants"});
   reject_duplicate_keys(sw, "sweep block");
 
@@ -412,6 +441,20 @@ SweepSpec parse_sweep(const JsonValue& json) {
     const auto* base_aggregator = spec.base.find("aggregator");
     ABFT_REQUIRE(base_aggregator == nullptr || base_aggregator->is_object(),
                  "the coreset_size axis needs the base aggregator to be an object "
+                 "(or absent, defaulting to the default rule)");
+  }
+  if (const auto* axis = sw.find("reduction_kind")) {
+    spec.reduction_kind = parse_string_axis(*axis, "reduction_kind");
+    for (const auto& kind : spec.reduction_kind) {
+      ABFT_REQUIRE(kind == "coreset" || kind == "sample",
+                   "reduction_kind axis entries must be \"coreset\" or \"sample\"");
+    }
+    ABFT_REQUIRE(spec.aggregator.empty(),
+                 "the reduction_kind axis cannot combine with an aggregator axis — the rule "
+                 "strings would clobber the reduction object; use variants instead");
+    const auto* base_aggregator = spec.base.find("aggregator");
+    ABFT_REQUIRE(base_aggregator == nullptr || base_aggregator->is_object(),
+                 "the reduction_kind axis needs the base aggregator to be an object "
                  "(or absent, defaulting to the default rule)");
   }
   if (const auto* axis = sw.find("quorum")) {
@@ -466,6 +509,7 @@ SweepSpec parse_sweep(const JsonValue& json) {
 
   const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() || !spec.f.empty() ||
                         !spec.shards.empty() || !spec.coreset_size.empty() ||
+                        !spec.reduction_kind.empty() ||
                         !spec.quorum.empty() || !spec.staleness_cap.empty() ||
                         !spec.seed.empty() || !spec.drop_probability.empty() ||
                         !spec.participation.empty() || !spec.straggler_probability.empty() ||
@@ -477,6 +521,7 @@ SweepSpec parse_sweep(const JsonValue& json) {
   reject_base_conflict(spec, "f", !spec.f.empty());
   reject_base_conflict(spec, "shards", !spec.shards.empty());
   reject_base_conflict(spec, "coreset_size", !spec.coreset_size.empty());
+  reject_base_conflict(spec, "reduction_kind", !spec.reduction_kind.empty());
   reject_base_conflict(spec, "quorum", !spec.quorum.empty());
   reject_base_conflict(spec, "staleness_cap", !spec.staleness_cap.empty());
   reject_base_conflict(spec, "seed", !spec.seed.empty());
@@ -535,6 +580,13 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
                       set_coreset_member(m, spec.coreset_size[i]);
                       return std::to_string(spec.coreset_size[i]);
                     }});
+  }
+  if (!spec.reduction_kind.empty()) {
+    axes.push_back(
+        {"reduction_kind", spec.reduction_kind.size(), [&](std::size_t i, Members& m) {
+           set_reduction_kind_member(m, spec.reduction_kind[i]);
+           return spec.reduction_kind[i];
+         }});
   }
   if (!spec.quorum.empty()) {
     axes.push_back({"quorum", spec.quorum.size(), [&](std::size_t i, Members& m) {

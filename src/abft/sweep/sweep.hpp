@@ -31,6 +31,14 @@
 //                            and an aggregator string axis is rejected for the
 //                            same clobbering reason as shards; composes with
 //                            the shards axis (per-shard coresets)
+//     reduction_kind         ["coreset", "sample"]    re-keys the reduction
+//                            object: {"reduction": {<kind>: {...}}} with the
+//                            inner config (size/strata where applicable)
+//                            carried over.  Same base-shape rules as
+//                            coreset_size, which it composes with (the size
+//                            axis writes the inner object first, the kind
+//                            axis re-keys it); the base must not already
+//                            set aggregator.reduction
 //     quorum                 [0, 3, 5]         sets async.quorum; the base
 //     staleness_cap          [0, 1, 2]         (resp. async.staleness_cap);
 //                            the base must run the async engine — either
@@ -104,6 +112,7 @@ struct SweepSpec {
   std::vector<int> f;
   std::vector<int> shards;
   std::vector<int> coreset_size;
+  std::vector<std::string> reduction_kind;
   std::vector<int> quorum;
   std::vector<int> staleness_cap;
   std::vector<std::uint64_t> seed;

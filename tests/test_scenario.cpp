@@ -424,6 +424,52 @@ TEST(ScenarioSpec, HierarchyAggregatorRejectsMalformedBlocks) {
                std::invalid_argument);
 }
 
+TEST(ScenarioSpec, ReductionBlockParsesBothKindsAndAdaptiveSize) {
+  const auto sample = scenario::parse_scenario(util::parse_json(R"({
+    "aggregator": {"rule": "cwtm",
+                   "reduction": {"sample": {"size": 16, "strata": 4}}}
+  })"));
+  ASSERT_TRUE(sample.coreset.has_value());
+  EXPECT_EQ(sample.coreset->kind, agg::CoresetConfig::Kind::sample);
+  EXPECT_EQ(sample.coreset->size, 16);
+  EXPECT_EQ(sample.coreset->strata, 4);
+  EXPECT_EQ(sample.aggregator, "sample-16-cwtm");
+
+  const auto adaptive = scenario::parse_scenario(util::parse_json(R"({
+    "aggregator": {"rule": "krum",
+                   "reduction": {"coreset": {"size": "adaptive"}}}
+  })"));
+  ASSERT_TRUE(adaptive.coreset.has_value());
+  EXPECT_EQ(adaptive.coreset->kind, agg::CoresetConfig::Kind::kcenter);
+  EXPECT_EQ(adaptive.coreset->size, agg::CoresetConfig::kAdaptiveSize);
+  EXPECT_EQ(adaptive.aggregator, "coreset-adaptive-krum");
+
+  const auto parse = [](const char* text) {
+    return scenario::parse_scenario(util::parse_json(text));
+  };
+  // "adaptive" is a k-center growth policy; the sampler has no radius to
+  // drive it.
+  EXPECT_THROW(parse(R"({"aggregator": {"rule": "cwtm",
+      "reduction": {"sample": {"size": "adaptive"}}}})"),
+               std::invalid_argument);
+  // Exactly one reducer kind per reduction block.
+  EXPECT_THROW(parse(R"({"aggregator": {"rule": "cwtm",
+      "reduction": {"coreset": {"size": 4}, "sample": {"size": 4}}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"rule": "cwtm", "reduction": {}}})"),
+               std::invalid_argument);
+  // Unknown keys inside either sub-block fail loudly.
+  EXPECT_THROW(parse(R"({"aggregator": {"rule": "cwtm",
+      "reduction": {"sample": {"size": 4, "temperature": 1}}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"rule": "cwtm",
+      "reduction": {"coreset": {"size": 4, "strata": 2}}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"aggregator": {"rule": "cwtm",
+      "reduction": {"sample": {"size": -1}}}})"),
+               std::invalid_argument);
+}
+
 TEST(ScenarioRun, HierarchySpecRunsAndReportsBounds) {
   auto spec = scenario::parse_scenario(util::parse_json(R"({
     "name": "hier-run", "driver": "dgd", "problem": "quadratic",

@@ -198,6 +198,38 @@ TEST(SweepExpand, CoresetSizeAxisSetsNestedReductionMember) {
   EXPECT_EQ(composed[0].spec.aggregator, "hier-2-cwtm-cwtm-cs6");
 }
 
+// The reduction_kind axis re-keys the reduction object per run, lands after
+// coreset_size in canonical order, and composes with it: the size axis
+// writes the inner config, the kind axis renames the strategy around it.
+TEST(SweepExpand, ReductionKindAxisRekeysTheReductionObject) {
+  const auto runs = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 30, "dim": 2,
+             "iterations": 4, "f": 2, "aggregator": {"rule": "cwtm"}},
+    "sweep": {"coreset_size": [8], "reduction_kind": ["coreset", "sample"]}
+  })"));
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].run_id, "000_coreset_size=8_reduction_kind=coreset");
+  EXPECT_EQ(runs[1].run_id, "001_coreset_size=8_reduction_kind=sample");
+  ASSERT_TRUE(runs[0].spec.coreset.has_value());
+  EXPECT_EQ(runs[0].spec.coreset->kind, agg::CoresetConfig::Kind::kcenter);
+  EXPECT_EQ(runs[0].spec.coreset->size, 8);
+  EXPECT_EQ(runs[0].spec.aggregator, "coreset-8-cwtm");
+  ASSERT_TRUE(runs[1].spec.coreset.has_value());
+  EXPECT_EQ(runs[1].spec.coreset->kind, agg::CoresetConfig::Kind::sample);
+  EXPECT_EQ(runs[1].spec.coreset->size, 8);
+  EXPECT_EQ(runs[1].spec.aggregator, "sample-8-cwtm");
+  // Alone, the axis creates a default (auto-size) reduction of each kind.
+  const auto alone = sweep::expand_sweep(parse(R"({
+    "base": {"driver": "dgd", "problem": "quadratic", "num_agents": 30, "dim": 2,
+             "iterations": 3, "f": 2},
+    "sweep": {"reduction_kind": ["sample"]}
+  })"));
+  ASSERT_EQ(alone.size(), 1u);
+  ASSERT_TRUE(alone[0].spec.coreset.has_value());
+  EXPECT_EQ(alone[0].spec.coreset->kind, agg::CoresetConfig::Kind::sample);
+  EXPECT_EQ(alone[0].spec.aggregator, "sample-auto-cwtm");
+}
+
 // ------------------------------ validation ----------------------------------
 
 TEST(SweepParse, RejectsUnknownAndDuplicateKeys) {
@@ -288,6 +320,33 @@ TEST(SweepParse, CoresetSizeAxisValidates) {
   // An object base aggregator with just a rule is fine alongside the axis.
   EXPECT_NO_THROW(parse(R"({"base": {"aggregator": {"rule": "cge"}},
                             "sweep": {"coreset_size": [8]}})"));
+}
+
+TEST(SweepParse, ReductionKindAxisValidates) {
+  // Only the two reducer kinds are legal entries.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"reduction_kind": ["kmeans"]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"reduction_kind": []}})"),
+               std::invalid_argument);
+  // A string base aggregator has no reduction object to re-key.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": "cwtm"},
+                         "sweep": {"reduction_kind": ["sample"]}})"),
+               std::invalid_argument);
+  // Combining with an aggregator axis would clobber the reduction object.
+  EXPECT_THROW(parse(R"({"base": {}, "sweep": {"reduction_kind": ["sample"],
+                                               "aggregator": ["cge"]}})"),
+               std::invalid_argument);
+  // The base already pins a reduction block: the kind axis would silently
+  // replace it — the spec contradicts itself.
+  EXPECT_THROW(parse(R"({"base": {"aggregator": {"reduction": {"coreset": {"size": 4}}}},
+                         "sweep": {"reduction_kind": ["sample"]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"base": {"aggregator": {"reduction": {"sample": {"size": 4}}}},
+                         "sweep": {"reduction_kind": ["coreset"]}})"),
+               std::invalid_argument);
+  // An object base aggregator with just a rule is fine alongside the axis.
+  EXPECT_NO_THROW(parse(R"({"base": {"aggregator": {"rule": "cge"}},
+                            "sweep": {"reduction_kind": ["coreset", "sample"]}})"));
 }
 
 TEST(SweepParse, RejectsMalformedAxes) {
