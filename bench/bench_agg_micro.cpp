@@ -7,18 +7,31 @@
 // the binary works without google-benchmark and always emits a
 // machine-readable BENCH_agg.json:
 //
-//   {"results": [{"rule", "path", "n", "d", "f", "ns_per_op", "iters"}, ...],
+//   {"meta": {"repeats": K},
+//    "results": [{"rule", "path", "precision", "n", "d", "f", "ns_per_op",
+//                 "iters"}, ...],
 //    "speedups": {"<rule>/<n>x<d>": {"legacy_ns", "batched_ns", "speedup",
-//                                    "fast_ns", "fast_speedup"}}}
+//                                    "fast_ns", "fast_speedup",
+//                                    "f32_ns", "f32_speedup"}}}
 //
 // Paths: "legacy" (span API), "batched" (aggregate_into, AggMode::exact),
-// "fast" (aggregate_into, AggMode::fast — relaxed parity), and optionally
-// "pooled" (see --threads).  fast_speedup is batched_ns / fast_ns: what the
-// relaxed-parity mode buys over the exact batched kernels.
+// "fast" (aggregate_into, AggMode::fast — relaxed parity; measured at both
+// precision "f64" and, for the rules with an f32 kernel, precision "f32"),
+// and optionally "pooled" (see --threads).  fast_speedup is
+// batched_ns / fast_ns: what the relaxed-parity mode buys over the exact
+// batched kernels; f32_speedup is fast_ns / f32_ns: what demoting the
+// bandwidth-bound kernels to float32 buys on top of that.
+//
+// Every measurement is the MINIMUM of --repeats independent adaptive
+// timings (warm-up excluded from each), so the committed BENCH_agg.json
+// carries stable minima for the bench_diff.py gates rather than one noisy
+// sample.
 //
 // Flags:
 //   --quick       small shapes only (CI smoke)
 //   --out=FILE    JSON destination (default BENCH_agg.json)
+//   --repeats=K   independent timing repetitions per cell, min-of-K
+//                 reported (default 3)
 //   --threads=N   additionally measure a "pooled" path: the batched kernels
 //                 dispatching coordinate/pair work over a persistent
 //                 N-thread ThreadPool (worthwhile on multi-core hosts only;
@@ -62,7 +75,8 @@ std::vector<Vector> make_gradients(int n, int d, std::uint64_t seed) {
 
 struct BenchResult {
   std::string rule;
-  std::string path;  // "legacy" | "batched" | "fast" | "pooled"
+  std::string path;       // "legacy" | "batched" | "fast" | "pooled"
+  std::string precision;  // "f64" | "f32" (f32 only on the fast path)
   int n = 0;
   int d = 0;
   int f = 0;
@@ -74,6 +88,7 @@ struct SpeedupEntry {
   double legacy_ns = 0.0;
   double batched_ns = 0.0;
   double fast_ns = 0.0;
+  double f32_ns = 0.0;
 };
 
 /// Times fn() with adaptive iteration count: warm up once, then repeat until
@@ -104,12 +119,33 @@ double time_ns_per_op(Fn&& fn, long& iters_out, double min_seconds, long min_ite
   return seconds * 1e9 / static_cast<double>(iters);
 }
 
+/// Min-of-K wrapper around time_ns_per_op: K independent adaptive timings
+/// (each with its own warm-up call), reporting the fastest — the estimator
+/// least contaminated by scheduler noise and frequency transitions on a
+/// shared CI host.  iters_out reports the winning repetition's count.
+template <typename Fn>
+double min_ns_per_op(Fn&& fn, long& iters_out, double min_seconds, long min_iters,
+                     long max_iters, int repeats) {
+  double best = 0.0;
+  long best_iters = 0;
+  for (int r = 0; r < repeats; ++r) {
+    long iters = 0;
+    const double ns = time_ns_per_op(fn, iters, min_seconds, min_iters, max_iters);
+    if (r == 0 || ns < best) {
+      best = ns;
+      best_iters = iters;
+    }
+  }
+  iters_out = best_iters;
+  return best;
+}
+
 struct Shape {
   int n;
   int d;
 };
 
-int run_builtin(bool quick, const std::string& out_path, int threads) {
+int run_builtin(bool quick, const std::string& out_path, int threads, int repeats) {
   const std::vector<Shape> shapes =
       quick ? std::vector<Shape>{{10, 10}, {10, 100}, {25, 200}}
             : std::vector<Shape>{{10, 10}, {10, 1000}, {50, 100}, {100, 1000}, {50, 10000}};
@@ -143,8 +179,8 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
       const std::string key =
           std::string(name) + "/" + std::to_string(n) + "x" + std::to_string(d);
 
-      BenchResult legacy{std::string(name), "legacy", n, d, f, 0.0, 0};
-      legacy.ns_per_op = time_ns_per_op(
+      BenchResult legacy{std::string(name), "legacy", "f64", n, d, f, 0.0, 0};
+      legacy.ns_per_op = min_ns_per_op(
           [&] {
             Vector out = rule->aggregate(gradients, f);
             // The result feeds the next model update in the real loop; fold
@@ -152,54 +188,70 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
             volatile double sink = out[0];
             (void)sink;
           },
-          legacy.iters, min_seconds, min_iters, max_iters);
+          legacy.iters, min_seconds, min_iters, max_iters, repeats);
       results.push_back(legacy);
 
       agg::GradientBatch batch;
       batch.pack(gradients);
       agg::AggregatorWorkspace workspace;
       Vector out;
-      BenchResult batched{std::string(name), "batched", n, d, f, 0.0, 0};
-      batched.ns_per_op = time_ns_per_op(
+      BenchResult batched{std::string(name), "batched", "f64", n, d, f, 0.0, 0};
+      batched.ns_per_op = min_ns_per_op(
           [&] {
             rule->aggregate_into(out, batch, f, workspace);
             volatile double sink = out[0];
             (void)sink;
           },
-          batched.iters, min_seconds, min_iters, max_iters);
+          batched.iters, min_seconds, min_iters, max_iters, repeats);
       results.push_back(batched);
 
       agg::AggregatorWorkspace fast_ws;
       fast_ws.mode = agg::AggMode::fast;
-      BenchResult fast{std::string(name), "fast", n, d, f, 0.0, 0};
-      fast.ns_per_op = time_ns_per_op(
+      BenchResult fast{std::string(name), "fast", "f64", n, d, f, 0.0, 0};
+      fast.ns_per_op = min_ns_per_op(
           [&] {
             rule->aggregate_into(out, batch, f, fast_ws);
             volatile double sink = out[0];
             (void)sink;
           },
-          fast.iters, min_seconds, min_iters, max_iters);
+          fast.iters, min_seconds, min_iters, max_iters, repeats);
       results.push_back(fast);
 
-      speedup_pairs[key] = {legacy.ns_per_op, batched.ns_per_op, fast.ns_per_op};
+      agg::AggregatorWorkspace f32_ws;
+      f32_ws.mode = agg::AggMode::fast;
+      f32_ws.precision = agg::Precision::f32;
+      BenchResult f32{std::string(name), "fast", "f32", n, d, f, 0.0, 0};
+      f32.ns_per_op = min_ns_per_op(
+          [&] {
+            rule->aggregate_into(out, batch, f, f32_ws);
+            volatile double sink = out[0];
+            (void)sink;
+          },
+          f32.iters, min_seconds, min_iters, max_iters, repeats);
+      results.push_back(f32);
+
+      speedup_pairs[key] = {legacy.ns_per_op, batched.ns_per_op, fast.ns_per_op,
+                            f32.ns_per_op};
       std::cout << key << "  legacy " << static_cast<long>(legacy.ns_per_op)
                 << " ns/op  batched " << static_cast<long>(batched.ns_per_op)
                 << " ns/op  speedup " << legacy.ns_per_op / batched.ns_per_op << "x"
                 << "  fast " << static_cast<long>(fast.ns_per_op) << " ns/op ("
-                << batched.ns_per_op / fast.ns_per_op << "x vs exact)";
+                << batched.ns_per_op / fast.ns_per_op << "x vs exact)"
+                << "  f32 " << static_cast<long>(f32.ns_per_op) << " ns/op ("
+                << fast.ns_per_op / f32.ns_per_op << "x vs f64 fast)";
       if (threads > 1) {
         agg::ThreadPool pool(threads);
         agg::AggregatorWorkspace pooled_ws;
         pooled_ws.parallel_threads = threads;
         pooled_ws.pool = &pool;
-        BenchResult pooled{std::string(name), "pooled", n, d, f, 0.0, 0};
-        pooled.ns_per_op = time_ns_per_op(
+        BenchResult pooled{std::string(name), "pooled", "f64", n, d, f, 0.0, 0};
+        pooled.ns_per_op = min_ns_per_op(
             [&] {
               rule->aggregate_into(out, batch, f, pooled_ws);
               volatile double sink = out[0];
               (void)sink;
             },
-            pooled.iters, min_seconds, min_iters, max_iters);
+            pooled.iters, min_seconds, min_iters, max_iters, repeats);
         results.push_back(pooled);
         std::cout << "  pooled(" << threads << ") " << static_cast<long>(pooled.ns_per_op)
                   << " ns/op";
@@ -209,11 +261,12 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
   }
 
   std::ofstream json(out_path);
-  json << "{\n  \"results\": [\n";
+  json << "{\n  \"meta\": {\"repeats\": " << repeats << "},\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     json << "    {\"rule\": \"" << r.rule << "\", \"path\": \"" << r.path
-         << "\", \"n\": " << r.n << ", \"d\": " << r.d << ", \"f\": " << r.f
+         << "\", \"precision\": \"" << r.precision << "\", \"n\": " << r.n
+         << ", \"d\": " << r.d << ", \"f\": " << r.f
          << ", \"ns_per_op\": " << r.ns_per_op << ", \"iters\": " << r.iters << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -224,7 +277,9 @@ int run_builtin(bool quick, const std::string& out_path, int threads) {
          << ", \"batched_ns\": " << entry.batched_ns
          << ", \"speedup\": " << entry.legacy_ns / entry.batched_ns
          << ", \"fast_ns\": " << entry.fast_ns
-         << ", \"fast_speedup\": " << entry.batched_ns / entry.fast_ns << "}"
+         << ", \"fast_speedup\": " << entry.batched_ns / entry.fast_ns
+         << ", \"f32_ns\": " << entry.f32_ns
+         << ", \"f32_speedup\": " << entry.fast_ns / entry.f32_ns << "}"
          << (++written < speedup_pairs.size() ? "," : "") << "\n";
   }
   json << "  }\n}\n";
@@ -289,12 +344,14 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool use_gbench = false;
   int threads = 1;
+  int repeats = 3;
   std::string out_path = "BENCH_agg.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--gbench") == 0) use_gbench = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
     if (std::strncmp(argv[i], "--threads=", 10) == 0) threads = std::atoi(argv[i] + 10);
+    if (std::strncmp(argv[i], "--repeats=", 10) == 0) repeats = std::atoi(argv[i] + 10);
   }
   if (use_gbench) {
 #if defined(ABFT_HAVE_GBENCH)
@@ -307,5 +364,5 @@ int main(int argc, char** argv) {
     std::cerr << "google-benchmark not compiled in; using the built-in harness\n";
 #endif
   }
-  return run_builtin(quick, out_path, std::max(1, threads));
+  return run_builtin(quick, out_path, std::max(1, threads), std::max(1, repeats));
 }

@@ -17,12 +17,19 @@
 //
 //   {"results": [{"rule", "path": "flat"|"coreset"|"coreset-construct"|
 //                 "coreset-kernel"|"sample"|"sample-construct"|"hier",
-//                 "n", "d", "f", "ns_per_op", "iters"}, ...],
+//                 "precision": "f64"|"f32", "n", "d", "f", "ns_per_op",
+//                 "iters"}, ...],
 //    "comparisons": {"<rule>/<n>x<d>": {"flat_ns", "coreset_ns",
-//                 "construct_ns", "kernel_ns", "sample_ns",
+//                 "construct_ns", "kernel_ns", "coreset_f32_ns",
+//                 "construct_f32_ns", "sample_ns",
 //                 "sample_construct_ns", "hier_ns", "speedup_vs_flat",
-//                 "speedup_vs_hier", "drift_inf", "centers",
-//                 "coreset_rows"}}}
+//                 "speedup_vs_hier", "f32_construct_speedup", "drift_inf",
+//                 "centers", "coreset_rows"}}}
+//
+// The "coreset"/"coreset-construct" rows are additionally measured at
+// precision "f32" (the fast-mode float32 lane): the k-center construction
+// is the memory-bandwidth-bound pass the f32 lane targets, so its
+// f32-vs-f64 ratio is the headline number (f32_construct_speedup).
 //
 // The construct/kernel split makes the cost attributable: "*-construct"
 // times CoresetReducer::reduce alone (the k-center / sampling pass), and
@@ -115,7 +122,8 @@ Vector streaming_krum(const GradientBatch& batch, int f) {
 
 struct BenchResult {
   std::string rule;
-  std::string path;  // "flat" | "coreset" | "hier"
+  std::string path;       // "flat" | "coreset" | "hier"
+  std::string precision;  // "f64" | "f32" (f32 only on the coreset rows)
   int n = 0;
   int d = 0;
   int f = 0;
@@ -129,6 +137,8 @@ struct Comparison {
   double coreset_ns = 0.0;
   double construct_ns = 0.0;  // k-center construction alone
   double kernel_ns = 0.0;     // total minus construction (derived)
+  double coreset_f32_ns = 0.0;
+  double construct_f32_ns = 0.0;  // f32-lane k-center construction
   double sample_ns = 0.0;
   double sample_construct_ns = 0.0;
   double hier_ns = 0.0;
@@ -229,7 +239,7 @@ int run(bool quick, const std::string& out_path, int threads) {
       cs_ws.pool = &pool;
       Vector cs_out;
       reducer.aggregate_into(cs_out, batch, f, cs_ws);  // untimed: warm allocation
-      BenchResult cs_result{rule, "coreset", n, d, f, 0.0, 0};
+      BenchResult cs_result{rule, "coreset", "f64", n, d, f, 0.0, 0};
       cs_result.ns_per_op = time_ns_per_op(
           [&] {
             reducer.aggregate_into(cs_out, batch, f, cs_ws);
@@ -242,7 +252,7 @@ int run(bool quick, const std::string& out_path, int threads) {
 
       // Construction alone (the k-center pass into the warm workspace); the
       // kernel share is the remainder of the total.
-      BenchResult construct_result{rule, "coreset-construct", n, d, f, 0.0, 0};
+      BenchResult construct_result{rule, "coreset-construct", "f64", n, d, f, 0.0, 0};
       construct_result.ns_per_op = time_ns_per_op(
           [&] {
             const int m = reducer.reduce(batch, f, cs_ws);
@@ -253,8 +263,39 @@ int run(bool quick, const std::string& out_path, int threads) {
       results.push_back(construct_result);
       cmp.construct_ns = construct_result.ns_per_op;
       cmp.kernel_ns = std::max(0.0, cs_result.ns_per_op - construct_result.ns_per_op);
-      BenchResult kernel_result{rule, "coreset-kernel", n, d, f, cmp.kernel_ns, 0};
+      BenchResult kernel_result{rule, "coreset-kernel", "f64", n, d, f, cmp.kernel_ns, 0};
       results.push_back(kernel_result);
+
+      // The same coreset path through the fast-mode f32 lane: demoted
+      // col-major distance pass, f64 selection state.  Construction is the
+      // bandwidth-bound share, so its ratio is the headline f32 number.
+      agg::AggregatorWorkspace f32_ws;
+      f32_ws.mode = agg::AggMode::fast;
+      f32_ws.precision = agg::Precision::f32;
+      f32_ws.parallel_threads = std::max(1, threads);
+      f32_ws.pool = &pool;
+      Vector f32_out;
+      reducer.aggregate_into(f32_out, batch, f, f32_ws);  // untimed: warm allocation
+      BenchResult f32_result{rule, "coreset", "f32", n, d, f, 0.0, 0};
+      f32_result.ns_per_op = time_ns_per_op(
+          [&] {
+            reducer.aggregate_into(f32_out, batch, f, f32_ws);
+            volatile double sink = f32_out[0];
+            (void)sink;
+          },
+          f32_result.iters, min_seconds);
+      results.push_back(f32_result);
+      cmp.coreset_f32_ns = f32_result.ns_per_op;
+      BenchResult f32_construct_result{rule, "coreset-construct", "f32", n, d, f, 0.0, 0};
+      f32_construct_result.ns_per_op = time_ns_per_op(
+          [&] {
+            const int m = reducer.reduce(batch, f, f32_ws);
+            volatile int sink = m;
+            (void)sink;
+          },
+          f32_construct_result.iters, min_seconds);
+      results.push_back(f32_construct_result);
+      cmp.construct_f32_ns = f32_construct_result.ns_per_op;
 
       // The sampling reducer at the same budget k.
       const agg::CoresetReducer sampler(
@@ -262,7 +303,7 @@ int run(bool quick, const std::string& out_path, int threads) {
       agg::AggregatorWorkspace sm_ws;
       Vector sm_out;
       sampler.aggregate_into(sm_out, batch, f, sm_ws);  // untimed: warm allocation
-      BenchResult sm_result{rule, "sample", n, d, f, 0.0, 0};
+      BenchResult sm_result{rule, "sample", "f64", n, d, f, 0.0, 0};
       sm_result.ns_per_op = time_ns_per_op(
           [&] {
             sampler.aggregate_into(sm_out, batch, f, sm_ws);
@@ -272,7 +313,7 @@ int run(bool quick, const std::string& out_path, int threads) {
           sm_result.iters, min_seconds);
       results.push_back(sm_result);
       cmp.sample_ns = sm_result.ns_per_op;
-      BenchResult sm_construct_result{rule, "sample-construct", n, d, f, 0.0, 0};
+      BenchResult sm_construct_result{rule, "sample-construct", "f64", n, d, f, 0.0, 0};
       sm_construct_result.ns_per_op = time_ns_per_op(
           [&] {
             const int m = sampler.reduce(batch, f, sm_ws);
@@ -285,7 +326,10 @@ int run(bool quick, const std::string& out_path, int threads) {
 
       std::cout << key << "  coreset(k=" << k << ", m=" << cmp.coreset_rows << ") "
                 << static_cast<long>(cs_result.ns_per_op) << " ns/op (construct "
-                << static_cast<long>(cmp.construct_ns) << ")  sample "
+                << static_cast<long>(cmp.construct_ns) << ")  f32 "
+                << static_cast<long>(cmp.coreset_f32_ns) << " ns/op (construct "
+                << static_cast<long>(cmp.construct_f32_ns) << ", "
+                << cmp.construct_ns / cmp.construct_f32_ns << "x)  sample "
                 << static_cast<long>(sm_result.ns_per_op) << " ns/op";
 
       agg::AggregatorWorkspace hier_ws;
@@ -293,7 +337,7 @@ int run(bool quick, const std::string& out_path, int threads) {
       hier_ws.pool = &pool;
       Vector hier_out;
       hier.aggregate_into(hier_out, batch, f, hier_ws);
-      BenchResult hier_result{rule, "hier", n, d, f, 0.0, 0};
+      BenchResult hier_result{rule, "hier", "f64", n, d, f, 0.0, 0};
       hier_result.ns_per_op = time_ns_per_op(
           [&] {
             hier.aggregate_into(hier_out, batch, f, hier_ws);
@@ -308,7 +352,7 @@ int run(bool quick, const std::string& out_path, int threads) {
 
       Vector flat_out;
       bool have_flat = true;
-      BenchResult flat_result{rule, "flat", n, d, f, 0.0, 0};
+      BenchResult flat_result{rule, "flat", "f64", n, d, f, 0.0, 0};
       if (rule == "krum" && n > flat_krum_limit) {
         have_flat = false;
       } else if (rule == "krum") {
@@ -354,7 +398,8 @@ int run(bool quick, const std::string& out_path, int threads) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     json << "    {\"rule\": \"" << r.rule << "\", \"path\": \"" << r.path
-         << "\", \"n\": " << r.n << ", \"d\": " << r.d << ", \"f\": " << r.f
+         << "\", \"precision\": \"" << r.precision << "\", \"n\": " << r.n
+         << ", \"d\": " << r.d << ", \"f\": " << r.f
          << ", \"ns_per_op\": " << r.ns_per_op << ", \"iters\": " << r.iters << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -365,11 +410,14 @@ int run(bool quick, const std::string& out_path, int threads) {
     util::write_json_number(json, cmp.flat_ns);  // NaN (flat infeasible) -> null
     json << ", \"coreset_ns\": " << cmp.coreset_ns << ", \"construct_ns\": "
          << cmp.construct_ns << ", \"kernel_ns\": " << cmp.kernel_ns
+         << ", \"coreset_f32_ns\": " << cmp.coreset_f32_ns
+         << ", \"construct_f32_ns\": " << cmp.construct_f32_ns
          << ", \"sample_ns\": " << cmp.sample_ns << ", \"sample_construct_ns\": "
          << cmp.sample_construct_ns << ", \"hier_ns\": " << cmp.hier_ns
          << ", \"speedup_vs_flat\": ";
     util::write_json_number(json, cmp.flat_ns / cmp.coreset_ns);
     json << ", \"speedup_vs_hier\": " << cmp.hier_ns / cmp.coreset_ns
+         << ", \"f32_construct_speedup\": " << cmp.construct_ns / cmp.construct_f32_ns
          << ", \"drift_inf\": " << cmp.drift_inf << ", \"centers\": " << cmp.centers
          << ", \"coreset_rows\": " << cmp.coreset_rows << "}"
          << (i + 1 < comparisons.size() ? "," : "") << "\n";

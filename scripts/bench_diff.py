@@ -4,8 +4,11 @@
 Usage: bench_diff.py <baseline.json> <current.json>
            [--threshold PCT] [--fail-threshold PCT] [--gate-paths P1,P2]
 
-Matches results on (rule, path, n, d, f) and reports ns/op deltas beyond
---threshold (default 25%, generous because CI machines are noisy).
+Matches results on (rule, path, precision, n, d) and reports ns/op deltas
+beyond --threshold (default 25%, generous because CI machines are noisy).
+Records without a "precision" field (every BENCH file written before the
+f32 lane landed) match as "f64", so old committed baselines keep diffing
+cleanly against new runs.
 
 Robustness: a key present in only one of baseline/current, or a malformed
 result record (missing/odd-typed fields), is WARNED about and skipped —
@@ -37,7 +40,8 @@ def warn(message):
 
 
 def load(path):
-    """Returns {(rule, path, n, d, f): ns_per_op} or None on a hard error."""
+    """Returns {(rule, path, precision, n, d): ns_per_op} or None on a hard
+    error."""
     try:
         with open(path) as handle:
             doc = json.load(handle)
@@ -52,15 +56,18 @@ def load(path):
     skipped = 0
     for record in results:
         try:
-            key = (record["rule"], record["path"], int(record["n"]),
-                   int(record["d"]), int(record["f"]))
+            precision = record.get("precision", "f64")
+            if not isinstance(precision, str):
+                raise TypeError("precision must be a string")
+            key = (record["rule"], record["path"], precision,
+                   int(record["n"]), int(record["d"]))
             # An explicit null ns_per_op means "deliberately not measured at
             # this shape" (e.g. the O(n^2 d) flat baseline past its limit):
             # treat the entry as absent, not malformed.
             if record["ns_per_op"] is None:
                 continue
             out[key] = float(record["ns_per_op"])
-        except (KeyError, TypeError, ValueError):
+        except (AttributeError, KeyError, TypeError, ValueError):
             skipped += 1
     if skipped:
         warn(f"{path}: skipped {skipped} malformed result record(s)")
@@ -68,8 +75,8 @@ def load(path):
 
 
 def describe(key):
-    rule, path, n, d, f = key
-    return f"{rule}/{path} n={n} d={d} f={f}"
+    rule, path, precision, n, d = key
+    return f"{rule}/{path}/{precision} n={n} d={d}"
 
 
 def main(argv=None):

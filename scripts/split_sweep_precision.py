@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Slice one precision out of a sweep CSV so compare_sweep.py can diff
+precision lanes against each other.
+
+Usage: split_sweep_precision.py SWEEP.csv PRECISION OUT.csv
+
+Keeps only the rows whose "precision" axis cell equals PRECISION, drops the
+precision column, and strips both the zero-padded grid index and the
+precision token from run_id — the f64 and f32 halves of a
+rule x precision x seed grid then carry identical run_ids and headers, so
+
+  split_sweep_precision.py sweep.csv f64 f64.csv
+  split_sweep_precision.py sweep.csv f32 f32.csv
+  compare_sweep.py f64.csv f32.csv --rtol <envelope>
+
+checks the f32 lane's end-to-end drift against the f64 lane under the
+committed tolerance envelope.  Exits 2 on a malformed CSV (no precision
+column, no rows at the requested precision).
+"""
+
+import csv
+import re
+import sys
+
+
+def split(src_path, precision, dst_path):
+    """Returns the number of rows written, raising ValueError on misuse."""
+    with open(src_path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ValueError(f"{src_path}: empty CSV")
+    header = rows[0]
+    if "precision" not in header:
+        raise ValueError(f"{src_path}: no precision column in {header}")
+    if "run_id" not in header:
+        raise ValueError(f"{src_path}: no run_id column")
+    precision_idx = header.index("precision")
+    run_id_idx = header.index("run_id")
+
+    out = [[cell for i, cell in enumerate(header) if i != precision_idx]]
+    for cells in rows[1:]:
+        if len(cells) != len(header):
+            raise ValueError(f"{src_path}: ragged row {cells}")
+        if cells[precision_idx] != precision:
+            continue
+        cells = list(cells)
+        run_id = re.sub(r"^\d+_", "", cells[run_id_idx])
+        run_id = re.sub(r"_?precision=[^_]+", "", run_id)
+        cells[run_id_idx] = run_id
+        out.append([cell for i, cell in enumerate(cells) if i != precision_idx])
+    if len(out) == 1:
+        raise ValueError(f"{src_path}: no rows at precision {precision!r}")
+
+    with open(dst_path, "w", newline="") as handle:
+        csv.writer(handle).writerows(out)
+    return len(out) - 1
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    src, precision, dst = argv
+    try:
+        count = split(src, precision, dst)
+    except (OSError, ValueError) as error:
+        print(f"split_sweep_precision: {error}", file=sys.stderr)
+        return 2
+    print(f"split_sweep_precision: wrote {count} {precision} row(s) to {dst}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,9 +19,12 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_diff  # noqa: E402
 
 
-def result(rule, path, n, d, f, ns):
-    return {"rule": rule, "path": path, "n": n, "d": d, "f": f,
-            "ns_per_op": ns, "iters": 10}
+def result(rule, path, n, d, f, ns, precision=None):
+    record = {"rule": rule, "path": path, "n": n, "d": d, "f": f,
+              "ns_per_op": ns, "iters": 10}
+    if precision is not None:
+        record["precision"] = precision
+    return record
 
 
 def write_doc(directory, name, results):
@@ -220,6 +223,49 @@ class BenchDiffTest(unittest.TestCase):
         code, out = run([base, cur_measured, "--fail-threshold", "25"])
         self.assertEqual(code, 0)
         self.assertIn("new entry absent from the baseline", out)
+
+    def test_missing_precision_matches_explicit_f64(self):
+        # Baselines written before the f32 lane carry no "precision" field;
+        # they must keep matching new runs that spell out "f64".
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("cwtm", "fast", 50, 10000, 10, 100.0)])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("cwtm", "fast", 50, 10000, 10, 101.0,
+                                precision="f64")])
+        code, out = run([base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("1 matched entries", out)
+        self.assertNotIn("baseline-only", out)
+
+    def test_f32_rows_are_distinct_keys(self):
+        # Same (rule, path, n, d) at two precisions: two independent
+        # entries, and an f32 regression on the ungated "fast" path warns
+        # without failing.
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("cwtm", "fast", 50, 10000, 10, 100.0,
+                                 precision="f64"),
+                          result("cwtm", "fast", 50, 10000, 10, 60.0,
+                                 precision="f32")])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("cwtm", "fast", 50, 10000, 10, 100.0,
+                                 precision="f64"),
+                         result("cwtm", "fast", 50, 10000, 10, 120.0,
+                                 precision="f32")])
+        code, out = run([base, cur, "--fail-threshold", "25"])
+        self.assertEqual(code, 0)
+        self.assertIn("2 matched entries", out)
+        self.assertIn("cwtm/fast/f32", out)
+
+    def test_non_string_precision_is_malformed(self):
+        base = write_doc(self.tmp.name, "base.json",
+                         [result("cwtm", "fast", 50, 10000, 10, 100.0,
+                                 precision=32),
+                          result("cge", "batched", 10, 10, 2, 100.0)])
+        cur = write_doc(self.tmp.name, "cur.json",
+                        [result("cge", "batched", 10, 10, 2, 100.0)])
+        code, out = run([base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("skipped 1 malformed result record(s)", out)
 
     def test_non_positive_baseline_is_skipped(self):
         base = write_doc(self.tmp.name, "base.json",

@@ -14,6 +14,7 @@
 #include <memory>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "abft/agg/threads.hpp"
@@ -39,6 +40,24 @@ using linalg::Vector;
 enum class AggMode {
   exact,  ///< bit-compatible with the span path (the default)
   fast,   ///< relaxed parity: vectorized/partial-selection kernels
+};
+
+/// Element width of the bandwidth-bound fast-mode kernels.
+///
+/// `f64` (the default) keeps every kernel on doubles.  `f32` demotes the
+/// *inputs* of the distance/trim kernels — the Gram fill, the col-major
+/// coreset distance pass, the rank-count CWTM/CWMed columns, the laned
+/// Weiszfeld and centered-clipping distance loops — to float, halving the
+/// bytes those memory-bound passes move.  Selection and tie-breaking still
+/// run over a deterministic order, and the aggregate itself is accumulated
+/// and emitted in f64.  The knob only has effect under AggMode::fast; exact
+/// mode ignores it entirely (workspaces reject the combination at the
+/// scenario layer).  Like fast/f64, the f32 lane is bit-identical across
+/// thread counts: every demoted value and every f32 reduction is computed
+/// by exactly one writer in a fixed order.
+enum class Precision {
+  f64,  ///< double-precision kernels (the default)
+  f32,  ///< float inputs for the bandwidth-bound fast kernels
 };
 
 /// Contiguous row-major n x d matrix of gradients.  Row i is gradient i.
@@ -106,6 +125,15 @@ struct AggregatorWorkspace {
   /// keeps the bit-exact legacy behaviour.
   AggMode mode = AggMode::exact;
 
+  /// Element width of the bandwidth-bound fast-mode kernels (see Precision).
+  /// Only consulted when mode == AggMode::fast; exact mode always runs f64.
+  Precision precision = Precision::f64;
+
+  /// True when the float32 compute lane is active (fast mode + f32 knob).
+  [[nodiscard]] bool f32_lane() const noexcept {
+    return mode == AggMode::fast && precision == Precision::f32;
+  }
+
   /// Coordinate/pair-level parallel-for width for large d.  1 (the default)
   /// keeps every kernel single-threaded; drivers thread their config flag
   /// through here.
@@ -127,10 +155,28 @@ struct AggregatorWorkspace {
   std::vector<double> colmajor;  ///< d x n transposed copy of the batch
   std::vector<double> norms;     ///< per-gradient Euclidean norms (n)
   std::vector<double> sqnorms;   ///< per-gradient squared norms (n)
-  std::vector<double> pairdist;  ///< n x n squared pairwise distances
+  /// Packed strictly-upper-triangular squared pairwise distances: entry
+  /// (i, j) with i < j lives at pair_index(i, j, n), n*(n-1)/2 entries
+  /// total.  Storing each unordered pair once (no diagonal, no mirror)
+  /// halves the matrix traffic and drops the full n^2 zero-assign the old
+  /// square layout paid; consumers go through pair_sqdist() /
+  /// gather_pair_row() or walk the packed rows directly.
+  std::vector<double> pairdist;
+  std::vector<double> pairrow;   ///< one gathered pairdist row (n), scratch
   std::vector<double> scores;    ///< per-gradient filter scores (n)
   std::vector<double> scratch;   ///< misc n-sized scratch (dists, columns)
   std::vector<double> vecbuf;    ///< misc d-sized scratch (Weiszfeld, cclip)
+  // --- float32 lane mirrors (see Precision) -------------------------------
+  // Filled only when f32_lane() is active: rows_f32 is the demote-on-ingest
+  // copy of the batch (n x d, row-major), colmajor_f32 its transpose,
+  // sqnorms_f32 the per-row squared norms of the demoted rows, pairdist_f32
+  // the packed triangular distances (same layout as pairdist), and
+  // vecbuf_f32 a d-sized scratch for demoted iterates (Weiszfeld, cclip).
+  std::vector<float> rows_f32;      ///< demoted batch rows (n x d)
+  std::vector<float> colmajor_f32;  ///< d x n transpose of rows_f32
+  std::vector<float> sqnorms_f32;   ///< squared norms of the demoted rows (n)
+  std::vector<float> pairdist_f32;  ///< packed triangular distances, f32 lane
+  std::vector<float> vecbuf_f32;    ///< d-sized f32 scratch (demoted iterates)
   std::vector<int> order;        ///< index permutation (n)
   std::vector<unsigned char> active;  ///< selection mask (n), Bulyan stage 1
   // Bulyan fast-mode stage 1 (incremental iterated-Krum scores): per-row
@@ -188,10 +234,40 @@ struct AggregatorWorkspace {
   /// Fills `norms` (and `sqnorms`) with per-row Euclidean norms.
   void fill_norms(const GradientBatch& batch);
 
-  /// Fills the n x n `pairdist` matrix with squared Euclidean distances via
-  /// the Gram identity ||xi - xj||^2 = ||xi||^2 + ||xj||^2 - 2 <xi, xj>,
-  /// computing each pair once.  Shared by Krum, Multi-Krum and Bulyan.
+  /// Fills the packed triangular `pairdist` buffer (or `pairdist_f32` when
+  /// the f32 lane is active) with squared Euclidean distances via the Gram
+  /// identity ||xi - xj||^2 = ||xi||^2 + ||xj||^2 - 2 <xi, xj>, computing
+  /// each unordered pair once.  Shared by Krum, Multi-Krum and Bulyan.
   void fill_pairwise_sqdist(const GradientBatch& batch);
+
+  /// Demotes the batch rows into `rows_f32` (the f32 lane's one
+  /// demote-on-ingest pass).
+  void fill_rows_f32(const GradientBatch& batch);
+
+  /// fill_rows_f32 + cache-blocked transpose into `colmajor_f32`.
+  void fill_colmajor_f32(const GradientBatch& batch);
+
+  // --- packed triangular pairdist accessors --------------------------------
+  /// Index of unordered pair (i, j), i < j, in the packed strictly-upper
+  /// triangular layout: row i's run starts after the i prior rows' runs of
+  /// lengths n-1, n-2, ..., n-i.
+  [[nodiscard]] static constexpr std::size_t pair_index(int i, int j, int n) noexcept {
+    // i * (2n - i - 1) is always even, so the division is exact.
+    return static_cast<std::size_t>(i) * (2 * static_cast<std::size_t>(n) - i - 1) / 2 +
+           static_cast<std::size_t>(j - i - 1);
+  }
+
+  /// Squared distance between rows i and j (i != j), read from whichever
+  /// pairdist buffer the active lane filled (f32 values are promoted).
+  [[nodiscard]] double pair_sqdist(int i, int j, int n) const noexcept {
+    if (i > j) std::swap(i, j);
+    const std::size_t idx = pair_index(i, j, n);
+    return f32_lane() ? static_cast<double>(pairdist_f32[idx]) : pairdist[idx];
+  }
+
+  /// Gathers row i of the (logical) n x n distance matrix into dst[0..n),
+  /// diagonal 0, promoting f32-lane values.  dst must hold n doubles.
+  void gather_pair_row(int i, int n, double* dst) const noexcept;
 };
 
 /// Validates the shared batched preconditions (non-empty, equal-dimension by

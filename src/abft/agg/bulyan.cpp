@@ -46,11 +46,21 @@ void select_stage1_incremental(AggregatorWorkspace& ws, int n, int f, int theta)
 
   // Per-row neighbour order (ascending distance, ties by id so the order is
   // deterministic), plus its inverse for O(1) "is j inside i's prefix?".
+  // Each row's distances are gathered once from the packed triangle into a
+  // dense buffer so the sort comparator stays a plain indexed load; the
+  // later incremental maintenance does point lookups via pair_sqdist().
+  if (ws.parallel_threads <= 1) ws.pairrow.resize(static_cast<std::size_t>(n));
   ws.run_parallel(0, n, [&](int begin, int end) {
+    std::vector<double> local_row;
+    double* dist = ws.pairrow.data();
+    if (ws.parallel_threads > 1) {
+      local_row.resize(static_cast<std::size_t>(n));
+      dist = local_row.data();
+    }
     for (int i = begin; i < end; ++i) {
       const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
       int* ids = ws.sorted_ids.data() + base;
-      const double* dist = ws.pairdist.data() + base;
+      ws.gather_pair_row(i, n, dist);
       int m = 0;
       for (int j = 0; j < n; ++j) {
         if (j != i) ids[m++] = j;
@@ -72,9 +82,8 @@ void select_stage1_incremental(AggregatorWorkspace& ws, int n, int f, int theta)
     for (int i = 0; i < n; ++i) {
       const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
       const int* ids = ws.sorted_ids.data() + base;
-      const double* dist = ws.pairdist.data() + base;
       double sum = 0.0;
-      for (int s = 0; s < k0; ++s) sum += dist[ids[s]];
+      for (int s = 0; s < k0; ++s) sum += ws.pair_sqdist(i, ids[s], n);
       ws.scores[static_cast<std::size_t>(i)] = sum;
       ws.heads[static_cast<std::size_t>(i)] = k0;
       ws.counts[static_cast<std::size_t>(i)] = k0;
@@ -93,20 +102,19 @@ void select_stage1_incremental(AggregatorWorkspace& ws, int n, int f, int theta)
       if (!ws.active[static_cast<std::size_t>(i)]) continue;
       const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
       const int* ids = ws.sorted_ids.data() + base;
-      const double* dist = ws.pairdist.data() + base;
       const int* rank = ws.ranks.data() + base;
       int& head = ws.heads[static_cast<std::size_t>(i)];
       int& count = ws.counts[static_cast<std::size_t>(i)];
       double& score = ws.scores[static_cast<std::size_t>(i)];
       if (removed >= 0 && rank[removed] < head) {
-        score -= dist[removed];
+        score -= ws.pair_sqdist(i, removed, n);
         --count;
       }
       while (count < neighbors) {
         // Enough active neighbours always remain (neighbors <= pool - 1),
         // so the cursor cannot run off the end.
         while (!ws.active[static_cast<std::size_t>(ids[head])]) ++head;
-        score += dist[ids[head]];
+        score += ws.pair_sqdist(i, ids[head], n);
         ++head;
         ++count;
       }
@@ -114,7 +122,7 @@ void select_stage1_incremental(AggregatorWorkspace& ws, int n, int f, int theta)
         do {
           --head;
         } while (!ws.active[static_cast<std::size_t>(ids[head])]);
-        score -= dist[ids[head]];
+        score -= ws.pair_sqdist(i, ids[head], n);
         --count;
       }
       if (neighbors == 1) {
@@ -126,7 +134,7 @@ void select_stage1_incremental(AggregatorWorkspace& ws, int n, int f, int theta)
         // first active one in sorted order).
         int s = 0;
         while (!ws.active[static_cast<std::size_t>(ids[s])]) ++s;
-        score = dist[ids[s]];
+        score = ws.pair_sqdist(i, ids[s], n);
       }
       if (best < 0 || score < best_score) {
         best = i;
@@ -200,6 +208,7 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
     select_stage1_incremental(ws, n, f, theta);
   } else {
     ws.scratch.resize(static_cast<std::size_t>(n));
+    ws.pairrow.resize(static_cast<std::size_t>(n));
     int pool = n;
     for (int round = 0; round < theta; ++round) {
       // The span path's relaxed_scores rejects a pool of fewer than two
@@ -210,8 +219,10 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
       double best_score = 0.0;
       for (int i = 0; i < n; ++i) {
         if (!ws.active[static_cast<std::size_t>(i)]) continue;
-        const double* row =
-            ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+        // Same values in the same ascending-j order as the old square
+        // layout, so the exact path stays bit-identical.
+        ws.gather_pair_row(i, n, ws.pairrow.data());
+        const double* row = ws.pairrow.data();
         int m = 0;
         for (int j = 0; j < n; ++j) {
           if (j != i && ws.active[static_cast<std::size_t>(j)]) {
@@ -244,7 +255,12 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
   // tie-free columns; only the winner among exactly-equidistant entries
   // (which the exact path's unstable second sort also picks arbitrarily)
   // and the summation order may differ.
-  ws.fill_colmajor(batch);
+  const bool f32 = ws.f32_lane();
+  if (f32) {
+    ws.fill_colmajor_f32(batch);
+  } else {
+    ws.fill_colmajor(batch);
+  }
   resize_output(out, d);
   auto result = out.coefficients();
   const int take = std::min(beta, theta);
@@ -260,10 +276,22 @@ void BulyanAggregator::aggregate_into(Vector& out, const GradientBatch& batch, i
       column = local_column.data();
     }
     for (int k = k_begin; k < k_end; ++k) {
-      const double* col =
-          ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
-      for (int s = 0; s < theta; ++s) {
-        column[s] = col[ws.order[static_cast<std::size_t>(s)]];
+      // f32 lane: columns stream from the demoted transpose (half the
+      // bandwidth of the dominant theta x d gather); the sort, median and
+      // window sweep run on promoted doubles, so tie-breaking is the same
+      // deterministic comparison as the f64 lane.
+      if (f32) {
+        const float* col =
+            ws.colmajor_f32.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+        for (int s = 0; s < theta; ++s) {
+          column[s] = static_cast<double>(col[ws.order[static_cast<std::size_t>(s)]]);
+        }
+      } else {
+        const double* col =
+            ws.colmajor.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+        for (int s = 0; s < theta; ++s) {
+          column[s] = col[ws.order[static_cast<std::size_t>(s)]];
+        }
       }
       double sum = 0.0;
       if (fast) {

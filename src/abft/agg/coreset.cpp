@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 #include <numeric>
+#include <type_traits>
 #include <utility>
 
 #include "abft/agg/geomed.hpp"
@@ -180,6 +181,7 @@ void weighted_krum_scores(const GradientBatch& cs, const std::vector<double>& w,
   ws.fill_pairwise_sqdist(cs);
   const long long neighbors = n - f - 2;
   ws.scores.resize(static_cast<std::size_t>(m));
+  ws.pairrow.resize(static_cast<std::size_t>(m));
   auto& pairs = ws.coreset_pairs;
   for (int i = 0; i < m; ++i) {
     // The w_i - 1 own-copy distances are zero, hence always the smallest.
@@ -187,8 +189,8 @@ void weighted_krum_scores(const GradientBatch& cs, const std::vector<double>& w,
     double score = 0.0;
     if (rem > 0) {
       pairs.clear();
-      const double* row =
-          ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
+      ws.gather_pair_row(i, m, ws.pairrow.data());
+      const double* row = ws.pairrow.data();
       for (int j = 0; j < m; ++j) {
         if (j != i) pairs.emplace_back(row[j], w[static_cast<std::size_t>(j)]);
       }
@@ -347,10 +349,12 @@ void weighted_bulyan(Vector& out, const GradientBatch& cs, const std::vector<dou
   ws.fill_pairwise_sqdist(cs);
   const auto mm = static_cast<std::size_t>(m) * static_cast<std::size_t>(m);
   ws.sorted_ids.resize(mm);
+  ws.pairrow.resize(static_cast<std::size_t>(m));
   for (int i = 0; i < m; ++i) {
     const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
     int* ids = ws.sorted_ids.data() + base;
-    const double* dist = ws.pairdist.data() + base;
+    ws.gather_pair_row(i, m, ws.pairrow.data());
+    const double* dist = ws.pairrow.data();
     int cnt = 0;
     for (int j = 0; j < m; ++j) {
       if (j != i) ids[cnt++] = j;
@@ -381,13 +385,12 @@ void weighted_bulyan(Vector& out, const GradientBatch& cs, const std::vector<dou
       if (rem > 0) {
         const std::size_t base = static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
         const int* ids = ws.sorted_ids.data() + base;
-        const double* dist = ws.pairdist.data() + base;
         for (int s = 0; s < m - 1 && rem > 0; ++s) {
           const int j = ids[s];
           const auto aj = static_cast<long long>(ws.scratch[static_cast<std::size_t>(j)]);
           if (aj <= 0) continue;
           const long long take = std::min(rem, aj);
-          score += dist[j] * static_cast<double>(take);
+          score += ws.pair_sqdist(i, j, m) * static_cast<double>(take);
           rem -= take;
         }
       }
@@ -589,9 +592,9 @@ void colmajor_sqdist_block(const double* cols, std::size_t stride, const double*
 /// negative, so the blend cannot overwrite them.  Writes only this block's
 /// dist/assign/cand rows; the per-block queues are left alone — selection
 /// refreshes them lazily (see kcenter_refill_block).
-template <typename Dist>
-void kcenter_block_pass(double* dist, int* assign, const double* cols, std::size_t stride,
-                        const double* center_row, int d, int slot, int lo, int hi,
+template <typename T, typename Dist>
+void kcenter_block_pass(double* dist, int* assign, const T* cols, std::size_t stride,
+                        const T* center_row, int d, int slot, int lo, int hi,
                         double* cand, Dist dist_block) {
   for (int c_lo = lo; c_lo < hi; c_lo += 1024) {
     const int c_hi = std::min(hi, c_lo + 1024);
@@ -675,9 +678,10 @@ void kcenter_refill_block(const double* dist, int n, int block, int qcap, int b,
 /// the first power-of-two checkpoint (k = f + 1, 2(f + 1), ...) where the
 /// covering radius failed to improve by the fixed factor 0.7 since the
 /// previous one.
-template <typename Dist>
+template <typename T, typename Dist>
 int kcenter_reduce(const GradientBatch& batch, int f, AggregatorWorkspace& ws, int k_cap,
                    bool adaptive, Dist dist_block) {
+  constexpr bool kF32 = std::is_same_v<T, float>;
   const int n = batch.rows();
   const int d = batch.cols();
   const int z = f;
@@ -685,26 +689,56 @@ int kcenter_reduce(const GradientBatch& batch, int f, AggregatorWorkspace& ws, i
   // The distance passes run on the workspace transpose (one column per
   // coordinate), so the hot kernel vectorizes across rows.  The median pivot
   // is taken on a per-column copy in ws.scratch — median_inplace reorders
-  // its input, and the transpose must survive for the passes below.
-  ws.fill_colmajor(batch);
+  // its input, and the transpose must survive for the passes below.  The f32
+  // lane transposes the demoted rows instead (half the streaming traffic for
+  // every pass below); the pivot medians and all selection state stay f64.
+  if constexpr (kF32) {
+    ws.fill_colmajor_f32(batch);  // also fills ws.rows_f32 (center rows below)
+  } else {
+    ws.fill_colmajor(batch);
+  }
   ws.scratch.resize(static_cast<std::size_t>(n));
   ws.coreset_vec.resize(static_cast<std::size_t>(d));
+  const T* tcols = nullptr;
+  if constexpr (kF32) {
+    tcols = ws.colmajor_f32.data();
+  } else {
+    tcols = ws.colmajor.data();
+  }
   for (int kk = 0; kk < d; ++kk) {
-    const double* col =
-        ws.colmajor.data() + static_cast<std::size_t>(kk) * static_cast<std::size_t>(n);
-    std::copy(col, col + n, ws.scratch.begin());
+    const T* col = tcols + static_cast<std::size_t>(kk) * static_cast<std::size_t>(n);
+    for (int i = 0; i < n; ++i) ws.scratch[static_cast<std::size_t>(i)] = static_cast<double>(col[i]);
     ws.coreset_vec[static_cast<std::size_t>(kk)] =
         median_inplace(ws.scratch.data(), ws.scratch.data() + n);
   }
   // Seed center: the row nearest the coordinate-wise median pivot (a robust
-  // pivot an adversary cannot drag far with f rows).
+  // pivot an adversary cannot drag far with f rows).  The f32 lane measures
+  // this nearest-row pass on the demoted rows (strict < keeps the first
+  // minimum, so the pick is deterministic either way).
   int seed = 0;
   double best = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < n; ++i) {
-    const double dsq = sqdist_rows(batch.row(i).data(), ws.coreset_vec.data(), d);
-    if (dsq < best) {
-      best = dsq;
-      seed = i;
+  if constexpr (kF32) {
+    ws.vecbuf_f32.resize(static_cast<std::size_t>(d));
+    for (int kk = 0; kk < d; ++kk) {
+      ws.vecbuf_f32[static_cast<std::size_t>(kk)] =
+          static_cast<float>(ws.coreset_vec[static_cast<std::size_t>(kk)]);
+    }
+    for (int i = 0; i < n; ++i) {
+      const float* row =
+          ws.rows_f32.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+      const double dsq = detail::laned_sqdist_f32(row, ws.vecbuf_f32.data(), d);
+      if (dsq < best) {
+        best = dsq;
+        seed = i;
+      }
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double dsq = sqdist_rows(batch.row(i).data(), ws.coreset_vec.data(), d);
+      if (dsq < best) {
+        best = dsq;
+        seed = i;
+      }
     }
   }
 
@@ -736,12 +770,18 @@ int kcenter_reduce(const GradientBatch& batch, int f, AggregatorWorkspace& ws, i
   double prev_tau = -1.0;  // last round's selection threshold, pivot below
   int pending = seed;  // last placed center, its distance pass still due
   int centers = 1;
-  const double* cols = ws.colmajor.data();
+  const T* cols = tcols;
   const auto stride = static_cast<std::size_t>(n);
   double* cand = ws.scratch.data();
   for (;;) {
     const int slot = centers - 1;  // pending's slot
-    const double* center_row = batch.row(pending).data();
+    const T* center_row = nullptr;
+    if constexpr (kF32) {
+      center_row =
+          ws.rows_f32.data() + static_cast<std::size_t>(pending) * static_cast<std::size_t>(d);
+    } else {
+      center_row = batch.row(pending).data();
+    }
 
     ws.run_parallel(0, nblocks, [&](int b_begin, int b_end) {
       for (int b = b_begin; b < b_end; ++b) {
@@ -988,21 +1028,49 @@ int CoresetReducer::reduce(const GradientBatch& batch, int f, AggregatorWorkspac
   }
   const bool adaptive = config_.size == CoresetConfig::kAdaptiveSize;
   const int k_cap = centers_for(n, f);
+  if (ws.f32_lane()) {
+    // f32 construction lane: the blocked distance passes stream demoted
+    // columns (half the memory traffic of the f64 transpose); every
+    // per-row distance is still emitted as a double, and the selection
+    // state, thresholds and tie-breaking run unchanged on doubles — so the
+    // construction stays bit-identical at every thread count.
+#if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+    if (detail::sqdist_avx512_available()) {
+      return kcenter_reduce<float>(batch, f, ws, k_cap, adaptive,
+                                   [](const float* cols, std::size_t stride,
+                                      const float* center, int dd, int lo, int hi,
+                                      double* out) {
+                                     detail::avx512_colmajor_sqdist_f32(
+                                         cols, stride, center, dd, lo, hi, out);
+                                   });
+    }
+#endif
+    return kcenter_reduce<float>(batch, f, ws, k_cap, adaptive,
+                                 [](const float* cols, std::size_t stride,
+                                    const float* center, int dd, int lo, int hi,
+                                    double* out) {
+                                   detail::laned_colmajor_sqdist_f32(cols, stride, center,
+                                                                     dd, lo, hi, out);
+                                 });
+  }
 #if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
   if (ws.mode == AggMode::fast && detail::sqdist_avx512_available()) {
-    return kcenter_reduce(batch, f, ws, k_cap, adaptive,
-                          [](const double* cols, std::size_t stride, const double* center,
-                             int dd, int lo, int hi, double* out) {
-                            detail::avx512_colmajor_sqdist(cols, stride, center, dd, lo,
-                                                           hi, out);
-                          });
+    return kcenter_reduce<double>(batch, f, ws, k_cap, adaptive,
+                                  [](const double* cols, std::size_t stride,
+                                     const double* center, int dd, int lo, int hi,
+                                     double* out) {
+                                    detail::avx512_colmajor_sqdist(cols, stride, center,
+                                                                   dd, lo, hi, out);
+                                  });
   }
 #endif
-  return kcenter_reduce(batch, f, ws, k_cap, adaptive,
-                        [](const double* cols, std::size_t stride, const double* center,
-                           int dd, int lo, int hi, double* out) {
-                          colmajor_sqdist_block(cols, stride, center, dd, lo, hi, out);
-                        });
+  return kcenter_reduce<double>(batch, f, ws, k_cap, adaptive,
+                                [](const double* cols, std::size_t stride,
+                                   const double* center, int dd, int lo, int hi,
+                                   double* out) {
+                                  colmajor_sqdist_block(cols, stride, center, dd, lo, hi,
+                                                        out);
+                                });
 }
 
 Vector CoresetReducer::aggregate(std::span<const Vector> gradients, int f) const {

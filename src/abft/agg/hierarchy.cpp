@@ -210,6 +210,7 @@ void HierarchicalAggregator::aggregate_into(Vector& out, const GradientBatch& ba
     for (int g = group_begin; g < group_end; ++g) {
       AggregatorWorkspace& sub = *ws.hier_groups[static_cast<std::size_t>(g)];
       sub.mode = ws.mode;
+      sub.precision = ws.precision;
       sub.parallel_threads = 1;  // the group IS the parallel unit
       sub.pool = nullptr;
       GradientBatch& gather = ws.hier_gather[static_cast<std::size_t>(g)];

@@ -56,12 +56,16 @@ void KrumAggregator::batched_scores(const GradientBatch& batch, int f,
   const int neighbors = n - f - 2;
   ws.scores.resize(static_cast<std::size_t>(n));
   ws.scratch.resize(static_cast<std::size_t>(n - 1));
+  ws.pairrow.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    const double* row =
-        ws.pairdist.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    // Row i of the logical distance matrix, gathered from the packed
+    // triangle (f32-lane values promoted); same values in the same
+    // ascending-j order as the old square layout, so exact mode stays
+    // bit-identical.
+    ws.gather_pair_row(i, n, ws.pairrow.data());
     int m = 0;
     for (int j = 0; j < n; ++j) {
-      if (j != i) ws.scratch[static_cast<std::size_t>(m++)] = row[j];
+      if (j != i) ws.scratch[static_cast<std::size_t>(m++)] = ws.pairrow[static_cast<std::size_t>(j)];
     }
     std::nth_element(ws.scratch.begin(), ws.scratch.begin() + (neighbors - 1),
                      ws.scratch.begin() + m);

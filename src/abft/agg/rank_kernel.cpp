@@ -45,10 +45,6 @@ double time_best_of(int repeats, Fn&& fn) {
 }
 
 int calibrate() {
-  if (const char* env = std::getenv("ABFT_RANK_KERNEL_CUTOFF")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    return std::clamp(static_cast<int>(parsed), 0, kRankKernelCapacity);
-  }
   constexpr int kCandidates[] = {64, 128, 256, 512};
   constexpr int kRepeats = 5;
   std::vector<double> column(static_cast<std::size_t>(kRankKernelCapacity));
@@ -89,6 +85,19 @@ int calibrate() {
 int rank_kernel_cutoff() {
   static const int cutoff = calibrate();
   return cutoff;
+}
+
+int effective_rank_cutoff(AggMode mode) {
+  // The environment override wins in both modes and is parsed on every call
+  // (one getenv, far off the per-column hot loop) so it is never baked into
+  // the calibration cache: ABFT_RANK_KERNEL_CUTOFF=0 reliably forces the
+  // rank kernel off even in exact mode, which previously pinned the
+  // constant crossover unconditionally.
+  if (const char* env = std::getenv("ABFT_RANK_KERNEL_CUTOFF")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    return std::clamp(static_cast<int>(parsed), 0, kRankKernelCapacity);
+  }
+  return mode == AggMode::fast ? rank_kernel_cutoff() : kRankKernelExactCutoff;
 }
 
 }  // namespace abft::agg::detail

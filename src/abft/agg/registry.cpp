@@ -45,4 +45,14 @@ std::string_view to_string(AggMode mode) noexcept {
   return mode == AggMode::fast ? "fast" : "exact";
 }
 
+Precision precision_from_string(std::string_view name) {
+  if (name == "f64") return Precision::f64;
+  if (name == "f32") return Precision::f32;
+  ABFT_REQUIRE(false, "unknown aggregation precision: " + std::string(name));
+}
+
+std::string_view to_string(Precision precision) noexcept {
+  return precision == Precision::f32 ? "f32" : "f64";
+}
+
 }  // namespace abft::agg

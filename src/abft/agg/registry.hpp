@@ -26,4 +26,13 @@ AggMode agg_mode_from_string(std::string_view name);
 /// Stable spelling of an AggMode ("exact" / "fast").
 std::string_view to_string(AggMode mode) noexcept;
 
+/// Parses "f64" / "f32" into a Precision.  Throws std::invalid_argument
+/// otherwise.  The f32 lane only applies under AggMode::fast; callers that
+/// accept both knobs validate the combination (exact + f32 is rejected at
+/// parse time, not silently ignored).
+Precision precision_from_string(std::string_view name);
+
+/// Stable spelling of a Precision ("f64" / "f32").
+std::string_view to_string(Precision precision) noexcept;
+
 }  // namespace abft::agg

@@ -118,6 +118,158 @@ inline bool sqdist_avx512_available() {
 #endif
 }
 
+// --- float32 lane (Precision::f32, fast mode only) -------------------------
+// Same independent-partial-sum discipline as above, twice as wide: 16 float
+// lanes per group, so a 512-bit vector unit still retires one whole group
+// per FMA while moving half the bytes.  Lane accumulation stays in float
+// (each lane sums ~d/16 products — the sqrt(d/16) * 2^-24 relative error is
+// far inside every f32 tolerance envelope); only the final cross-lane
+// reduction widens to double.  f32 lane only — never exact mode, never the
+// f64 fast lane.
+
+inline constexpr int kReduceLanesF32 = 16;
+
+/// Minimum dimension for the f32 distance-pass lanes (Weiszfeld, CClip).
+/// Below this the per-row fixed costs of the f32 path — the iterate demotion
+/// and the wider horizontal reduction — outweigh the halved streaming
+/// traffic, and the f64 fast path is measurably quicker (breakeven sits near
+/// d = 300-500 for both kernels at n = 50); the knob is a documented no-op
+/// there.  Rank-kernel rules (cwtm, cwmed) and the Gram-based rules gate
+/// differently and do not use this constant.
+inline constexpr int kF32DistanceLaneMinDim = 512;
+
+/// sum_k (a[k] - b[k])^2 over demoted rows, laned, returned in double.
+inline double laned_sqdist_f32(const float* a, const float* b, int d) {
+  float l0[kReduceLanesF32] = {0.0f};
+  float l1[kReduceLanesF32] = {0.0f};
+  int k = 0;
+  for (; k + 2 * kReduceLanesF32 <= d; k += 2 * kReduceLanesF32) {
+    for (int t = 0; t < kReduceLanesF32; ++t) {
+      const float diff = a[k + t] - b[k + t];
+      l0[t] += diff * diff;
+    }
+    for (int t = 0; t < kReduceLanesF32; ++t) {
+      const float diff = a[k + kReduceLanesF32 + t] - b[k + kReduceLanesF32 + t];
+      l1[t] += diff * diff;
+    }
+  }
+  for (; k + kReduceLanesF32 <= d; k += kReduceLanesF32) {
+    for (int t = 0; t < kReduceLanesF32; ++t) {
+      const float diff = a[k + t] - b[k + t];
+      l0[t] += diff * diff;
+    }
+  }
+  double sum = 0.0;
+  for (; k < d; ++k) {
+    const double diff = static_cast<double>(a[k]) - static_cast<double>(b[k]);
+    sum += diff * diff;
+  }
+  for (int t = 0; t < kReduceLanesF32; ++t) {
+    sum += static_cast<double>(l0[t]) + static_cast<double>(l1[t]);
+  }
+  return sum;
+}
+
+#if defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+/// f32 counterpart of avx512_sqdist: 16-wide FMA accumulation, masked tail,
+/// double result.  Fast-mode f32 lane only.
+inline double avx512_sqdist_f32(const float* a, const float* b, int d) {
+  __m512 acc = _mm512_setzero_ps();
+  int k = 0;
+  for (; k + 16 <= d; k += 16) {
+    const __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(a + k), _mm512_loadu_ps(b + k));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  const int rem = d - k;
+  if (rem > 0) {
+    const __mmask16 mask = static_cast<__mmask16>((1u << rem) - 1u);
+    const __m512 diff = _mm512_sub_ps(_mm512_maskz_loadu_ps(mask, a + k),
+                                      _mm512_maskz_loadu_ps(mask, b + k));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  return static_cast<double>(_mm512_reduce_add_ps(acc));
+}
+
+/// f32 counterpart of avx512_colmajor_sqdist: 16 rows per register group,
+/// float accumulation, results widened into the caller's double buffer (the
+/// selection machinery stays f64 so tie-breaking is precision-agnostic).
+inline void avx512_colmajor_sqdist_f32(const float* cols, std::size_t stride,
+                                       const float* center, int d, int lo, int hi,
+                                       double* out) {
+  int i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    const float* col = cols + i;
+    __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(col), _mm512_set1_ps(center[0]));
+    __m512 acc = _mm512_mul_ps(diff, diff);
+    for (int k = 1; k < d; ++k) {
+      diff = _mm512_sub_ps(_mm512_loadu_ps(col + static_cast<std::size_t>(k) * stride),
+                           _mm512_set1_ps(center[k]));
+      acc = _mm512_fmadd_ps(diff, diff, acc);
+    }
+    _mm512_storeu_pd(out + i, _mm512_cvtps_pd(_mm512_castps512_ps256(acc)));
+    // Upper 8 floats via the AVX512F-only f64x4 extract (f32x8 needs DQ).
+    const __m256 hi8 = _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(acc), 1));
+    _mm512_storeu_pd(out + i + 8, _mm512_cvtps_pd(hi8));
+  }
+  for (; i < hi; ++i) {  // scalar row tail (< 16 rows)
+    const float diff0 = cols[i] - center[0];
+    float acc = diff0 * diff0;
+    for (int k = 1; k < d; ++k) {
+      const float diff = cols[static_cast<std::size_t>(k) * stride + i] - center[k];
+      acc += diff * diff;
+    }
+    out[i] = static_cast<double>(acc);
+  }
+}
+#endif
+
+/// Portable f32 col-major distance block: same row-group vectorization shape
+/// as the AVX-512 variant (16 rows wide, k innermost), plain loops so the
+/// compiler picks the widest ISA it was built for.  Fast-mode f32 lane only.
+inline void laned_colmajor_sqdist_f32(const float* cols, std::size_t stride,
+                                      const float* center, int d, int lo, int hi,
+                                      double* out) {
+  int i = lo;
+  for (; i + kReduceLanesF32 <= hi; i += kReduceLanesF32) {
+    const float* col = cols + i;
+    float acc[kReduceLanesF32];
+    for (int t = 0; t < kReduceLanesF32; ++t) {
+      const float diff = col[t] - center[0];
+      acc[t] = diff * diff;
+    }
+    for (int k = 1; k < d; ++k) {
+      const float* colk = col + static_cast<std::size_t>(k) * stride;
+      for (int t = 0; t < kReduceLanesF32; ++t) {
+        const float diff = colk[t] - center[k];
+        acc[t] += diff * diff;
+      }
+    }
+    for (int t = 0; t < kReduceLanesF32; ++t) out[i + t] = static_cast<double>(acc[t]);
+  }
+  for (; i < hi; ++i) {
+    const float diff0 = cols[i] - center[0];
+    float acc = diff0 * diff0;
+    for (int k = 1; k < d; ++k) {
+      const float diff = cols[static_cast<std::size_t>(k) * stride + i] - center[k];
+      acc += diff * diff;
+    }
+    out[i] = static_cast<double>(acc);
+  }
+}
+
+/// sum_k a[k] over a float buffer, laned, returned in double.
+inline double laned_sum_f32(const float* a, int d) {
+  float l0[kReduceLanesF32] = {0.0f};
+  int k = 0;
+  for (; k + kReduceLanesF32 <= d; k += kReduceLanesF32) {
+    for (int t = 0; t < kReduceLanesF32; ++t) l0[t] += a[k + t];
+  }
+  double sum = 0.0;
+  for (; k < d; ++k) sum += static_cast<double>(a[k]);
+  for (int t = 0; t < kReduceLanesF32; ++t) sum += static_cast<double>(l0[t]);
+  return sum;
+}
+
 /// sum_k a[k], laned.
 inline double laned_sum(const double* a, int d) {
   double l0[kReduceLanes] = {0.0};

@@ -39,6 +39,7 @@ AsyncRoundEngine::AsyncRoundEngine(std::vector<unsigned char> faulty, int dim,
   workspace_.parallel_threads = threads_;
   workspace_.pool = pool_.get();
   workspace_.mode = config_.mode;
+  workspace_.precision = config_.precision;
   payload_.reshape(roster_size(), dim_);
   computing_.assign(faulty_.size(), 0);
   arrival_time_.assign(faulty_.size(), 0.0);

@@ -92,6 +92,9 @@ struct AsyncEngineConfig {
   std::uint64_t seed = 0;
   int threads = 1;
   agg::AggMode mode = agg::AggMode::exact;
+  /// Compute precision of the workspace's fast lane (f32 demotes the
+  /// bandwidth-bound kernel inputs; only meaningful under AggMode::fast).
+  agg::Precision precision = agg::Precision::f64;
   AsyncConfig async;
 };
 

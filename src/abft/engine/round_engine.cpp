@@ -18,6 +18,7 @@ RoundEngine::RoundEngine(std::vector<unsigned char> faulty, int dim, RoundEngine
   workspace_.parallel_threads = threads_;
   workspace_.pool = pool_.get();
   workspace_.mode = config_.mode;
+  workspace_.precision = config_.precision;
   planner_ = RoundPlanner(config_.axes, roster_size());
   payload_row_.assign(faulty_.size(), -1);
   reset(0);

@@ -65,6 +65,9 @@ struct RoundEngineConfig {
   int threads = 1;
   /// Numerical mode of the engine-owned gradient-filter workspace.
   agg::AggMode mode = agg::AggMode::exact;
+  /// Compute precision of the workspace's fast lane (f32 demotes the
+  /// bandwidth-bound kernel inputs; only meaningful under AggMode::fast).
+  agg::Precision precision = agg::Precision::f64;
   /// Round-perturbation axes (defaults = plain run, bit-identical).
   ScenarioAxes axes;
 };

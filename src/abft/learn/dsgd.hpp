@@ -54,6 +54,10 @@ struct DsgdConfig {
   /// bit-parity with the span path, fast enables the relaxed-parity
   /// vectorized kernels.
   agg::AggMode agg_mode = agg::AggMode::exact;
+  /// Compute precision of the filter's fast lane (agg/batch.hpp): f32
+  /// demotes the bandwidth-bound kernel inputs.  Only meaningful with
+  /// agg_mode == fast; a no-op under exact.
+  agg::Precision agg_precision = agg::Precision::f64;
   /// Round-perturbation axes (engine/axes.hpp).  The driver's round counter
   /// is 1-based (t = 1..iterations), so churn at round r <= 1 fires before
   /// the first update.  Defaults are a no-op (bit-identical run).

@@ -37,7 +37,8 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   // broadcast fan-out and per-node filter state stay in this driver.
   engine::RoundEngine eng(sim::faulty_mask(roster), dim,
                           engine::RoundEngineConfig{config.seed, config.agg_threads,
-                                                    config.agg_mode, config.axes});
+                                                    config.agg_mode, config.agg_precision,
+                                                    config.axes});
   eng.reset(config.f);
 
   P2pDgdResult result;
@@ -84,7 +85,10 @@ P2pDgdResult run_p2p_core(const std::vector<sim::AgentSpec>& roster, const P2pDg
   std::vector<agg::GradientBatch> node_batches(static_cast<std::size_t>(h));
   std::vector<agg::AggregatorWorkspace> node_workspaces(static_cast<std::size_t>(h));
   std::vector<linalg::Vector> node_filtered(static_cast<std::size_t>(h));
-  for (auto& node_ws : node_workspaces) node_ws.mode = config.agg_mode;
+  for (auto& node_ws : node_workspaces) {
+    node_ws.mode = config.agg_mode;
+    node_ws.precision = config.agg_precision;
+  }
   for (auto& batch : node_batches) batch.reshape(n, dim);
   std::vector<long> source_messages(static_cast<std::size_t>(n), 0);
 

@@ -33,6 +33,10 @@ struct P2pDgdConfig {
   /// agg/batch.hpp).  All honest nodes share one mode, so agreement among
   /// honest estimates is preserved in either mode.
   agg::AggMode agg_mode = agg::AggMode::exact;
+  /// Compute precision of every honest node's fast lane (agg/batch.hpp):
+  /// f32 demotes the bandwidth-bound kernel inputs.  Only meaningful with
+  /// agg_mode == fast; a no-op under exact.
+  agg::Precision agg_precision = agg::Precision::f64;
   /// Round-perturbation axes (engine/axes.hpp): a non-participating node
   /// skips the round (no gradient, no broadcast, no update); a straggling
   /// source's broadcast misses the round's close for every receiver (it

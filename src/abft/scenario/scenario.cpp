@@ -209,7 +209,7 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
   require_known_keys(
       json, "scenario",
       {"name",       "driver",   "problem",          "aggregator",    "mode",
-       "iterations", "f",        "seed",             "threads",       "schedule",
+       "precision",  "iterations", "f",              "seed",          "threads",       "schedule",
        "box_halfwidth", "x0",    "agents",           "num_agents",    "dim",
        "noise_stddev",  "faults", "drop_probability", "relay_strategy",
        "ds_strategy", "axes",    "async",            "batch_size",    "step_size",
@@ -221,6 +221,11 @@ ScenarioSpec parse_scenario(const util::JsonValue& json) {
   spec.problem = json.string_or("problem", "");
   if (const auto* aggregator = json.find("aggregator")) parse_aggregator(*aggregator, &spec);
   spec.mode = agg::agg_mode_from_string(json.string_or("mode", "exact"));
+  spec.precision = agg::precision_from_string(json.string_or("precision", "f64"));
+  // The f32 lane exists only under the fast tolerance contract; a spec
+  // pairing it with exact mode is a contradiction, not a silent no-op.
+  ABFT_REQUIRE(spec.precision == agg::Precision::f64 || spec.mode == agg::AggMode::fast,
+               "precision \"f32\" requires mode \"fast\"");
   spec.iterations = int_or(json, "iterations", spec.iterations);
   spec.f = int_or(json, "f", spec.f);
   spec.seed = parse_seed(json, "seed", 1.0);
@@ -545,6 +550,7 @@ ScenarioResult run_dgd_scenario(const ScenarioSpec& spec) {
                         false,
                         spec.threads,
                         spec.mode,
+                        spec.precision,
                         spec.axes,
                         spec.async};
   sim::DgdSimulation simulation(std::move(w.roster), std::move(config));
@@ -584,6 +590,7 @@ ScenarioResult run_p2p_scenario(const ScenarioSpec& spec, bool authenticated) {
                            spec.seed,
                            spec.threads,
                            spec.mode,
+                           spec.precision,
                            spec.axes};
   const auto outcome =
       authenticated ? p2p::run_p2p_dgd_authenticated(w.roster, config, *aggregator, ds.get())
@@ -681,6 +688,7 @@ ScenarioResult run_dsgd_scenario(const ScenarioSpec& spec) {
   config.seed = spec.seed;
   config.agg_threads = spec.threads;
   config.agg_mode = spec.mode;
+  config.agg_precision = spec.precision;
   config.axes = spec.axes;
   const auto aggregator = make_scenario_aggregator(spec);
   ScenarioResult result;
@@ -766,6 +774,7 @@ void write_result_json(const ScenarioResult& result, std::ostream& os) {
   write_string(os, result.spec.aggregator);
   os << ",\n";
   os << "  \"mode\": \"" << agg::to_string(result.spec.mode) << "\",\n";
+  os << "  \"precision\": \"" << agg::to_string(result.spec.precision) << "\",\n";
   os << "  \"iterations\": " << result.spec.iterations << ",\n";
   os << "  \"final_cost\": ";
   write_number(os, result.final_cost);
@@ -826,7 +835,8 @@ void write_result_json(const ScenarioResult& result, std::ostream& os) {
 void print_result(const ScenarioResult& result, std::ostream& os) {
   os << "scenario: " << (result.spec.name.empty() ? "(unnamed)" : result.spec.name) << "\n"
      << "  driver " << result.spec.driver << ", rule " << result.spec.aggregator << " ("
-     << agg::to_string(result.spec.mode) << "), " << result.spec.iterations
+     << agg::to_string(result.spec.mode) << ", " << agg::to_string(result.spec.precision)
+     << "), " << result.spec.iterations
      << " iterations, f = " << result.spec.f << ", seed = " << result.spec.seed << "\n";
   if (result.spec.axes.enabled()) {
     os << "  axes: participation " << result.spec.axes.participation << ", straggler "

@@ -41,6 +41,10 @@
 //                         its leaf rule); "rule" and "hierarchy" are
 //                         mutually exclusive
 //   mode                  "exact" | "fast"                        ("exact")
+//   precision             "f64" | "f32"                           ("f64")
+//                         f32 demotes the fast lane's bandwidth-bound
+//                         kernel inputs; requires mode "fast" (rejected
+//                         at parse time under "exact")
 //   iterations, f, seed, threads
 //   schedule              {"kind": "harmonic"|"constant"|"polynomial",
 //                          "scale": s, "power": p}      (harmonic, 1.5)
@@ -178,6 +182,7 @@ struct ScenarioSpec {
   std::optional<agg::CoresetConfig> coreset;
   std::string coreset_rule = "cwtm";
   agg::AggMode mode = agg::AggMode::exact;
+  agg::Precision precision = agg::Precision::f64;
   int iterations = 100;
   int f = 0;
   std::uint64_t seed = 1;

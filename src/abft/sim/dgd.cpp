@@ -39,12 +39,12 @@ DgdSimulation::DgdSimulation(std::vector<AgentSpec> roster, DgdConfig config)
     async_ = std::make_unique<engine::AsyncRoundEngine>(
         faulty_mask(roster_), config_.box.dim(),
         engine::AsyncEngineConfig{config_.seed, config_.agg_threads, config_.agg_mode,
-                                  *config_.async});
+                                  config_.agg_precision, *config_.async});
   } else {
     engine_ = std::make_unique<engine::RoundEngine>(
         faulty_mask(roster_), config_.box.dim(),
         engine::RoundEngineConfig{config_.seed, config_.agg_threads, config_.agg_mode,
-                                  config_.axes});
+                                  config_.agg_precision, config_.axes});
   }
 }
 

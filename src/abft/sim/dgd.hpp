@@ -58,6 +58,10 @@ struct DgdConfig {
   /// enables the relaxed-parity vectorized kernels (tolerance-bounded, see
   /// agg/batch.hpp).
   agg::AggMode agg_mode = agg::AggMode::exact;
+  /// Compute precision of the filter's fast lane (agg/batch.hpp): f32
+  /// demotes the bandwidth-bound kernel inputs.  Only meaningful with
+  /// agg_mode == fast; a no-op under exact.
+  agg::Precision agg_precision = agg::Precision::f64;
   /// Round-perturbation axes (engine/axes.hpp): partial participation,
   /// straggler schedules, churn.  Defaults are a no-op (bit-identical run).
   engine::ScenarioAxes axes;

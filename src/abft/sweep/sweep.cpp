@@ -394,9 +394,10 @@ SweepSpec parse_sweep(const JsonValue& json) {
   const JsonValue& sw = json.at("sweep");
   ABFT_REQUIRE(sw.is_object(), "the sweep block must be an object of axes");
   require_known_keys(sw, "sweep block",
-                     {"aggregator", "mode", "f", "shards", "coreset_size", "reduction_kind",
-                      "quorum", "staleness_cap", "seed", "drop_probability", "participation",
-                      "straggler_probability", "faults", "variants"});
+                     {"aggregator", "mode", "precision", "f", "shards", "coreset_size",
+                      "reduction_kind", "quorum", "staleness_cap", "seed",
+                      "drop_probability", "participation", "straggler_probability", "faults",
+                      "variants"});
   reject_duplicate_keys(sw, "sweep block");
 
   if (const auto* axis = sw.find("aggregator")) {
@@ -405,6 +406,12 @@ SweepSpec parse_sweep(const JsonValue& json) {
   if (const auto* axis = sw.find("mode")) {
     spec.mode = parse_string_axis(*axis, "mode");
     for (const auto& mode : spec.mode) agg::agg_mode_from_string(mode);  // early validation
+  }
+  if (const auto* axis = sw.find("precision")) {
+    spec.precision = parse_string_axis(*axis, "precision");
+    for (const auto& precision : spec.precision) {
+      agg::precision_from_string(precision);  // early validation
+    }
   }
   if (const auto* axis = sw.find("f")) {
     for (const double value : parse_number_axis(*axis)) {
@@ -507,7 +514,8 @@ SweepSpec parse_sweep(const JsonValue& json) {
     reject_duplicate_labels(labels, "variants");
   }
 
-  const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() || !spec.f.empty() ||
+  const bool any_axis = !spec.aggregator.empty() || !spec.mode.empty() ||
+                        !spec.precision.empty() || !spec.f.empty() ||
                         !spec.shards.empty() || !spec.coreset_size.empty() ||
                         !spec.reduction_kind.empty() ||
                         !spec.quorum.empty() || !spec.staleness_cap.empty() ||
@@ -518,6 +526,7 @@ SweepSpec parse_sweep(const JsonValue& json) {
 
   reject_base_conflict(spec, "aggregator", !spec.aggregator.empty());
   reject_base_conflict(spec, "mode", !spec.mode.empty());
+  reject_base_conflict(spec, "precision", !spec.precision.empty());
   reject_base_conflict(spec, "f", !spec.f.empty());
   reject_base_conflict(spec, "shards", !spec.shards.empty());
   reject_base_conflict(spec, "coreset_size", !spec.coreset_size.empty());
@@ -561,6 +570,12 @@ std::vector<ExpandedRun> expand_sweep(const SweepSpec& spec) {
     axes.push_back({"mode", spec.mode.size(), [&](std::size_t i, Members& m) {
                       set_member(m, "mode", JsonValue::make_string(spec.mode[i]));
                       return spec.mode[i];
+                    }});
+  }
+  if (!spec.precision.empty()) {
+    axes.push_back({"precision", spec.precision.size(), [&](std::size_t i, Members& m) {
+                      set_member(m, "precision", JsonValue::make_string(spec.precision[i]));
+                      return spec.precision[i];
                     }});
   }
   if (!spec.f.empty()) {
@@ -751,6 +766,7 @@ void write_sweep_json(const SweepOutcome& outcome, std::ostream& os) {
     os << ", \"aggregator\": ";
     write_json_string(os, run.result.spec.aggregator);
     os << ", \"mode\": \"" << agg::to_string(run.result.spec.mode) << "\"";
+    os << ", \"precision\": \"" << agg::to_string(run.result.spec.precision) << "\"";
     // A diverged run's final_cost/distance can be nan or inf, which have no
     // JSON spelling; write_json_number emits null instead of an unparseable
     // bare token.

@@ -18,6 +18,9 @@
 //   sweep       list-valued axes, all optional, at least one required:
 //     aggregator             ["cwtm", "cge", ...]       registry rule names
 //     mode                   ["exact", "fast"]
+//     precision              ["f64", "f32"]    fast-lane compute precision;
+//                            rows pairing f32 with mode "exact" are
+//                            rejected by parse_scenario after the merge
 //     f                      [0, 1, 2]
 //     shards                 [1, 4, 16]        sets aggregator.hierarchy
 //                            .shards; the base aggregator must be (or be
@@ -109,6 +112,7 @@ struct SweepSpec {
   // Axes in canonical application order; empty = not swept.
   std::vector<std::string> aggregator;
   std::vector<std::string> mode;
+  std::vector<std::string> precision;
   std::vector<int> f;
   std::vector<int> shards;
   std::vector<int> coreset_size;
